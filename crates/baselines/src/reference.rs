@@ -1,0 +1,277 @@
+//! The reference oracle: plain recursive backtracking (Algorithm 1 of the
+//! paper), with per-pair adjacency checks instead of set operations.
+//!
+//! Deliberately naive — its only job is to be obviously correct so the
+//! engines can be validated against it on small inputs.
+
+use stmatch_graph::{Graph, VertexId};
+use stmatch_pattern::order::MatchOrder;
+use stmatch_pattern::symmetry::{bounds_for_order, Bound};
+use stmatch_pattern::Pattern;
+
+/// Matching semantics for the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefOptions {
+    /// Vertex-induced (true) or edge-induced (false).
+    pub induced: bool,
+    /// Count each subgraph once (true) or each embedding (false).
+    pub symmetry_breaking: bool,
+}
+
+impl Default for RefOptions {
+    fn default() -> Self {
+        RefOptions {
+            induced: false,
+            symmetry_breaking: true,
+        }
+    }
+}
+
+/// Counts matches of `p` in `g` by brute-force backtracking.
+pub fn count(g: &Graph, p: &Pattern, opts: RefOptions) -> u64 {
+    let mut out = 0u64;
+    enumerate(g, p, opts, |_| out += 1);
+    out
+}
+
+/// Enumerates matches of `p` in `g`, invoking `emit` with the embedding
+/// (data vertex per order position) for each one.
+pub fn enumerate<F: FnMut(&[VertexId])>(g: &Graph, p: &Pattern, opts: RefOptions, mut emit: F) {
+    let order = MatchOrder::greedy(p);
+    let bounds = if opts.symmetry_breaking {
+        bounds_for_order(p, &order)
+    } else {
+        vec![Vec::new(); p.size()]
+    };
+    let mut matched: Vec<VertexId> = Vec::with_capacity(p.size());
+    for v in g.vertices() {
+        if admissible(g, p, &order, &bounds, &matched, v, opts) {
+            matched.push(v);
+            recurse(g, p, &order, &bounds, &mut matched, opts, &mut emit);
+            matched.pop();
+        }
+    }
+}
+
+fn recurse<F: FnMut(&[VertexId])>(
+    g: &Graph,
+    p: &Pattern,
+    order: &MatchOrder,
+    bounds: &[Vec<(usize, Bound)>],
+    matched: &mut Vec<VertexId>,
+    opts: RefOptions,
+    emit: &mut F,
+) {
+    let l = matched.len();
+    if l == p.size() {
+        emit(matched);
+        return;
+    }
+    // Iterate over the neighbor list of the first matched backward neighbor
+    // (the matching order guarantees one exists for l >= 1).
+    let anchor = order
+        .backward_positions(l)
+        .next()
+        .expect("connected matching order");
+    let anchor_vertex = matched[anchor];
+    for &v in g.neighbors(anchor_vertex) {
+        if admissible(g, p, order, bounds, matched, v, opts) {
+            matched.push(v);
+            recurse(g, p, order, bounds, matched, opts, emit);
+            matched.pop();
+        }
+    }
+}
+
+/// Full per-candidate admissibility check: label, injectivity, adjacency
+/// (both directions in induced mode), and symmetry bounds.
+fn admissible(
+    g: &Graph,
+    p: &Pattern,
+    order: &MatchOrder,
+    bounds: &[Vec<(usize, Bound)>],
+    matched: &[VertexId],
+    v: VertexId,
+    opts: RefOptions,
+) -> bool {
+    let l = matched.len();
+    let u = order.vertex_at(l);
+    if p.is_labeled() && g.label(v) != p.label(u) {
+        return false;
+    }
+    for (pos, &m) in matched.iter().enumerate() {
+        if m == v {
+            return false;
+        }
+        let pattern_edge = p.has_edge(u, order.vertex_at(pos));
+        let data_edge = g.has_edge(v, m);
+        if pattern_edge && !data_edge {
+            return false;
+        }
+        if opts.induced && !pattern_edge && data_edge {
+            return false;
+        }
+    }
+    for &(pos, bound) in &bounds[l] {
+        let ok = match bound {
+            Bound::Less => v < matched[pos],
+            Bound::Greater => v > matched[pos],
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmatch_graph::{datasets::toy, gen};
+    use stmatch_pattern::{catalog, symmetry};
+
+    fn embeddings(g: &Graph, p: &Pattern, induced: bool) -> u64 {
+        count(
+            g,
+            p,
+            RefOptions {
+                induced,
+                symmetry_breaking: false,
+            },
+        )
+    }
+
+    fn unique(g: &Graph, p: &Pattern, induced: bool) -> u64 {
+        count(
+            g,
+            p,
+            RefOptions {
+                induced,
+                symmetry_breaking: true,
+            },
+        )
+    }
+
+    #[test]
+    fn triangles_in_complete_graphs() {
+        for n in 3..=7 {
+            let g = gen::complete(n);
+            let t = catalog::triangle();
+            // Unique triangles: C(n,3); embeddings: n*(n-1)*(n-2).
+            let c3 = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(unique(&g, &t, false), c3);
+            assert_eq!(embeddings(&g, &t, false), c3 * 6);
+        }
+    }
+
+    #[test]
+    fn k4_embeddings_in_k6() {
+        let g = gen::complete(6);
+        let q = catalog::clique(4);
+        // P(6,4) = 360 embeddings; C(6,4) = 15 unique.
+        assert_eq!(embeddings(&g, &q, false), 360);
+        assert_eq!(unique(&g, &q, false), 15);
+    }
+
+    #[test]
+    fn induced_vs_edge_induced_squares() {
+        // K4 contains C(4 choose 4-cycles): edge-induced squares = 3
+        // unique; vertex-induced squares = 0 (every 4 vertices have chords).
+        let g = gen::complete(4);
+        let sq = catalog::square();
+        assert_eq!(unique(&g, &sq, false), 3);
+        assert_eq!(unique(&g, &sq, true), 0);
+    }
+
+    #[test]
+    fn squares_in_grid() {
+        // A 3x3 grid has exactly 4 unit squares and no larger 4-cycles.
+        let g = gen::grid(3, 3);
+        let sq = catalog::square();
+        assert_eq!(unique(&g, &sq, true), 4);
+        assert_eq!(unique(&g, &sq, false), 4);
+    }
+
+    #[test]
+    fn wedges_in_star() {
+        // A star with k leaves has C(k,2) wedges (center = middle).
+        let g = gen::star(6);
+        assert_eq!(unique(&g, &catalog::wedge(), false), 15);
+    }
+
+    #[test]
+    fn symmetry_factor_matches_automorphism_count() {
+        let g = gen::erdos_renyi(24, 60, 11);
+        for p in [
+            catalog::triangle(),
+            catalog::square(),
+            catalog::diamond(),
+            catalog::star3(),
+            catalog::paper_query(6),
+        ] {
+            let aut = symmetry::automorphism_count(&p) as u64;
+            for induced in [false, true] {
+                let e = embeddings(&g, &p, induced);
+                let u = unique(&g, &p, induced);
+                assert_eq!(e, u * aut, "{} induced={induced}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        // Triangle in K3: labels must match.
+        let g = gen::complete(3).relabeled(vec![0, 1, 2]);
+        let t = catalog::triangle();
+        let ok = t.clone().with_labels(&[0, 1, 2]);
+        let bad = t.with_labels(&[0, 0, 1]);
+        assert_eq!(
+            count(&g, &ok, RefOptions::default()),
+            1,
+            "one labeled triangle"
+        );
+        assert_eq!(count(&g, &bad, RefOptions::default()), 0);
+    }
+
+    #[test]
+    fn house_contains_itself() {
+        let g = toy::house();
+        let p = Pattern::from_graph(&g);
+        assert_eq!(unique(&g, &p, true), 1);
+    }
+
+    #[test]
+    fn bowtie_triangle_count() {
+        let g = toy::bowtie();
+        assert_eq!(unique(&g, &catalog::triangle(), false), 2);
+    }
+
+    #[test]
+    fn enumerate_yields_valid_embeddings() {
+        let g = gen::erdos_renyi(16, 40, 3);
+        let p = catalog::paper_query(2); // C5
+        let order = MatchOrder::greedy(&p);
+        let mut seen = 0u64;
+        enumerate(
+            &g,
+            &p,
+            RefOptions {
+                induced: false,
+                symmetry_breaking: true,
+            },
+            |m| {
+                seen += 1;
+                assert_eq!(m.len(), 5);
+                for i in 0..5 {
+                    for j in (i + 1)..5 {
+                        assert_ne!(m[i], m[j], "injective");
+                        if p.has_edge(order.vertex_at(i), order.vertex_at(j)) {
+                            assert!(g.has_edge(m[i], m[j]), "edges preserved");
+                        }
+                    }
+                }
+            },
+        );
+        assert_eq!(seen, unique(&g, &p, false));
+    }
+}

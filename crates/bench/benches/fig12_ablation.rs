@@ -1,0 +1,49 @@
+//! Criterion mirror of Fig. 12: the naive / localsteal / local+global /
+//! unroll+local+global ablation on a labeled size-6 query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::gen;
+use stmatch_gpusim::GridConfig;
+use stmatch_pattern::catalog;
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let g = gen::assign_random_labels(&gen::rmat(9, 5, 5).degree_ordered(), 10, 2022);
+    let q = catalog::paper_query(16).with_random_labels(10, 16);
+    let configs: [(&str, EngineConfig); 4] = [
+        ("naive", EngineConfig::naive()),
+        ("localsteal", EngineConfig::local_steal_only()),
+        ("local_global", EngineConfig::local_global_steal()),
+        ("unroll_local_global", EngineConfig::full()),
+    ];
+    let mut group = c.benchmark_group("fig12_ablation_q16");
+    for (name, cfg) in configs {
+        group.bench_function(name, |b| {
+            let engine = Engine::new(cfg.with_grid(grid()));
+            b.iter(|| engine.run(&g, &q).unwrap().count)
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablation
+}
+criterion_main!(benches);

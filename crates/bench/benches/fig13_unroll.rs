@@ -1,0 +1,43 @@
+//! Criterion mirror of Fig. 13: runtime and (via the harness) lane
+//! utilization across unroll sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::gen;
+use stmatch_gpusim::GridConfig;
+use stmatch_pattern::catalog;
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let g = gen::assign_random_labels(&gen::rmat(9, 4, 3).degree_ordered(), 10, 2022);
+    let q = catalog::paper_query(14).with_random_labels(10, 14);
+    let mut group = c.benchmark_group("fig13_unroll_q14");
+    for unroll in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(unroll), &unroll, |b, &u| {
+            let engine = Engine::new(EngineConfig::full().with_grid(grid()).with_unroll(u));
+            b.iter(|| engine.run(&g, &q).unwrap().count)
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_unroll
+}
+criterion_main!(benches);

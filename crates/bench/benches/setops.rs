@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the warp set operations: the combined (unrolled)
+//! operation of Fig. 8 versus one-set-at-a-time processing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stmatch_core::setops;
+use stmatch_graph::{gen, VertexId};
+use stmatch_gpusim::{Grid, GridConfig};
+use stmatch_pattern::{LabelMask, OpKind};
+
+fn one_warp_grid() -> Grid {
+    Grid::new(GridConfig {
+        num_blocks: 1,
+        warps_per_block: 1,
+        shared_mem_per_block: 0,
+    })
+    .unwrap()
+}
+
+fn bench_intersection_sizes(c: &mut Criterion) {
+    let g = gen::complete(2);
+    let mut group = c.benchmark_group("intersect_single");
+    for size in [8usize, 32, 128, 512] {
+        let a: Vec<VertexId> = (0..size as VertexId).map(|v| v * 2).collect();
+        let b: Vec<VertexId> = (0..size as VertexId).map(|v| v * 3).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            let grid = one_warp_grid();
+            bench.iter(|| {
+                grid.launch(|w| {
+                    let mut outs = vec![Vec::new()];
+                    setops::apply_op(
+                        w,
+                        &g,
+                        &[&a],
+                        &[&b],
+                        OpKind::Intersect,
+                        LabelMask::ALL,
+                        &mut outs,
+                    );
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_combined_vs_single(c: &mut Criterion) {
+    let g = gen::complete(2);
+    let sets: Vec<Vec<VertexId>> = (0..8).map(|s| (0..8).map(|v| s * 64 + v * 4).collect()).collect();
+    let operand: Vec<VertexId> = (0..512).collect();
+    let mut group = c.benchmark_group("fig8_combined_setop");
+    group.bench_function("one_at_a_time", |bench| {
+        let grid = one_warp_grid();
+        bench.iter(|| {
+            grid.launch(|w| {
+                for s in &sets {
+                    let mut outs = vec![Vec::new()];
+                    setops::apply_op(
+                        w,
+                        &g,
+                        &[s.as_slice()],
+                        &[operand.as_slice()],
+                        OpKind::Intersect,
+                        LabelMask::ALL,
+                        &mut outs,
+                    );
+                }
+            })
+        });
+    });
+    group.bench_function("combined_8_slots", |bench| {
+        let grid = one_warp_grid();
+        bench.iter(|| {
+            grid.launch(|w| {
+                let ins: Vec<&[VertexId]> = sets.iter().map(|v| v.as_slice()).collect();
+                let ops: Vec<&[VertexId]> = vec![operand.as_slice(); 8];
+                let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); 8];
+                setops::apply_op(w, &g, &ins, &ops, OpKind::Intersect, LabelMask::ALL, &mut outs);
+            })
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_intersection_sizes, bench_combined_vs_single
+}
+criterion_main!(benches);

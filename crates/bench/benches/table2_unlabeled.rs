@@ -1,0 +1,77 @@
+//! Criterion mirror of Table II: STMatch vs the cuTS-like baseline vs the
+//! Dryadic-like CPU baseline on unlabeled queries, at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stmatch_baselines::{cuts, dryadic};
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::gen;
+use stmatch_gpusim::GridConfig;
+use stmatch_pattern::catalog;
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+fn bench_systems(c: &mut Criterion) {
+    let g = gen::rmat(8, 4, 7).degree_ordered();
+    for qi in [8usize, 16, 24] {
+        let q = catalog::paper_query(qi);
+        let mut group = c.benchmark_group(format!("table2_q{qi}"));
+        group.bench_function(BenchmarkId::new("stmatch", qi), |b| {
+            let engine = Engine::new(EngineConfig::full().with_grid(grid()));
+            b.iter(|| engine.run(&g, &q).unwrap().count)
+        });
+        group.bench_function(BenchmarkId::new("cuts", qi), |b| {
+            let cfg = cuts::CutsConfig {
+                grid: grid(),
+                ..cuts::CutsConfig::default()
+            };
+            b.iter(|| cuts::run(&g, &q, cfg).unwrap().count)
+        });
+        group.bench_function(BenchmarkId::new("dryadic", qi), |b| {
+            let cfg = dryadic::DryadicConfig {
+                threads: 1,
+                ..dryadic::DryadicConfig::default()
+            };
+            b.iter(|| dryadic::run(&g, &q, cfg).count)
+        });
+        group.finish();
+    }
+}
+
+fn bench_vertex_induced(c: &mut Criterion) {
+    let g = gen::rmat(8, 4, 7).degree_ordered();
+    let q = catalog::paper_query(8);
+    let mut group = c.benchmark_group("table2b_q8_induced");
+    group.bench_function("stmatch", |b| {
+        let engine = Engine::new(EngineConfig::full().with_grid(grid()).induced(true));
+        b.iter(|| engine.run(&g, &q).unwrap().count)
+    });
+    group.bench_function("dryadic", |b| {
+        let cfg = dryadic::DryadicConfig {
+            threads: 1,
+            induced: true,
+            ..dryadic::DryadicConfig::default()
+        };
+        b.iter(|| dryadic::run(&g, &q, cfg).count)
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_systems, bench_vertex_induced
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion mirror of Table III: labeled matching, STMatch vs GSI-like vs
+//! Dryadic-like.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stmatch_baselines::{dryadic, gsi};
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::gen;
+use stmatch_gpusim::GridConfig;
+use stmatch_pattern::catalog;
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+fn bench_labeled(c: &mut Criterion) {
+    let g = gen::assign_random_labels(&gen::rmat(9, 4, 11).degree_ordered(), 10, 2022);
+    for qi in [9usize, 14, 16] {
+        let q = catalog::paper_query(qi).with_random_labels(10, qi as u64);
+        let mut group = c.benchmark_group(format!("table3_q{qi}"));
+        group.bench_function("stmatch", |b| {
+            let engine = Engine::new(EngineConfig::full().with_grid(grid()));
+            b.iter(|| engine.run(&g, &q).unwrap().count)
+        });
+        group.bench_function("gsi", |b| {
+            let cfg = gsi::GsiConfig {
+                grid: grid(),
+                ..gsi::GsiConfig::default()
+            };
+            b.iter(|| gsi::run(&g, &q, cfg).unwrap().count)
+        });
+        group.bench_function("dryadic", |b| {
+            let cfg = dryadic::DryadicConfig {
+                threads: 1,
+                ..dryadic::DryadicConfig::default()
+            };
+            b.iter(|| dryadic::run(&g, &q, cfg).count)
+        });
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_labeled
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `probe` — quick timing exploration utility.
+//!
+//! Prints STMatch timing, simulated cycles, utilization and load-balance
+//! numbers for a few representative queries on each dataset stand-in.
+//! Useful when retuning dataset scales or engine defaults; the full
+//! reproduction lives in the `repro` binary.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::datasets::Dataset;
+use stmatch_pattern::catalog;
+
+fn main() {
+    let out = std::io::stdout();
+    let timeout: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    for ds in Dataset::ALL {
+        let g = ds.load();
+        println!(
+            "{}: |V|={} |E|={} maxdeg={}",
+            ds.name(),
+            g.num_vertices(),
+            g.num_edges(),
+            g.max_degree()
+        );
+        for qi in [1usize, 2, 8, 11, 16, 24] {
+            let q = catalog::paper_query(qi);
+            print!("  q{qi:<3}... ");
+            out.lock().flush().unwrap();
+            let t = Instant::now();
+            let o = Engine::new(EngineConfig::default())
+                .with_timeout(Duration::from_secs(timeout))
+                .run(&g, &q)
+                .unwrap();
+            println!(
+                "{:>7.2}s  count={:<12} {:>8.2} Mcyc  util={:>5.1}%  imb={:>5.2}{}",
+                t.elapsed().as_secs_f64(),
+                o.count,
+                o.simulated_cycles() as f64 / 1e6,
+                o.metrics.lane_utilization() * 100.0,
+                o.metrics.load_imbalance(),
+                if o.timed_out { "  TIMEOUT" } else { "" }
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The reproduction driver: regenerates every table and figure of the
+//! paper on the dataset stand-ins.
+//!
+//! ```text
+//! repro [--timeout SECS] [--full] [--queries LIST] <experiment>...
+//!
+//! experiments:
+//!   table1      dataset statistics (Table I)
+//!   table2a     unlabeled edge-induced matching (Table II a)
+//!   table2b     unlabeled vertex-induced matching (Table II b)
+//!   table3      labeled edge-induced matching (Table III)
+//!   fig11       multi-device scaling
+//!   fig12       work-stealing / unrolling ablation
+//!   fig13       lane utilization vs unroll size
+//!   codemotion  §VIII-C code-motion ablation
+//!   sweep       StopLevel/DetectLevel sensitivity
+//!   all         everything above
+//!
+//! flags:
+//!   --timeout SECS   per-cell wall-clock budget (default 2; '-' cells)
+//!   --full           run the complete q1..q24 list instead of the quick
+//!                    subset (expect many '-' cells at stand-in scale)
+//!   --queries LIST   comma-separated query indices, e.g. 1,8,16,24
+//! ```
+
+use std::time::Duration;
+use stmatch_bench::harness::RunParams;
+use stmatch_bench::{figures, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = RunParams::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut queries: Option<Vec<usize>> = None;
+    let mut full = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timeout" => {
+                let secs: u64 = it
+                    .next()
+                    .expect("--timeout needs seconds")
+                    .parse()
+                    .expect("--timeout takes an integer");
+                params.timeout = Duration::from_secs(secs);
+            }
+            "--full" => full = true,
+            "--queries" => {
+                let list = it.next().expect("--queries needs a list");
+                queries = Some(
+                    list.split(',')
+                        .map(|s| s.trim().parse().expect("query index"))
+                        .collect(),
+                );
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                print_help();
+                std::process::exit(2);
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        print_help();
+        return;
+    }
+    let queries = queries.unwrap_or_else(|| {
+        if full {
+            tables::all_queries()
+        } else {
+            tables::quick_queries()
+        }
+    });
+    let size6: Vec<usize> = queries
+        .iter()
+        .copied()
+        .filter(|q| (9..=16).contains(q))
+        .collect();
+    let size6 = if size6.is_empty() {
+        vec![11, 14, 15, 16]
+    } else {
+        size6
+    };
+
+    println!(
+        "repro: timeout {:?}/cell, grid {}x{} warps, queries {:?}",
+        params.timeout,
+        params.grid.num_blocks,
+        params.grid.warps_per_block,
+        queries
+    );
+    println!("('-' = exceeded budget, like the paper's 8h timeouts; 'x' = device OOM)");
+
+    for exp in &experiments {
+        match exp.as_str() {
+            "table1" => tables::table1(),
+            "table2a" => tables::table2a(&params, &queries),
+            "table2b" => tables::table2b(&params, &queries),
+            "table3" => tables::table3(&params, &queries),
+            "fig11" => figures::fig11(&params, &size6),
+            "fig12" => figures::fig12(&params, &size6),
+            "fig13" => figures::fig13(&params, &size6),
+            "codemotion" => figures::codemotion(&params, &size6),
+            "sweep" => figures::sweep(&params),
+            "all" => {
+                tables::table1();
+                tables::table2a(&params, &queries);
+                tables::table2b(&params, &queries);
+                tables::table3(&params, &queries);
+                figures::fig11(&params, &size6);
+                figures::fig12(&params, &size6);
+                figures::fig13(&params, &size6);
+                figures::codemotion(&params, &size6);
+                figures::sweep(&params);
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                print_help();
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "usage: repro [--timeout SECS] [--full] [--queries LIST] <experiment>...\n\
+         experiments: table1 table2a table2b table3 fig11 fig12 fig13 codemotion sweep all"
+    );
+}

@@ -1,0 +1,161 @@
+//! Engine configuration and the paper's ablation presets.
+
+use stmatch_gpusim::GridConfig;
+
+/// Configuration of the STMatch engine.
+///
+/// Field defaults follow §VIII-A of the paper — `StopLevel = 2`, unroll
+/// size 8, `MAX_DEGREE = 4096` — except `DetectLevel` (see its field doc).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Grid geometry (blocks × warps per block).
+    pub grid: GridConfig,
+    /// Loop-unrolling size: how many iterations' set operations are combined
+    /// into one warp-wide operation (Fig. 7/8). 1 disables unrolling.
+    pub unroll: usize,
+    /// Levels `< stop_level` are stealable (Algorithm 2's `StopLevel`).
+    pub stop_level: usize,
+    /// Busy warps test for idle blocks when claiming work at a level
+    /// `< detect_level` (§V-B's `DetectLevel`). Meaningful values are
+    /// `1..=stop_level`. The paper uses 1 on a 2624-warp GPU; with the
+    /// simulator's much smaller grids, detection must fire on every
+    /// shallow claim or endgame imbalance dominates, so the default is 2.
+    pub detect_level: usize,
+    /// Number of outermost-loop vertices claimed per level-0 chunk (Fig. 4).
+    pub chunk_size: usize,
+    /// Enable intra-threadblock work stealing (§V-A).
+    pub local_steal: bool,
+    /// Enable cross-threadblock work stealing (§V-B).
+    pub global_steal: bool,
+    /// Enable loop-invariant code motion (§VII).
+    pub code_motion: bool,
+    /// Count each subgraph once (true) or each embedding (false).
+    pub symmetry_breaking: bool,
+    /// Vertex-induced (true) vs edge-induced (false) matching.
+    pub induced: bool,
+    /// Candidate-set slab capacity per (set, unroll slot); the paper's
+    /// `MAX_DEGREE`. Only used for memory accounting — slabs spill
+    /// transparently, like the paper's CPU-memory overflow for hubs.
+    pub max_degree_slab: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            grid: GridConfig::default(),
+            unroll: 8,
+            stop_level: 2,
+            detect_level: 2,
+            chunk_size: 4,
+            local_steal: true,
+            global_steal: true,
+            code_motion: true,
+            symmetry_breaking: true,
+            induced: false,
+            max_degree_slab: 4096,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The `naive` ablation point of Fig. 12: outer-loop parallelization
+    /// with neither stealing nor unrolling (code motion stays on, as in the
+    /// paper's ablation).
+    pub fn naive() -> Self {
+        EngineConfig {
+            local_steal: false,
+            global_steal: false,
+            unroll: 1,
+            ..Self::default()
+        }
+    }
+
+    /// `localsteal`: intra-block stealing only.
+    pub fn local_steal_only() -> Self {
+        EngineConfig {
+            local_steal: true,
+            global_steal: false,
+            unroll: 1,
+            ..Self::default()
+        }
+    }
+
+    /// `local+globalsteal`: both stealing levels, no unrolling.
+    pub fn local_global_steal() -> Self {
+        EngineConfig {
+            local_steal: true,
+            global_steal: true,
+            unroll: 1,
+            ..Self::default()
+        }
+    }
+
+    /// `unroll+local+globalsteal`: the full system.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Effective stop level for a pattern of `k` levels: stealing below the
+    /// last level only.
+    pub fn effective_stop(&self, k: usize) -> usize {
+        self.stop_level.min(k.saturating_sub(1)).max(1)
+    }
+
+    /// Returns a copy with the given induced mode.
+    pub fn induced(mut self, induced: bool) -> Self {
+        self.induced = induced;
+        self
+    }
+
+    /// Returns a copy with the given unroll size.
+    pub fn with_unroll(mut self, unroll: usize) -> Self {
+        assert!(unroll >= 1 && unroll <= 32, "unroll must be in 1..=32");
+        self.unroll = unroll;
+        self
+    }
+
+    /// Returns a copy with the given grid geometry.
+    pub fn with_grid(mut self, grid: GridConfig) -> Self {
+        self.grid = grid;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = EngineConfig::default();
+        assert_eq!(c.unroll, 8);
+        assert_eq!(c.stop_level, 2);
+        assert_eq!(c.detect_level, 2);
+        assert_eq!(c.max_degree_slab, 4096);
+        assert!(c.code_motion);
+    }
+
+    #[test]
+    fn ablation_presets_differ_as_expected() {
+        assert!(!EngineConfig::naive().local_steal);
+        assert!(EngineConfig::local_steal_only().local_steal);
+        assert!(!EngineConfig::local_steal_only().global_steal);
+        assert!(EngineConfig::local_global_steal().global_steal);
+        assert_eq!(EngineConfig::local_global_steal().unroll, 1);
+        assert_eq!(EngineConfig::full().unroll, 8);
+    }
+
+    #[test]
+    fn effective_stop_clamps_to_pattern_depth() {
+        let c = EngineConfig::default();
+        assert_eq!(c.effective_stop(7), 2);
+        assert_eq!(c.effective_stop(2), 1);
+        assert_eq!(c.effective_stop(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll")]
+    fn rejects_zero_unroll() {
+        let _ = EngineConfig::default().with_unroll(0);
+    }
+}

@@ -1,0 +1,543 @@
+//! The STMatch engine: launch planning, the per-warp driver loop, and the
+//! public matching API.
+
+use crate::config::EngineConfig;
+use crate::kernel::WarpKernel;
+use crate::steal::Board;
+use parking_lot::Mutex;
+use std::time::Instant;
+use stmatch_graph::{Graph, VertexId};
+use stmatch_gpusim::{Grid, GridMetrics, LaunchError, MemoryBudget, SharedBudget};
+use stmatch_pattern::{MatchPlan, Pattern, PlanOptions};
+
+/// Result of an enumeration run: the embeddings plus the usual outcome.
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    /// One entry per match, indexed by pattern vertex: `embeddings[i][u]`
+    /// is the data vertex matched to pattern vertex `u`. Sorted
+    /// lexicographically for run-to-run determinism.
+    pub embeddings: Vec<Vec<VertexId>>,
+    /// Metrics of the run.
+    pub outcome: MatchOutcome,
+}
+
+/// Result of one matching run.
+#[derive(Clone, Debug)]
+pub struct MatchOutcome {
+    /// Number of matches (subgraphs with symmetry breaking on, embeddings
+    /// otherwise).
+    pub count: u64,
+    /// Execution metrics (lane utilization, steals, load balance, wall
+    /// time).
+    pub metrics: GridMetrics,
+    /// Shared-memory bytes reserved per threadblock at launch.
+    pub shared_bytes_per_block: usize,
+    /// Global-memory bytes reserved for the warp stacks (the paper's fixed
+    /// `NUM_SETS × UNROLL × MAX_DEGREE × NUM_WARP` budget).
+    pub stack_bytes: usize,
+    /// The compiled plan's set count (`NUM_SETS`).
+    pub num_sets: usize,
+    /// True when the run was cut short by [`Engine::with_timeout`]; the
+    /// count is then a partial lower bound (the paper's '−' cells).
+    pub timed_out: bool,
+}
+
+impl MatchOutcome {
+    /// Wall-clock milliseconds of the launch.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.metrics.elapsed_nanos as f64 / 1e6
+    }
+
+    /// Simulated GPU time: the maximum SIMT instruction count over all
+    /// warps. On hardware the grid finishes when its slowest warp finishes;
+    /// this deterministic proxy makes load-balance effects measurable on
+    /// any host (see DESIGN.md §1, "What time means here").
+    pub fn simulated_cycles(&self) -> u64 {
+        self.metrics
+            .warps
+            .iter()
+            .map(|w| w.simt_instructions)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total SIMT instructions across warps (the work metric that code
+    /// motion and unrolling reduce).
+    pub fn total_instructions(&self) -> u64 {
+        self.metrics.total().simt_instructions
+    }
+}
+
+/// The STMatch matching engine.
+///
+/// ```
+/// use stmatch_core::{Engine, EngineConfig};
+/// use stmatch_graph::gen;
+/// use stmatch_pattern::catalog;
+///
+/// let graph = gen::complete(6);
+/// let engine = Engine::new(EngineConfig::default());
+/// let outcome = engine.run(&graph, &catalog::triangle()).unwrap();
+/// assert_eq!(outcome.count, 20); // C(6,3) triangles
+/// ```
+pub struct Engine {
+    cfg: EngineConfig,
+    memory: MemoryBudget,
+    timeout: Option<std::time::Duration>,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration and an unlimited
+    /// device-memory budget.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            cfg,
+            memory: MemoryBudget::unlimited(),
+            timeout: None,
+        }
+    }
+
+    /// Creates an engine with a device-memory budget (bytes).
+    pub fn with_memory_budget(cfg: EngineConfig, bytes: usize) -> Engine {
+        Engine {
+            cfg,
+            memory: MemoryBudget::new(bytes),
+            timeout: None,
+        }
+    }
+
+    /// Sets a wall-clock budget after which the run is cancelled
+    /// cooperatively; a cancelled outcome has `timed_out == true` and a
+    /// partial count.
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> Engine {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Compiles the plan for `pattern` under this engine's options.
+    pub fn compile(&self, pattern: &Pattern) -> MatchPlan {
+        MatchPlan::compile(
+            pattern,
+            PlanOptions {
+                induced: self.cfg.induced,
+                code_motion: self.cfg.code_motion,
+                symmetry_breaking: self.cfg.symmetry_breaking,
+            },
+        )
+    }
+
+    /// Matches `pattern` in `graph` and returns the count plus metrics.
+    pub fn run(&self, graph: &Graph, pattern: &Pattern) -> Result<MatchOutcome, LaunchError> {
+        let plan = self.compile(pattern);
+        self.run_plan(graph, &plan)
+    }
+
+    /// Matches `pattern` and materializes every embedding (Fig. 3's
+    /// `Output` path). Match counts explode quickly — prefer [`Engine::run`]
+    /// unless the embeddings themselves are needed.
+    pub fn enumerate(&self, graph: &Graph, pattern: &Pattern) -> Result<Enumeration, LaunchError> {
+        let plan = self.compile(pattern);
+        self.enumerate_plan(graph, &plan)
+    }
+
+    /// [`Engine::enumerate`] with a pre-compiled plan.
+    pub fn enumerate_plan(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+    ) -> Result<Enumeration, LaunchError> {
+        let collector = Mutex::new(Vec::new());
+        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector))?;
+        let mut embeddings = collector.into_inner();
+        embeddings.sort_unstable();
+        debug_assert_eq!(embeddings.len() as u64, outcome.count);
+        Ok(Enumeration {
+            embeddings,
+            outcome,
+        })
+    }
+
+    /// Matches a pre-compiled plan (used by the bench harness to reuse
+    /// compilation across runs and by multi-device partitioning).
+    pub fn run_plan(&self, graph: &Graph, plan: &MatchPlan) -> Result<MatchOutcome, LaunchError> {
+        self.run_partition(graph, plan, 0, 1)
+    }
+
+    /// Matches only the level-0 vertices `v` with `v % devices == device` —
+    /// the outermost-loop partitioning used for multi-GPU execution
+    /// (§VIII-B: "duplicating the input graph and dividing the outermost
+    /// loop iterations across GPUs").
+    pub fn run_partition(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        device: usize,
+        devices: usize,
+    ) -> Result<MatchOutcome, LaunchError> {
+        self.run_inner(graph, plan, device, devices, None)
+    }
+
+    fn run_inner(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        device: usize,
+        devices: usize,
+        collector: Option<&Mutex<Vec<Vec<VertexId>>>>,
+    ) -> Result<MatchOutcome, LaunchError> {
+        assert!(devices >= 1 && device < devices);
+        let cfg = &self.cfg;
+        assert!(
+            cfg.detect_level <= cfg.stop_level,
+            "DetectLevel must not exceed StopLevel"
+        );
+        let grid = Grid::new(cfg.grid)?;
+        let k = plan.num_levels();
+        let stop = cfg.effective_stop(k);
+
+        // --- Launch planning: shared-memory budget (per block). ---
+        let mut shared = SharedBudget::new(cfg.grid.shared_mem_per_block);
+        let wpb = cfg.grid.warps_per_block;
+        // Csize: one u32 per set per unroll slot per warp (Fig. 7).
+        shared.try_alloc("Csize", plan.num_sets() * cfg.unroll * 4 * wpb)?;
+        // iter/uiter/level cursors per warp.
+        shared.try_alloc("iter+uiter+level", (2 * k + 1) * 8 * wpb)?;
+        // Compact dependence encoding (Fig. 9b), shared by the block.
+        shared.try_alloc("set_ops+row_ptr", plan.compact().byte_size())?;
+        // Steal mirrors: cursors + matched prefix for the stealable levels.
+        shared.try_alloc("steal mirrors", (3 * stop * 8 + 8) * wpb)?;
+        let shared_bytes = shared.used();
+
+        // --- Global memory: fixed stack slabs (paper §VIII-A). ---
+        let num_warps = cfg.grid.total_warps();
+        let stack_bytes = plan.num_sets() * cfg.unroll * cfg.max_degree_slab * 4 * num_warps;
+        self.memory.try_alloc(stack_bytes)?;
+        let (metrics, timed_out) =
+            self.launch(graph, plan, &grid, stop, device, devices, collector);
+        self.memory.free(stack_bytes);
+        Ok(MatchOutcome {
+            count: metrics.matches(),
+            metrics,
+            shared_bytes_per_block: shared_bytes,
+            stack_bytes,
+            num_sets: plan.num_sets(),
+            timed_out,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        grid: &Grid,
+        stop: usize,
+        device: usize,
+        devices: usize,
+        collector: Option<&Mutex<Vec<Vec<VertexId>>>>,
+    ) -> (GridMetrics, bool) {
+        let cfg = &self.cfg;
+        let n = graph.num_vertices();
+        // Device partitioning is *strided*: device d owns the vertices
+        // congruent to d modulo `devices`. With degree-ordered graphs a
+        // contiguous split would hand every hub to device 0; striding
+        // spreads the skew so all devices get comparable work (the paper
+        // "divides the outermost loop iterations across GPUs"). The board
+        // dispenses virtual indices; the kernel maps them to vertex ids.
+        let device_count = if n > device { (n - device).div_ceil(devices) } else { 0 };
+        let mut board = Board::new(
+            cfg.grid.num_blocks,
+            cfg.grid.warps_per_block,
+            stop,
+            (0, device_count),
+            cfg.chunk_size,
+        );
+        if let Some(t) = self.timeout {
+            board.set_deadline(Instant::now() + t);
+        }
+        let metrics = grid.launch(|warp| {
+            let mut kernel = WarpKernel::new(graph, plan, cfg, &board, warp.id());
+            kernel.set_device_partition(device, devices);
+            if collector.is_some() {
+                kernel.enable_enumeration();
+            }
+            let me = warp.id();
+            'outer: loop {
+                if board.aborted() {
+                    break;
+                }
+                // --- Busy phase: acquire and run work. ---
+                if let Some((clo, chi)) = board.claim_chunk() {
+                    let t = Instant::now();
+                    kernel.install_chunk(clo, chi);
+                    kernel.run(warp);
+                    warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
+                    continue;
+                }
+                if cfg.local_steal {
+                    warp.metrics_mut().local_steal_attempts += 1;
+                    if let Some(p) = board.try_local_steal(me) {
+                        warp.metrics_mut().local_steals += 1;
+                        // Fixed cost model: intra-block stack copy.
+                        warp.metrics_mut().simt_instructions += 32;
+                        let t = Instant::now();
+                        kernel.install_payload(warp, &p);
+                        kernel.run(warp);
+                        warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
+                        continue;
+                    }
+                }
+                if !cfg.local_steal && !cfg.global_steal {
+                    break; // naive mode: exit on chunk exhaustion
+                }
+                // --- Idle phase: spin for stealable or pushed work. ---
+                board.mark_idle(me);
+                let idle_start = Instant::now();
+                loop {
+                    if board.finished() || board.aborted() {
+                        warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
+                        break 'outer;
+                    }
+                    if board.chunks_remain()
+                        || (cfg.local_steal && board.any_local_victim(me))
+                    {
+                        board.mark_busy(me);
+                        warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
+                        continue 'outer;
+                    }
+                    if cfg.global_steal {
+                        if let Some(p) = board.try_claim_global(me) {
+                            // try_claim_global marked us busy already.
+                            warp.metrics_mut().idle_nanos +=
+                                idle_start.elapsed().as_nanos() as u64;
+                            warp.metrics_mut().global_steal_receives += 1;
+                            warp.metrics_mut().simt_instructions += 256;
+                            let t = Instant::now();
+                            kernel.install_payload(warp, &p);
+                            kernel.run(warp);
+                            warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
+                            continue 'outer;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            if let Some(c) = collector {
+                c.lock().append(&mut kernel.take_emitted());
+            }
+        });
+        (metrics, board.aborted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmatch_gpusim::GridConfig;
+    use stmatch_graph::gen;
+    use stmatch_pattern::catalog;
+
+    fn small_grid() -> GridConfig {
+        GridConfig {
+            num_blocks: 2,
+            warps_per_block: 2,
+            shared_mem_per_block: SharedBudget::RTX3090_BYTES,
+        }
+    }
+
+    fn run_cfg(cfg: EngineConfig, g: &Graph, p: &Pattern) -> u64 {
+        Engine::new(cfg.with_grid(small_grid())).run(g, p).unwrap().count
+    }
+
+    #[test]
+    fn triangles_in_k6() {
+        let g = gen::complete(6);
+        assert_eq!(run_cfg(EngineConfig::default(), &g, &catalog::triangle()), 20);
+    }
+
+    #[test]
+    fn triangle_embeddings_without_symmetry() {
+        let g = gen::complete(6);
+        let mut cfg = EngineConfig::default();
+        cfg.symmetry_breaking = false;
+        assert_eq!(run_cfg(cfg, &g, &catalog::triangle()), 120);
+    }
+
+    #[test]
+    fn k4_in_k7() {
+        let g = gen::complete(7);
+        assert_eq!(run_cfg(EngineConfig::default(), &g, &catalog::k4()), 35);
+    }
+
+    #[test]
+    fn squares_in_grid_vertex_induced() {
+        let g = gen::grid(3, 3);
+        let cfg = EngineConfig::default().induced(true);
+        assert_eq!(run_cfg(cfg, &g, &catalog::square()), 4);
+    }
+
+    #[test]
+    fn ablation_configs_agree_on_counts() {
+        let g = gen::erdos_renyi(60, 240, 5);
+        let p = catalog::paper_query(6); // bowtie
+        let expected = run_cfg(EngineConfig::naive(), &g, &p);
+        assert!(expected > 0, "workload must be non-trivial");
+        for cfg in [
+            EngineConfig::local_steal_only(),
+            EngineConfig::local_global_steal(),
+            EngineConfig::full(),
+        ] {
+            assert_eq!(run_cfg(cfg, &g, &p), expected);
+        }
+    }
+
+    #[test]
+    fn code_motion_does_not_change_counts() {
+        let g = gen::erdos_renyi(50, 200, 9);
+        for q in [catalog::paper_query(3), catalog::paper_query(7)] {
+            let mut with = EngineConfig::default();
+            with.code_motion = true;
+            let mut without = EngineConfig::default();
+            without.code_motion = false;
+            assert_eq!(run_cfg(with, &g, &q), run_cfg(without, &g, &q), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn unroll_sizes_agree_on_counts() {
+        let g = gen::erdos_renyi(40, 160, 2);
+        let p = catalog::paper_query(2); // C5
+        let expected = run_cfg(EngineConfig::default().with_unroll(1), &g, &p);
+        for u in [2, 4, 8, 16] {
+            assert_eq!(run_cfg(EngineConfig::default().with_unroll(u), &g, &p), expected);
+        }
+    }
+
+    #[test]
+    fn labeled_matching_filters() {
+        let g = gen::complete(6).relabeled(vec![0, 0, 0, 1, 1, 1]);
+        let t = catalog::triangle().with_labels(&[0, 0, 0]);
+        // Triangles within {0,1,2}: exactly 1 (with symmetry breaking).
+        assert_eq!(run_cfg(EngineConfig::default(), &g, &t), 1);
+        let mixed = catalog::triangle().with_labels(&[0, 0, 1]);
+        // Two label-0 vertices (C(3,2) choices) x 3 label-1: 9 subgraphs...
+        // with symmetry breaking on the labeled pattern: Aut = swap of the
+        // two label-0 nodes: 3 * 3 = 9.
+        assert_eq!(run_cfg(EngineConfig::default(), &g, &mixed), 9);
+    }
+
+    #[test]
+    fn single_vertex_pattern_counts_vertices() {
+        let g = gen::star(5).relabeled(vec![1, 0, 0, 0, 0, 0]);
+        let p = Pattern::new(1, &[]).with_labels(&[0]);
+        assert_eq!(run_cfg(EngineConfig::default(), &g, &p), 5);
+    }
+
+    #[test]
+    fn memory_budget_oom_fails_launch() {
+        let g = gen::complete(5);
+        let engine = Engine::with_memory_budget(EngineConfig::default(), 1024);
+        match engine.run(&g, &catalog::triangle()) {
+            Err(LaunchError::GlobalMemory(_)) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_memory_overflow_fails_launch() {
+        let g = gen::complete(5);
+        let mut cfg = EngineConfig::default();
+        cfg.grid = GridConfig {
+            num_blocks: 1,
+            warps_per_block: 2,
+            shared_mem_per_block: 64, // absurdly small
+        };
+        match Engine::new(cfg).run(&g, &catalog::triangle()) {
+            Err(LaunchError::SharedMemory(_)) => {}
+            other => panic!("expected shared-memory overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitions_sum_to_total() {
+        let g = gen::erdos_renyi(80, 320, 13);
+        let p = catalog::paper_query(1); // P5
+        let engine = Engine::new(EngineConfig::default().with_grid(small_grid()));
+        let plan = engine.compile(&p);
+        let total = engine.run_plan(&g, &plan).unwrap().count;
+        for devices in [2, 4] {
+            let sum: u64 = (0..devices)
+                .map(|d| engine.run_partition(&g, &plan, d, devices).unwrap().count)
+                .sum();
+            assert_eq!(sum, total, "devices={devices}");
+        }
+    }
+
+    #[test]
+    fn enumerate_matches_count_and_validity() {
+        let g = gen::erdos_renyi(30, 100, 8);
+        let p = catalog::paper_query(6); // bowtie
+        let engine = Engine::new(EngineConfig::default().with_grid(small_grid()));
+        let counted = engine.run(&g, &p).unwrap().count;
+        let en = engine.enumerate(&g, &p).unwrap();
+        assert_eq!(en.embeddings.len() as u64, counted);
+        assert_eq!(en.outcome.count, counted);
+        for emb in &en.embeddings {
+            assert_eq!(emb.len(), p.size());
+            for u in 0..p.size() {
+                for v in (u + 1)..p.size() {
+                    assert_ne!(emb[u], emb[v], "injective");
+                    if p.has_edge(u, v) {
+                        assert!(g.has_edge(emb[u], emb[v]), "edge preserved");
+                    }
+                }
+            }
+        }
+        // Determinism across runs (embeddings are sorted).
+        let en2 = engine.enumerate(&g, &p).unwrap();
+        assert_eq!(en.embeddings, en2.embeddings);
+    }
+
+    #[test]
+    fn enumerate_single_vertex_pattern() {
+        let g = gen::star(4).relabeled(vec![1, 0, 0, 0, 0]);
+        let p = Pattern::new(1, &[]).with_labels(&[0]);
+        let engine = Engine::new(EngineConfig::default().with_grid(small_grid()));
+        let en = engine.enumerate(&g, &p).unwrap();
+        assert_eq!(en.embeddings, vec![vec![1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn stealing_happens_under_skew() {
+        // One chunk covering the whole graph: a single warp grabs all the
+        // work and every other warp can only make progress by stealing.
+        // Host-scheduler timing decides *when* steals land, so allow a few
+        // attempts before declaring failure.
+        // The workload must outlast an OS scheduler quantum, or on a
+        // single-core host the owning warp finishes before any stealer
+        // thread ever runs.
+        let g = gen::preferential_attachment(4000, 4, 1).degree_ordered();
+        let q = catalog::paper_query(8);
+        let expected = {
+            let base = Engine::new(EngineConfig::naive().with_grid(small_grid()));
+            base.run(&g, &q).unwrap().count
+        };
+        let mut steals = 0;
+        for attempt in 0..5 {
+            let mut cfg = EngineConfig::local_steal_only().with_grid(small_grid());
+            cfg.chunk_size = g.num_vertices(); // a single chunk
+            let out = Engine::new(cfg).run(&g, &q).unwrap();
+            assert_eq!(out.count, expected, "attempt {attempt} miscounted");
+            steals += out.metrics.total().local_steals;
+            if steals > 0 {
+                return;
+            }
+        }
+        panic!("no local steals across 5 skewed runs");
+    }
+}

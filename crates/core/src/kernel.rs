@@ -1,0 +1,566 @@
+//! The stack-based matching kernel (Fig. 3, unrolled per Fig. 7).
+//!
+//! One [`WarpKernel`] instance runs per warp. Its state is the explicit
+//! call stack of the paper:
+//!
+//! * `storage` — the candidate sets `C[NUM_SETS][UNROLL][·]` ("global
+//!   memory" slabs in the paper),
+//! * `iter`/`uiter`/`batch` — the per-level loop cursors ("shared memory"
+//!   in the paper),
+//! * the warp's [`Mirror`](crate::steal::Mirror) — the stealable region:
+//!   iteration cursors and matched prefix for levels below `StopLevel`.
+//!
+//! Levels below `StopLevel` claim one iteration at a time through the
+//! mirror (so concurrent stealers can take the tail of the range); deeper
+//! levels iterate privately and claim `UNROLL` iterations at once, whose
+//! candidate-set computations are combined into shared warp waves
+//! (Fig. 8). At the last level candidates are counted instead of iterated.
+
+use crate::config::EngineConfig;
+use crate::setops;
+use crate::steal::{Board, StealPayload};
+use stmatch_graph::{Graph, VertexId};
+use stmatch_gpusim::Warp;
+use stmatch_pattern::plan::Base;
+use stmatch_pattern::symmetry::Bound;
+use stmatch_pattern::{LabelMask, MatchPlan};
+
+/// Candidate-set storage: one slab per (set id, unroll slot).
+struct Storage {
+    c: Vec<Vec<VertexId>>,
+    unroll: usize,
+}
+
+impl Storage {
+    fn new(num_sets: usize, unroll: usize) -> Storage {
+        Storage {
+            c: vec![Vec::new(); num_sets.max(1) * unroll],
+            unroll,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, u: usize) -> &[VertexId] {
+        &self.c[set * self.unroll + u]
+    }
+
+    #[inline]
+    fn swap_in(&mut self, set: usize, u: usize, buf: &mut Vec<VertexId>) {
+        std::mem::swap(&mut self.c[set * self.unroll + u], buf);
+    }
+}
+
+/// Per-warp kernel state.
+pub struct WarpKernel<'a> {
+    g: &'a Graph,
+    plan: &'a MatchPlan,
+    cfg: &'a EngineConfig,
+    board: &'a Board,
+    warp_id: usize,
+    /// Pattern size (number of levels).
+    k: usize,
+    /// Effective stop level (stealable shallow depth).
+    stop: usize,
+    storage: Storage,
+    /// `batch[l]` = candidate vertices claimed for position `l-1` (the
+    /// unroll slots of level `l`); `batch[0]` unused.
+    batch: Vec<Vec<VertexId>>,
+    /// Current unroll slot per level.
+    uiter: Vec<usize>,
+    /// Next candidate index within the current slot per level.
+    iter: Vec<usize>,
+    /// Vertex currently matched at each position.
+    matched: Vec<VertexId>,
+    /// Level at which the current work item entered (0 for chunks,
+    /// `payload.target` for stolen work).
+    entry: usize,
+    /// Level-0 vertex mapping for multi-device partitioning: virtual index
+    /// `i` denotes data vertex `l0_base + i * l0_stride`.
+    l0_base: usize,
+    l0_stride: usize,
+    /// Ping/pong scratch buffers for chained set ops.
+    ping: Vec<Vec<VertexId>>,
+    pong: Vec<Vec<VertexId>>,
+    /// Claimed-but-unfiltered candidates scratch.
+    raw: Vec<VertexId>,
+    /// Claims since the last deadline poll.
+    deadline_tick: u32,
+    /// When enumerating, completed embeddings are appended here, indexed
+    /// by *pattern vertex* (not matching-order position).
+    emit: Option<Vec<Vec<VertexId>>>,
+}
+
+impl<'a> WarpKernel<'a> {
+    pub fn new(
+        g: &'a Graph,
+        plan: &'a MatchPlan,
+        cfg: &'a EngineConfig,
+        board: &'a Board,
+        warp_id: usize,
+    ) -> Self {
+        let k = plan.num_levels();
+        let unroll = cfg.unroll;
+        WarpKernel {
+            g,
+            plan,
+            cfg,
+            board,
+            warp_id,
+            k,
+            stop: board.stop(),
+            storage: Storage::new(plan.num_sets(), unroll),
+            batch: vec![Vec::with_capacity(unroll); k + 1],
+            uiter: vec![0; k + 1],
+            iter: vec![0; k + 1],
+            matched: vec![0; k],
+            entry: 0,
+            ping: vec![Vec::new(); unroll],
+            pong: vec![Vec::new(); unroll],
+            raw: Vec::with_capacity(unroll),
+            deadline_tick: 0,
+            l0_base: 0,
+            l0_stride: 1,
+            emit: None,
+        }
+    }
+
+    /// Switches the kernel from counting to enumerating: every match is
+    /// materialized as a pattern-vertex-indexed embedding (Fig. 3's
+    /// `Output`). Call [`WarpKernel::take_emitted`] after the run.
+    pub fn enable_enumeration(&mut self) {
+        self.emit = Some(Vec::new());
+    }
+
+    /// Drains the embeddings collected since enumeration was enabled.
+    pub fn take_emitted(&mut self) -> Vec<Vec<VertexId>> {
+        self.emit.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Appends the embedding `matched[0..k-1] + v` remapped from matching
+    /// order to pattern vertex ids.
+    fn emit_match(&mut self, v: VertexId) {
+        let k = self.k;
+        let order = self.plan.order();
+        let mut emb = vec![0 as VertexId; k];
+        for pos in 0..k - 1 {
+            emb[order.vertex_at(pos)] = self.matched[pos];
+        }
+        emb[order.vertex_at(k - 1)] = v;
+        self.emit.as_mut().expect("enumeration enabled").push(emb);
+    }
+
+    /// Configures the strided level-0 partition for multi-device runs:
+    /// this kernel's virtual index `i` maps to vertex `base + i * stride`.
+    pub fn set_device_partition(&mut self, base: usize, stride: usize) {
+        debug_assert!(stride >= 1);
+        self.l0_base = base;
+        self.l0_stride = stride;
+    }
+
+    /// Periodic cooperative cancellation check on the claim paths: cheap
+    /// flag read per claim, a real clock read every few thousand claims.
+    #[inline]
+    fn cancelled(&mut self) -> bool {
+        self.deadline_tick = self.deadline_tick.wrapping_add(1);
+        if self.deadline_tick % 4096 == 0 {
+            self.board.check_deadline()
+        } else {
+            self.board.aborted()
+        }
+    }
+
+    /// Installs a fresh level-0 chunk `[lo, hi)` of the vertex universe.
+    pub fn install_chunk(&mut self, lo: usize, hi: usize) {
+        let mut m = self.board.mirror(self.warp_id).lock();
+        for l in 0..crate::steal::MAX_STOP {
+            m.iter[l] = 0;
+            m.size[l] = 0;
+        }
+        m.iter[0] = lo;
+        m.size[0] = hi;
+        self.entry = 0;
+    }
+
+    /// Installs stolen work: restores the matched prefix, recomputes the
+    /// candidate sets of every level up to the target (they are
+    /// deterministic functions of the prefix), and points the mirror at the
+    /// stolen iteration range.
+    pub fn install_payload(&mut self, warp: &mut Warp, p: &StealPayload) {
+        debug_assert_eq!(p.matched.len(), p.target);
+        self.matched[..p.target].copy_from_slice(&p.matched);
+        for l in 1..=p.target {
+            self.batch[l].clear();
+            self.batch[l].push(p.matched[l - 1]);
+            self.uiter[l] = 0;
+            self.iter[l] = 0;
+            let b = std::mem::take(&mut self.batch[l]);
+            self.compute_sets(warp, l, &b);
+            self.batch[l] = b;
+        }
+        let mut m = self.board.mirror(self.warp_id).lock();
+        for l in 0..crate::steal::MAX_STOP {
+            m.iter[l] = 0;
+            m.size[l] = 0;
+        }
+        m.matched[..p.target].copy_from_slice(&p.matched);
+        m.iter[p.target] = p.lo;
+        m.size[p.target] = p.hi;
+        self.entry = p.target;
+    }
+
+    /// Runs the installed work item to exhaustion, adding matches to the
+    /// warp's counters.
+    pub fn run(&mut self, warp: &mut Warp) {
+        if self.k == 1 {
+            // Degenerate single-vertex pattern: count valid level-0
+            // candidates directly.
+            while let Some(v) = self.claim_shallow(warp, 0) {
+                warp.metrics_mut().matches_found += 1;
+                if self.emit.is_some() {
+                    self.emit.as_mut().unwrap().push(vec![v]);
+                }
+            }
+            return;
+        }
+        let mut l = self.entry;
+        loop {
+            if !self.claim(warp, l) {
+                if l == self.entry {
+                    return;
+                }
+                l -= 1;
+                continue;
+            }
+            // `claim` filled `batch[l + 1]` with valid candidates for
+            // position `l`.
+            self.begin_level(warp, l + 1);
+            if l + 1 == self.k - 1 {
+                self.count_last_level(warp);
+                // Stay at level l; keep claiming.
+            } else {
+                l += 1;
+            }
+        }
+    }
+
+    /// Claims the next batch of valid candidates for position `l` into
+    /// `batch[l + 1]`. Returns false when level `l` is exhausted.
+    fn claim(&mut self, warp: &mut Warp, l: usize) -> bool {
+        if l < self.stop {
+            match self.claim_shallow(warp, l) {
+                Some(v) => {
+                    self.batch[l + 1].clear();
+                    self.batch[l + 1].push(v);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            self.claim_deep(warp, l)
+        }
+    }
+
+    /// Shallow claim: one validity-checked candidate through the mirror.
+    fn claim_shallow(&mut self, warp: &mut Warp, l: usize) -> Option<VertexId> {
+        loop {
+            if self.cancelled() {
+                return None;
+            }
+            let idx = {
+                let mut m = self.board.mirror(self.warp_id).lock();
+                if m.iter[l] < m.size[l] {
+                    let i = m.iter[l];
+                    m.iter[l] += 1;
+                    Some(i)
+                } else {
+                    None
+                }
+            }?;
+            // §V-B detection hook: when claiming at a level below
+            // DetectLevel, a busy warp offers work to fully-idle blocks.
+            if self.cfg.global_steal
+                && l < self.cfg.detect_level
+                && self.board.try_push_global(self.warp_id)
+            {
+                warp.metrics_mut().global_steal_pushes += 1;
+                // Fixed cost model: pushing a stack through global memory
+                // costs a burst of instructions.
+                warp.metrics_mut().simt_instructions += 256;
+            }
+            let v = if l == 0 {
+                (self.l0_base + idx * self.l0_stride) as VertexId
+            } else {
+                self.candidate_list(l, 0)[idx]
+            };
+            warp.simt_for(1, |_| {});
+            if self.valid(l, v) {
+                return Some(v);
+            }
+        }
+    }
+
+    /// Deep claim: up to `UNROLL` raw iterations from the current slot,
+    /// validity-filtered into `batch[l + 1]` (slots never mix: all unroll
+    /// candidates share one matched path).
+    fn claim_deep(&mut self, warp: &mut Warp, l: usize) -> bool {
+        loop {
+            if self.cancelled() {
+                return false;
+            }
+            if self.uiter[l] >= self.batch[l].len() {
+                return false;
+            }
+            let (cid, slot) = self.candidate_location(l, self.uiter[l]);
+            let cl_len = self.storage.slot(cid, slot).len();
+            if self.iter[l] >= cl_len {
+                // Current slot exhausted: advance the unroll iterate, which
+                // moves the matched vertex at position l-1 (Fig. 7 line 22).
+                self.uiter[l] += 1;
+                self.iter[l] = 0;
+                if self.uiter[l] < self.batch[l].len() {
+                    self.matched[l - 1] = self.batch[l][self.uiter[l]];
+                }
+                continue;
+            }
+            let start = self.iter[l];
+            let take = (cl_len - start).min(self.cfg.unroll);
+            self.raw.clear();
+            {
+                // Disjoint field borrows: raw (mut) vs storage (shared).
+                let raw = &mut self.raw;
+                let storage = &self.storage;
+                raw.extend_from_slice(&storage.slot(cid, slot)[start..start + take]);
+            }
+            self.iter[l] += take;
+            let raw = std::mem::take(&mut self.raw);
+            self.batch[l + 1].clear();
+            // Validity filtering as one warp wave over the claimed batch.
+            let mut keep = [false; 32];
+            {
+                let g = self.g;
+                let plan = self.plan;
+                let matched = &self.matched;
+                warp.simt_for(raw.len(), |i| {
+                    keep[i] = valid_candidate(g, plan, matched, l, raw[i]);
+                });
+            }
+            for (i, &v) in raw.iter().enumerate() {
+                if keep[i] {
+                    self.batch[l + 1].push(v);
+                }
+            }
+            self.raw = raw;
+            if !self.batch[l + 1].is_empty() {
+                return true;
+            }
+        }
+    }
+
+    /// Enters level `l`: resets its cursors, fixes `matched[l-1]` to the
+    /// first slot, computes all of the level's sets for every slot, and
+    /// publishes the stealable state when `l` is shallow.
+    fn begin_level(&mut self, warp: &mut Warp, l: usize) {
+        debug_assert!(!self.batch[l].is_empty());
+        self.uiter[l] = 0;
+        self.iter[l] = 0;
+        self.matched[l - 1] = self.batch[l][0];
+        if l - 1 < self.stop {
+            let mut m = self.board.mirror(self.warp_id).lock();
+            m.matched[l - 1] = self.batch[l][0];
+        }
+        let b = std::mem::take(&mut self.batch[l]);
+        self.compute_sets(warp, l, &b);
+        self.batch[l] = b;
+        if l < self.stop {
+            let (cid, slot) = self.candidate_location(l, 0);
+            let size = self.storage.slot(cid, slot).len();
+            let mut m = self.board.mirror(self.warp_id).lock();
+            m.iter[l] = 0;
+            m.size[l] = size;
+        }
+    }
+
+    /// Resolves the (set id, storage slot) of the candidate list for
+    /// position `l`, slot `u`, honoring lifted (code-moved) candidate sets:
+    /// a set computed at an earlier level is indexed by that level's
+    /// current unroll slot.
+    #[inline]
+    fn candidate_location(&self, l: usize, u: usize) -> (usize, usize) {
+        let cid = self
+            .plan
+            .candidate_set(l)
+            .expect("levels >= 1 have candidate sets") as usize;
+        let def_level = self.plan.sets()[cid].level as usize;
+        let slot = if def_level == l { u } else { self.uiter[def_level] };
+        (cid, slot)
+    }
+
+    /// The candidate list for position `l`, slot `u`.
+    #[inline]
+    fn candidate_list(&self, l: usize, u: usize) -> &[VertexId] {
+        let (cid, slot) = self.candidate_location(l, u);
+        self.storage.slot(cid, slot)
+    }
+
+    /// Computes every set of `level` for all slots of `bat`, as combined
+    /// warp-wide operations (Fig. 8).
+    fn compute_sets(&mut self, warp: &mut Warp, level: usize, bat: &[VertexId]) {
+        let m = bat.len();
+        debug_assert!(m >= 1 && m <= self.cfg.unroll);
+        let g = self.g;
+        let plan = self.plan;
+        // Small copy of the matched prefix so no closure needs `self`.
+        let mut matched = [0 as VertexId; stmatch_pattern::MAX_PATTERN_SIZE];
+        matched[..self.k].copy_from_slice(&self.matched);
+        let vertex_at = |pos: usize, u: usize| -> VertexId {
+            if pos == level - 1 {
+                bat[u]
+            } else {
+                matched[pos]
+            }
+        };
+        let mut ping = std::mem::take(&mut self.ping);
+        let mut pong = std::mem::take(&mut self.pong);
+        for sid in plan.sets_at_level(level) {
+            let def = &plan.sets()[sid];
+            let mut rest: &[stmatch_pattern::plan::ChainOp] = &def.ops;
+            match def.base {
+                Base::Neighbors(pos) => {
+                    let sources: Vec<&[VertexId]> = (0..m)
+                        .map(|u| g.neighbors(vertex_at(pos as usize, u)))
+                        .collect();
+                    let mask = if def.ops.is_empty() {
+                        def.mask
+                    } else {
+                        LabelMask::ALL
+                    };
+                    setops::materialize_base(warp, g, &sources, mask, &mut ping[..m]);
+                }
+                Base::Set(dep) => {
+                    let dep = dep as usize;
+                    let dep_level = plan.sets()[dep].level as usize;
+                    let op = def.ops.first().expect("set deps carry an op");
+                    let storage = &self.storage;
+                    let uiter = &self.uiter;
+                    let inputs: Vec<&[VertexId]> = (0..m)
+                        .map(|u| {
+                            let slot = if dep_level == level { u } else { uiter[dep_level] };
+                            storage.slot(dep, slot)
+                        })
+                        .collect();
+                    let operands: Vec<&[VertexId]> = (0..m)
+                        .map(|u| g.neighbors(vertex_at(op.pos as usize, u)))
+                        .collect();
+                    let mask = if def.ops.len() == 1 {
+                        def.mask
+                    } else {
+                        LabelMask::ALL
+                    };
+                    setops::apply_op(warp, g, &inputs, &operands, op.kind, mask, &mut ping[..m]);
+                    rest = &def.ops[1..];
+                }
+            }
+            for (i, op) in rest.iter().enumerate() {
+                let mask = if i + 1 == rest.len() {
+                    def.mask
+                } else {
+                    LabelMask::ALL
+                };
+                let inputs: Vec<&[VertexId]> = ping[..m].iter().map(|v| v.as_slice()).collect();
+                let operands: Vec<&[VertexId]> = (0..m)
+                    .map(|u| g.neighbors(vertex_at(op.pos as usize, u)))
+                    .collect();
+                setops::apply_op(warp, g, &inputs, &operands, op.kind, mask, &mut pong[..m]);
+                std::mem::swap(&mut ping, &mut pong);
+            }
+            for (u, buf) in ping.iter_mut().enumerate().take(m) {
+                self.storage.swap_in(sid, u, buf);
+                buf.clear();
+            }
+        }
+        self.ping = ping;
+        self.pong = pong;
+    }
+
+    /// Last level: counts (or, when enumerating, outputs) the valid
+    /// candidates of every slot instead of iterating them (Fig. 3 line 16).
+    fn count_last_level(&mut self, warp: &mut Warp) {
+        let l = self.k - 1;
+        let slots = self.batch[l].len();
+        let mut total = 0u64;
+        let mut valid_tail: Vec<VertexId> = Vec::new();
+        for u in 0..slots {
+            self.matched[l - 1] = self.batch[l][u];
+            let (cid, slot) = self.candidate_location(l, u);
+            let g = self.g;
+            let plan = self.plan;
+            let matched = &self.matched;
+            let cl = self.storage.slot(cid, slot);
+            if self.emit.is_some() {
+                valid_tail.clear();
+                total += setops::count_with(warp, cl, |v| {
+                    let ok = valid_candidate(g, plan, matched, l, v);
+                    if ok {
+                        valid_tail.push(v);
+                    }
+                    ok
+                });
+                let tail = std::mem::take(&mut valid_tail);
+                for &v in &tail {
+                    self.emit_match(v);
+                }
+                valid_tail = tail;
+            } else {
+                total += setops::count_with(warp, cl, |v| valid_candidate(g, plan, matched, l, v));
+            }
+        }
+        warp.metrics_mut().matches_found += total;
+    }
+
+    /// Validity of candidate `v` at position `l`: label (level 0 only —
+    /// deeper candidates come from label-filtered sets), injectivity, and
+    /// symmetry bounds.
+    #[inline]
+    fn valid(&self, l: usize, v: VertexId) -> bool {
+        if l == 0 {
+            if let Some(lbl) = self.plan.level_label(0) {
+                if self.g.label(v) != lbl {
+                    return false;
+                }
+            }
+        }
+        valid_candidate(self.g, self.plan, &self.matched, l, v)
+    }
+}
+
+/// Injectivity, residual-label and symmetry-bound check against the
+/// matched prefix.
+#[inline]
+fn valid_candidate(
+    g: &Graph,
+    plan: &MatchPlan,
+    matched: &[VertexId],
+    l: usize,
+    v: VertexId,
+) -> bool {
+    if let Some(lbl) = plan.residual_label_check(l) {
+        if g.label(v) != lbl {
+            return false;
+        }
+    }
+    for &m in &matched[..l] {
+        if m == v {
+            return false;
+        }
+    }
+    for &(pos, bound) in plan.bounds(l) {
+        let ok = match bound {
+            Bound::Less => v < matched[pos],
+            Bound::Greater => v > matched[pos],
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}

@@ -1,0 +1,305 @@
+//! Warp-wide set operations — the `getCandidates` primitives.
+//!
+//! Candidate sets are sorted vertex lists; intersections and differences
+//! against neighbor lists are computed with one binary search per element,
+//! one element per SIMT lane (§IV of the paper). The *combined* variants
+//! process the sets of several unroll slots in a single stream of waves
+//! (Fig. 8): a prefix sum over set sizes maps each lane to a
+//! `(set index, offset)` pair, lanes binary-search their own operand, a
+//! ballot collects the survivors and `popc`-ranking compacts them into the
+//! output sets. With unroll size 1 the same code degrades to the naive
+//! one-set-at-a-time operation whose lane utilization is bounded by the
+//! data graph's (usually small) degrees — the effect Fig. 13 quantifies.
+
+use stmatch_graph::{Graph, VertexId};
+use stmatch_gpusim::{Warp, WARP_SIZE};
+use stmatch_pattern::{LabelMask, OpKind};
+
+/// Copies `sources[u]` into `outs[u]` keeping only vertices admitted by
+/// `mask`, for all slots in one combined lane stream.
+pub fn materialize_base(
+    warp: &mut Warp,
+    g: &Graph,
+    sources: &[&[VertexId]],
+    mask: LabelMask,
+    outs: &mut [Vec<VertexId>],
+) {
+    debug_assert_eq!(sources.len(), outs.len());
+    for (src, out) in sources.iter().zip(outs.iter_mut()) {
+        out.clear();
+        out.reserve(src.len());
+    }
+    stream_slots(warp, sources, |_warp, slot, value| {
+        if mask.is_all() || mask.allows(g.label(value)) {
+            outs[slot].push(value);
+        }
+    });
+}
+
+/// Computes `outs[u] = inputs[u] (∩ | −) operands[u]` filtered by `mask`,
+/// for all slots in one combined lane stream. Inputs and operands must be
+/// sorted ascending; outputs are sorted ascending.
+pub fn apply_op(
+    warp: &mut Warp,
+    g: &Graph,
+    inputs: &[&[VertexId]],
+    operands: &[&[VertexId]],
+    kind: OpKind,
+    mask: LabelMask,
+    outs: &mut [Vec<VertexId>],
+) {
+    debug_assert_eq!(inputs.len(), operands.len());
+    debug_assert_eq!(inputs.len(), outs.len());
+    for (inp, out) in inputs.iter().zip(outs.iter_mut()) {
+        out.clear();
+        out.reserve(inp.len());
+    }
+    stream_slots(warp, inputs, |warp, slot, value| {
+        let found = operands[slot].binary_search(&value).is_ok();
+        let keep = match kind {
+            OpKind::Intersect => found,
+            OpKind::Difference => !found,
+        };
+        // One extra lane instruction for the label check on labeled runs.
+        if keep && (mask.is_all() || mask.allows(g.label(value))) {
+            // Output offset = popc of lower survivor lanes (Fig. 8); with
+            // in-order lane simulation a push lands at exactly that offset.
+            let _ = warp.rank_in_mask(0, 0);
+            outs[slot].push(value);
+        }
+    });
+}
+
+/// Streams the concatenated elements of all slots through SIMT waves,
+/// invoking `f(warp, slot, value)` per element, with Fig. 8 accounting:
+/// a size prefix-scan per batch, full waves of 32 lanes, and one ballot
+/// per wave for the output compaction.
+fn stream_slots<F: FnMut(&mut Warp, usize, VertexId)>(
+    warp: &mut Warp,
+    slots: &[&[VertexId]],
+    mut f: F,
+) {
+    let total: usize = slots.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return;
+    }
+    if slots.len() > 1 {
+        // size_scan: one warp scan maps lanes to (set_idx, set_ofs).
+        let mut sizes = [0u32; WARP_SIZE];
+        for (i, s) in slots.iter().enumerate().take(WARP_SIZE) {
+            sizes[i] = s.len() as u32;
+        }
+        let _ = warp.exclusive_scan(&mut sizes);
+    }
+    let waves = total.div_ceil(WARP_SIZE);
+    let mut slot = 0usize;
+    let mut ofs = 0usize;
+    for wave in 0..waves {
+        let in_wave = (total - wave * WARP_SIZE).min(WARP_SIZE);
+        let active = if in_wave == WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << in_wave) - 1
+        };
+        // Issue the wave: per-lane binary search / copy.
+        warp.wave(active, |_| {});
+        for _ in 0..in_wave {
+            while ofs >= slots[slot].len() {
+                slot += 1;
+                ofs = 0;
+            }
+            let value = slots[slot][ofs];
+            f(warp, slot, value);
+            ofs += 1;
+        }
+        // bsearch_res ballot for output compaction.
+        let _ = warp.ballot(active);
+    }
+}
+
+/// Counts elements of `set` that satisfy a per-element predicate, as one
+/// warp-wide pass (used at the last level, where candidates are counted
+/// rather than iterated).
+pub fn count_with<F: FnMut(VertexId) -> bool>(
+    warp: &mut Warp,
+    set: &[VertexId],
+    mut pred: F,
+) -> u64 {
+    let mut count = 0u64;
+    warp.simt_for(set.len(), |i| {
+        if pred(set[i]) {
+            count += 1;
+        }
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmatch_graph::gen;
+
+    // Helper that runs `f` on a real warp inside a 1-warp grid launch and
+    // returns the warp's metrics.
+    fn with_warp<F: Fn(&mut Warp) + Sync>(f: F) -> stmatch_gpusim::WarpMetrics {
+        let grid = stmatch_gpusim::Grid::new(stmatch_gpusim::GridConfig {
+            num_blocks: 1,
+            warps_per_block: 1,
+            shared_mem_per_block: 0,
+        })
+        .unwrap();
+        let m = grid.launch(|w| f(w));
+        m.warps[0]
+    }
+
+    #[test]
+    fn intersect_matches_reference() {
+        let g = gen::complete(2); // labels unused (mask ALL)
+        let a: Vec<VertexId> = vec![1, 3, 5, 7, 9, 11];
+        let b: Vec<VertexId> = vec![3, 4, 5, 6, 7];
+        let _ = with_warp(move |w| {
+            let mut outs = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&a],
+                &[&b],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut outs,
+            );
+            assert_eq!(outs[0], vec![3, 5, 7]);
+        });
+    }
+
+    #[test]
+    fn difference_matches_reference() {
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = vec![1, 3, 5, 7];
+        let b: Vec<VertexId> = vec![3, 7, 8];
+        let _ = with_warp(move |w| {
+            let mut outs = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&a],
+                &[&b],
+                OpKind::Difference,
+                LabelMask::ALL,
+                &mut outs,
+            );
+            assert_eq!(outs[0], vec![1, 5]);
+        });
+    }
+
+    #[test]
+    fn combined_slots_equal_individual_ops() {
+        let g = gen::complete(2);
+        let ins: Vec<Vec<VertexId>> = vec![vec![1, 2, 3], vec![10, 20, 30, 40], vec![5]];
+        let ops: Vec<Vec<VertexId>> = vec![vec![2, 3, 4], vec![20, 40], vec![6]];
+        let _ = with_warp(move |w| {
+            let in_refs: Vec<&[VertexId]> = ins.iter().map(|v| v.as_slice()).collect();
+            let op_refs: Vec<&[VertexId]> = ops.iter().map(|v| v.as_slice()).collect();
+            let mut combined = vec![Vec::new(), Vec::new(), Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &in_refs,
+                &op_refs,
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut combined,
+            );
+            assert_eq!(combined[0], vec![2, 3]);
+            assert_eq!(combined[1], vec![20, 40]);
+            assert!(combined[2].is_empty());
+        });
+    }
+
+    #[test]
+    fn combined_ops_issue_fewer_waves() {
+        // Eight 4-element sets: one-at-a-time needs 8 waves of 4/32 active;
+        // combined needs ceil(32/32) = 1 wave of 32/32.
+        let g = gen::complete(2);
+        let sets: Vec<Vec<VertexId>> = (0..8).map(|s| vec![s, s + 10, s + 20, s + 30]).collect();
+        let op: Vec<VertexId> = (0..64).collect();
+
+        let m_single = with_warp(|w| {
+            for s in &sets {
+                let mut outs = vec![Vec::new()];
+                apply_op(
+                    w,
+                    &g,
+                    &[s.as_slice()],
+                    &[op.as_slice()],
+                    OpKind::Intersect,
+                    LabelMask::ALL,
+                    &mut outs,
+                );
+            }
+        });
+        let m_combined = with_warp(|w| {
+            let in_refs: Vec<&[VertexId]> = sets.iter().map(|v| v.as_slice()).collect();
+            let op_refs: Vec<&[VertexId]> = vec![op.as_slice(); 8];
+            let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); 8];
+            apply_op(
+                w,
+                &g,
+                &in_refs,
+                &op_refs,
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut outs,
+            );
+        });
+        assert!(
+            m_combined.lane_utilization() > m_single.lane_utilization(),
+            "combined {} vs single {}",
+            m_combined.lane_utilization(),
+            m_single.lane_utilization()
+        );
+    }
+
+    #[test]
+    fn base_materialization_filters_labels() {
+        let g = gen::complete(6).relabeled(vec![0, 1, 0, 1, 0, 1]);
+        let src: Vec<VertexId> = vec![0, 1, 2, 3, 4, 5];
+        let _ = with_warp(move |w| {
+            let mut outs = vec![Vec::new()];
+            materialize_base(w, &g, &[&src], LabelMask::single(1), &mut outs);
+            assert_eq!(outs[0], vec![1, 3, 5]);
+        });
+    }
+
+    #[test]
+    fn outputs_stay_sorted() {
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = (0..100).collect();
+        let b: Vec<VertexId> = (0..100).filter(|v| v % 3 == 0).collect();
+        let _ = with_warp(move |w| {
+            let mut outs = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&a],
+                &[&b],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut outs,
+            );
+            assert!(outs[0].windows(2).all(|p| p[0] < p[1]));
+            assert_eq!(outs[0].len(), 34);
+        });
+    }
+
+    #[test]
+    fn count_with_accounts_lanes() {
+        let set: Vec<VertexId> = (0..40).collect();
+        let m = with_warp(move |w| {
+            let c = count_with(w, &set, |v| v % 2 == 0);
+            assert_eq!(c, 20);
+        });
+        assert_eq!(m.issued_lane_slots, 64);
+        assert_eq!(m.active_lane_slots, 40);
+    }
+}

@@ -1,0 +1,507 @@
+//! Two-level work stealing (§V of the paper).
+//!
+//! Every warp exposes a [`Mirror`] of the *stealable* shallow region of its
+//! stack — iteration cursors, remaining candidate counts, and the matched
+//! vertex prefix for levels below `StopLevel`. Because candidate sets are
+//! deterministic functions of the matched prefix, a stealer only needs the
+//! prefix and an iteration range: it recomputes the candidate list itself
+//! (the paper copies the sets instead; recomputation costs one extra
+//! `getCandidates` and avoids cross-thread aliasing of the slabs — see
+//! DESIGN.md).
+//!
+//! * **Local stealing** (§V-A, pull): an idle warp scans the mirrors of its
+//!   block siblings, picks the victim with the most remaining shallow work,
+//!   and takes half the remaining iterations at the shallowest level
+//!   (divide-and-copy, Fig. 5).
+//! * **Global stealing** (§V-B, push): an idle warp marks its bit in the
+//!   per-block `is_idle` bitmap and spins; busy warps test for fully-idle
+//!   blocks when claiming work at a level below `DetectLevel` and push half
+//!   of their shallowest remaining range into the target block's
+//!   `global_stks` slot (Fig. 6).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::time::Instant;
+use stmatch_graph::VertexId;
+
+/// Upper bound on `StopLevel` (how deep the stealable region may reach).
+pub const MAX_STOP: usize = 4;
+
+/// The stealable shallow state of one warp's stack.
+#[derive(Clone, Debug)]
+pub struct MirrorState {
+    /// Next unclaimed iteration index per shallow level. At level 0 these
+    /// are absolute vertex ids of the warp's current chunk.
+    pub iter: [usize; MAX_STOP],
+    /// End of the iteration range per shallow level (`iter == size` means
+    /// drained).
+    pub size: [usize; MAX_STOP],
+    /// Vertex currently matched at each shallow level.
+    pub matched: [VertexId; MAX_STOP],
+}
+
+impl MirrorState {
+    fn new() -> Self {
+        MirrorState {
+            iter: [0; MAX_STOP],
+            size: [0; MAX_STOP],
+            matched: [0; MAX_STOP],
+        }
+    }
+
+    /// Remaining unclaimed iterations at `level`.
+    #[inline]
+    pub fn remaining(&self, level: usize) -> usize {
+        self.size[level].saturating_sub(self.iter[level])
+    }
+}
+
+/// A lockable mirror. Cache-line padding is deliberately omitted: mirrors
+/// are locked a handful of times per shallow iteration, far off any hot
+/// path.
+pub struct Mirror {
+    state: Mutex<MirrorState>,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Mirror {
+            state: Mutex::new(MirrorState::new()),
+        }
+    }
+
+    /// Locks the mirror state.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, MirrorState> {
+        self.state.lock()
+    }
+}
+
+/// Work migrated between warps: a matched prefix plus an iteration range of
+/// the (recomputable) candidate list at `target` level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StealPayload {
+    /// Level whose candidate iterations were stolen.
+    pub target: usize,
+    /// Matched vertices at levels `0..target`.
+    pub matched: Vec<VertexId>,
+    /// Stolen range `lo..hi` (indices into the candidate list at `target`;
+    /// absolute vertex ids when `target == 0`).
+    pub lo: usize,
+    /// End of the stolen range.
+    pub hi: usize,
+}
+
+/// Grid-wide coordination state shared by all warps of one launch.
+pub struct Board {
+    mirrors: Vec<Mirror>,
+    warps_per_block: usize,
+    stop: usize,
+    /// Per-block bitmap of idle warps (bit = warp index within block).
+    is_idle: Vec<AtomicU32>,
+    /// Per-block global-steal slot (`global_stks` of Fig. 6).
+    slots: Vec<Mutex<Option<StealPayload>>>,
+    /// Number of warps currently busy (grid starts all-busy).
+    busy: AtomicUsize,
+    /// Number of pushed-but-unclaimed global payloads.
+    pending: AtomicUsize,
+    /// Level-0 chunk dispenser: next unclaimed vertex id.
+    chunk_next: AtomicUsize,
+    num_vertices: usize,
+    chunk_size: usize,
+    /// Cooperative cancellation: set when the deadline passes; observed by
+    /// every warp on its claim paths.
+    abort: AtomicBool,
+    /// Optional wall-clock deadline for the launch.
+    deadline: Option<Instant>,
+}
+
+impl Board {
+    /// Creates the board for a grid of `num_blocks × warps_per_block` warps
+    /// over the level-0 vertex range `[start, end)` (a full graph uses
+    /// `(0, num_vertices)`; multi-device runs partition the range).
+    pub fn new(
+        num_blocks: usize,
+        warps_per_block: usize,
+        stop: usize,
+        (start, end): (usize, usize),
+        chunk_size: usize,
+    ) -> Board {
+        assert!(stop >= 1 && stop <= MAX_STOP, "stop level out of range");
+        assert!(chunk_size >= 1);
+        assert!(start <= end);
+        let total = num_blocks * warps_per_block;
+        assert!(warps_per_block <= 32, "is_idle bitmap holds 32 warps");
+        Board {
+            mirrors: (0..total).map(|_| Mirror::new()).collect(),
+            warps_per_block,
+            stop,
+            is_idle: (0..num_blocks).map(|_| AtomicU32::new(0)).collect(),
+            slots: (0..num_blocks).map(|_| Mutex::new(None)).collect(),
+            busy: AtomicUsize::new(total),
+            pending: AtomicUsize::new(0),
+            chunk_next: AtomicUsize::new(start),
+            num_vertices: end,
+            chunk_size,
+            abort: AtomicBool::new(false),
+            deadline: None,
+        }
+    }
+
+    /// Sets a wall-clock deadline; warps poll it via [`Board::check_deadline`]
+    /// and abandon remaining work once it passes.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// True once the launch was cancelled (deadline passed).
+    #[inline]
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Reads the clock against the deadline (called by warps every few
+    /// thousand claims) and latches the abort flag when it has passed.
+    pub fn check_deadline(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.abort.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.aborted()
+    }
+
+    /// The mirror of warp `id`.
+    pub fn mirror(&self, id: usize) -> &Mirror {
+        &self.mirrors[id]
+    }
+
+    /// The configured stop level.
+    pub fn stop(&self) -> usize {
+        self.stop
+    }
+
+    /// Claims the next level-0 chunk `[lo, hi)` of the vertex universe
+    /// (Fig. 4's `getCandidates` at level 0).
+    pub fn claim_chunk(&self) -> Option<(usize, usize)> {
+        loop {
+            let lo = self.chunk_next.load(Ordering::Relaxed);
+            if lo >= self.num_vertices {
+                return None;
+            }
+            let hi = (lo + self.chunk_size).min(self.num_vertices);
+            if self
+                .chunk_next
+                .compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some((lo, hi));
+            }
+        }
+    }
+
+    /// True while unclaimed level-0 chunks remain.
+    pub fn chunks_remain(&self) -> bool {
+        self.chunk_next.load(Ordering::Relaxed) < self.num_vertices
+    }
+
+    /// Marks warp `id` idle (sets its bitmap bit, decrements the busy
+    /// counter).
+    pub fn mark_idle(&self, id: usize) {
+        let block = id / self.warps_per_block;
+        let bit = 1u32 << (id % self.warps_per_block);
+        self.is_idle[block].fetch_or(bit, Ordering::SeqCst);
+        self.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Marks warp `id` busy again (clears its bit, increments busy).
+    pub fn mark_busy(&self, id: usize) {
+        let block = id / self.warps_per_block;
+        let bit = 1u32 << (id % self.warps_per_block);
+        self.busy.fetch_add(1, Ordering::SeqCst);
+        self.is_idle[block].fetch_and(!bit, Ordering::SeqCst);
+    }
+
+    /// Termination test for idle warps: nothing busy, nothing pending,
+    /// no chunks left.
+    pub fn finished(&self) -> bool {
+        self.busy.load(Ordering::SeqCst) == 0
+            && self.pending.load(Ordering::SeqCst) == 0
+            && !self.chunks_remain()
+    }
+
+    /// Quick unsynchronized test whether any block sibling of `me` has
+    /// stealable work (used by idle spinners to decide whether a full steal
+    /// attempt is worthwhile).
+    pub fn any_local_victim(&self, me: usize) -> bool {
+        let block = me / self.warps_per_block;
+        let base = block * self.warps_per_block;
+        (base..base + self.warps_per_block).any(|w| {
+            if w == me {
+                return false;
+            }
+            let m = self.mirrors[w].lock();
+            (0..self.stop).any(|l| m.remaining(l) >= 2)
+        })
+    }
+
+    /// Local stealing (§V-A): picks the sibling with the most remaining
+    /// shallow work and takes half of its shallowest remaining range.
+    pub fn try_local_steal(&self, me: usize) -> Option<StealPayload> {
+        let block = me / self.warps_per_block;
+        let base = block * self.warps_per_block;
+        // Pass 1: score victims. Shallower targets dominate (their subtrees
+        // are larger); remaining count breaks ties.
+        let mut best: Option<(usize, usize, usize)> = None; // (victim, level, remaining)
+        for w in base..base + self.warps_per_block {
+            if w == me {
+                continue;
+            }
+            let m = self.mirrors[w].lock();
+            for l in 0..self.stop {
+                let rem = m.remaining(l);
+                if rem >= 2 {
+                    let better = match best {
+                        None => true,
+                        Some((_, bl, brem)) => l < bl || (l == bl && rem > brem),
+                    };
+                    if better {
+                        best = Some((w, l, rem));
+                    }
+                    break; // shallowest level of this victim found
+                }
+            }
+        }
+        let (victim, _, _) = best?;
+        // Pass 2: re-validate under the victim's lock and split.
+        let mut m = self.mirrors[victim].lock();
+        let level = (0..self.stop).find(|&l| m.remaining(l) >= 2)?;
+        Some(Self::split(&mut m, level))
+    }
+
+    /// Divide-and-copy (Fig. 5): halves the remaining range at `level` of a
+    /// locked mirror and returns the stolen tail.
+    fn split(m: &mut MirrorState, level: usize) -> StealPayload {
+        let rem = m.remaining(level);
+        debug_assert!(rem >= 2);
+        let take = rem / 2;
+        m.size[level] -= take;
+        StealPayload {
+            target: level,
+            matched: m.matched[..level].to_vec(),
+            lo: m.size[level],
+            hi: m.size[level] + take,
+        }
+    }
+
+    /// Global-steal detection + push (§V-B): called by a busy warp (`me`)
+    /// when it claims work at a level `< DetectLevel`. If some *other* block
+    /// is fully idle and its slot is free, half of this warp's shallowest
+    /// remaining range is pushed there. Returns true if a push happened.
+    pub fn try_push_global(&self, me: usize) -> bool {
+        let my_block = me / self.warps_per_block;
+        let full = (1u32 << self.warps_per_block) - 1;
+        for b in 0..self.is_idle.len() {
+            if b == my_block || self.is_idle[b].load(Ordering::SeqCst) != full {
+                continue;
+            }
+            let mut slot = self.slots[b].lock();
+            if slot.is_some() {
+                continue;
+            }
+            // Split our own mirror. Mirror lock nests inside the slot lock;
+            // no other path acquires them in the opposite order.
+            let payload = {
+                let mut m = self.mirrors[me].lock();
+                match (0..self.stop).find(|&l| m.remaining(l) >= 2) {
+                    Some(level) => Self::split(&mut m, level),
+                    None => return false,
+                }
+            };
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            *slot = Some(payload);
+            return true;
+        }
+        false
+    }
+
+    /// Claims a payload pushed to `block`'s slot, transitioning the caller
+    /// busy in the same critical section.
+    pub fn try_claim_global(&self, me: usize) -> Option<StealPayload> {
+        let block = me / self.warps_per_block;
+        let mut slot = self.slots[block].lock();
+        let payload = slot.take()?;
+        // Become busy *before* decrementing pending so `finished()` can
+        // never observe both counters at zero while work is in flight.
+        self.mark_busy(me);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> Board {
+        Board::new(2, 2, 2, (0, 100), 10)
+    }
+
+    #[test]
+    fn chunks_partition_the_universe() {
+        let b = board();
+        let mut seen = Vec::new();
+        while let Some((lo, hi)) = b.claim_chunk() {
+            seen.push((lo, hi));
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.first(), Some(&(0, 10)));
+        assert_eq!(seen.last(), Some(&(90, 100)));
+        assert!(!b.chunks_remain());
+    }
+
+    #[test]
+    fn idle_busy_counters() {
+        let b = board();
+        assert!(!b.finished());
+        for w in 0..4 {
+            b.mark_idle(w);
+        }
+        // Chunks still remain: not finished.
+        assert!(!b.finished());
+        while b.claim_chunk().is_some() {}
+        assert!(b.finished());
+        b.mark_busy(1);
+        assert!(!b.finished());
+    }
+
+    #[test]
+    fn local_steal_halves_the_victim() {
+        let b = board();
+        {
+            let mut m = b.mirror(1).lock();
+            m.iter[0] = 10;
+            m.size[0] = 30;
+            m.matched[0] = 42;
+        }
+        let p = b.try_local_steal(0).expect("stealable work");
+        assert_eq!(p.target, 0);
+        assert!(p.matched.is_empty());
+        assert_eq!((p.lo, p.hi), (20, 30));
+        let m = b.mirror(1).lock();
+        assert_eq!(m.remaining(0), 10);
+    }
+
+    #[test]
+    fn local_steal_prefers_shallow_levels() {
+        let b = board();
+        {
+            let mut m = b.mirror(1).lock();
+            m.iter[1] = 0;
+            m.size[1] = 100; // lots of deep work
+            m.matched[0] = 7;
+        }
+        {
+            // Warp 1 also has a little level-0 work — that must win.
+            let mut m = b.mirror(1).lock();
+            m.iter[0] = 0;
+            m.size[0] = 4;
+        }
+        let p = b.try_local_steal(0).unwrap();
+        assert_eq!(p.target, 0);
+    }
+
+    #[test]
+    fn local_steal_carries_matched_prefix() {
+        let b = board();
+        {
+            let mut m = b.mirror(1).lock();
+            m.matched[0] = 99;
+            m.iter[1] = 5;
+            m.size[1] = 9;
+        }
+        let p = b.try_local_steal(0).unwrap();
+        assert_eq!(p.target, 1);
+        assert_eq!(p.matched, vec![99]);
+        assert_eq!((p.lo, p.hi), (7, 9));
+    }
+
+    #[test]
+    fn local_steal_ignores_other_blocks() {
+        let b = board();
+        {
+            let mut m = b.mirror(3).lock(); // block 1
+            m.size[0] = 50;
+        }
+        assert!(b.try_local_steal(0).is_none()); // warp 0 is in block 0
+        assert!(b.try_local_steal(2).is_some());
+    }
+
+    #[test]
+    fn global_push_requires_fully_idle_block() {
+        let b = board();
+        {
+            let mut m = b.mirror(0).lock();
+            m.size[0] = 40;
+        }
+        assert!(!b.try_push_global(0), "no idle block yet");
+        b.mark_idle(2);
+        assert!(!b.try_push_global(0), "block 1 only half idle");
+        b.mark_idle(3);
+        assert!(b.try_push_global(0));
+        // Slot now full; a second push is refused.
+        assert!(!b.try_push_global(0));
+        let p = b.try_claim_global(2).unwrap();
+        assert_eq!((p.lo, p.hi), (20, 40));
+        assert!(b.try_claim_global(3).is_none());
+    }
+
+    #[test]
+    fn pending_prevents_premature_termination() {
+        let b = board();
+        while b.claim_chunk().is_some() {}
+        {
+            let mut m = b.mirror(0).lock();
+            m.size[0] = 10;
+        }
+        b.mark_idle(2);
+        b.mark_idle(3);
+        assert!(b.try_push_global(0));
+        // Warps 0,1 finish; 2,3 idle; one payload pending.
+        b.mark_idle(0);
+        b.mark_idle(1);
+        assert!(!b.finished(), "pending payload must block termination");
+        let _ = b.try_claim_global(2).unwrap();
+        assert!(!b.finished(), "claimer is busy now");
+        b.mark_idle(2);
+        assert!(b.finished());
+    }
+
+    #[test]
+    fn concurrent_chunk_claims_never_overlap() {
+        let b = std::sync::Arc::new(Board::new(1, 4, 1, (0, 10_000), 7));
+        let ranges: Vec<(usize, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let b = b.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(r) = b.claim_chunk() {
+                            got.push(r);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut covered = vec![false; 10_000];
+        for (lo, hi) in ranges {
+            for v in lo..hi {
+                assert!(!covered[v], "vertex {v} claimed twice");
+                covered[v] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}

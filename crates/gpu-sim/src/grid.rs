@@ -1,0 +1,205 @@
+//! Grid launch: mapping warps onto OS threads.
+
+use crate::memory::SharedOverflow;
+use crate::metrics::GridMetrics;
+use crate::warp::Warp;
+use std::time::Instant;
+
+/// Grid geometry for a kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Number of threadblocks.
+    pub num_blocks: usize,
+    /// Warps per threadblock.
+    pub warps_per_block: usize,
+    /// Shared-memory capacity per block in bytes.
+    pub shared_mem_per_block: usize,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        // A modest default grid: enough warps to expose load imbalance and
+        // stealing, few enough OS threads to run well on a laptop. The
+        // paper's 82 SMs x 32 warps would oversubscribe a host CPU by 100x.
+        GridConfig {
+            num_blocks: 4,
+            warps_per_block: 4,
+            shared_mem_per_block: crate::memory::SharedBudget::RTX3090_BYTES,
+        }
+    }
+}
+
+impl GridConfig {
+    /// Total warps in the grid.
+    pub fn total_warps(&self) -> usize {
+        self.num_blocks * self.warps_per_block
+    }
+}
+
+/// Errors failing a launch before any warp runs.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// A per-block shared-memory budget was exceeded (CUDA:
+    /// `cudaErrorLaunchOutOfResources`).
+    SharedMemory(SharedOverflow),
+    /// Device global memory was exhausted while preparing the launch.
+    GlobalMemory(crate::memory::OutOfMemory),
+    /// The grid geometry is unusable (zero blocks/warps).
+    BadGeometry(String),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::SharedMemory(e) => write!(f, "launch failed: {e}"),
+            LaunchError::GlobalMemory(e) => write!(f, "launch failed: {e}"),
+            LaunchError::BadGeometry(m) => write!(f, "launch failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<SharedOverflow> for LaunchError {
+    fn from(e: SharedOverflow) -> Self {
+        LaunchError::SharedMemory(e)
+    }
+}
+
+impl From<crate::memory::OutOfMemory> for LaunchError {
+    fn from(e: crate::memory::OutOfMemory) -> Self {
+        LaunchError::GlobalMemory(e)
+    }
+}
+
+/// A launchable grid.
+///
+/// [`Grid::launch`] runs one kernel closure per warp, each on its own OS
+/// thread, and aggregates per-warp metrics. The closure receives a mutable
+/// [`Warp`] carrying its identity and counters; all cross-warp state (warp
+/// stacks, idle bitmaps, global steal slots) lives in the engine and is
+/// shared through the closure's environment, mirroring how a CUDA kernel
+/// addresses shared and global memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid {
+    config: GridConfig,
+}
+
+impl Grid {
+    /// Creates a grid with the given geometry.
+    pub fn new(config: GridConfig) -> Result<Grid, LaunchError> {
+        if config.num_blocks == 0 || config.warps_per_block == 0 {
+            return Err(LaunchError::BadGeometry(format!(
+                "grid {}x{} has no warps",
+                config.num_blocks, config.warps_per_block
+            )));
+        }
+        Ok(Grid { config })
+    }
+
+    /// The grid geometry.
+    pub fn config(&self) -> GridConfig {
+        self.config
+    }
+
+    /// Launches `kernel` on every warp concurrently and waits for all warps
+    /// to finish (one "kernel launch" in CUDA terms — the `kernel_launches`
+    /// counter in the returned metrics is 1).
+    pub fn launch<F>(&self, kernel: F) -> GridMetrics
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        let start = Instant::now();
+        let total = self.config.total_warps();
+        let wpb = self.config.warps_per_block;
+        let warps = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..total)
+                .map(|id| {
+                    let kernel = &kernel;
+                    scope.spawn(move || {
+                        let mut warp = Warp::new(id, id / wpb, id % wpb);
+                        kernel(&mut warp);
+                        warp.into_metrics()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("warp thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        GridMetrics {
+            warps,
+            elapsed_nanos: start.elapsed().as_nanos() as u64,
+            kernel_launches: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn rejects_empty_geometry() {
+        assert!(Grid::new(GridConfig {
+            num_blocks: 0,
+            warps_per_block: 4,
+            shared_mem_per_block: 0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn launch_runs_every_warp_once() {
+        let grid = Grid::new(GridConfig {
+            num_blocks: 3,
+            warps_per_block: 2,
+            shared_mem_per_block: 1024,
+        })
+        .unwrap();
+        let counter = AtomicU64::new(0);
+        let metrics = grid.launch(|warp| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            warp.metrics_mut().matches_found = warp.id() as u64;
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+        assert_eq!(metrics.warps.len(), 6);
+        assert_eq!(metrics.matches(), (0..6).sum::<usize>() as u64);
+        assert_eq!(metrics.kernel_launches, 1);
+    }
+
+    #[test]
+    fn warp_identities_are_consistent() {
+        let grid = Grid::new(GridConfig {
+            num_blocks: 2,
+            warps_per_block: 3,
+            shared_mem_per_block: 1024,
+        })
+        .unwrap();
+        grid.launch(|warp| {
+            assert_eq!(warp.block(), warp.id() / 3);
+            assert_eq!(warp.index_in_block(), warp.id() % 3);
+        });
+    }
+
+    #[test]
+    fn warps_run_concurrently() {
+        // All warps must be alive at once (spin-wait semantics depend on
+        // it): have every warp wait until all warps have arrived.
+        let grid = Grid::new(GridConfig {
+            num_blocks: 2,
+            warps_per_block: 2,
+            shared_mem_per_block: 0,
+        })
+        .unwrap();
+        let arrived = AtomicU64::new(0);
+        grid.launch(|_warp| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            while arrived.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! A software GPU execution model.
+//!
+//! This crate is the substrate substitution for the CUDA runtime the paper
+//! targets (see DESIGN.md §1): it preserves the *execution model* that
+//! STMatch's design decisions are about, without the silicon:
+//!
+//! * [`Warp`] — the smallest scheduling unit: 32 SIMT lanes executed as
+//!   vector waves with per-lane activity accounting, plus the warp
+//!   primitives (`ballot`, `popc`, exclusive scan) used by the combined set
+//!   operation of Fig. 8.
+//! * Threadblocks group warps around a byte-budgeted shared-memory arena
+//!   ([`SharedBudget`]); exceeding it fails the launch, exactly like CUDA —
+//!   which is what motivates the paper's merged multi-label sets.
+//! * [`Grid`] — maps every warp onto its own OS thread, so inter-warp load
+//!   imbalance, spin-waiting and work-stealing traffic are *measured*, not
+//!   modelled.
+//! * [`MemoryBudget`] — global-memory accounting with hard out-of-memory
+//!   failures, used to reproduce the subgraph-centric baselines' OOM
+//!   behaviour ('×' entries of Table II).
+//! * [`WarpMetrics`]/[`GridMetrics`] — instrumentation: lane-slot
+//!   utilization (Fig. 13), warp occupancy, steal counters, kernel-launch
+//!   counts.
+
+pub mod grid;
+pub mod memory;
+pub mod metrics;
+pub mod warp;
+
+pub use grid::{Grid, GridConfig, LaunchError};
+pub use memory::{MemoryBudget, OutOfMemory, SharedBudget};
+pub use metrics::{GridMetrics, WarpMetrics};
+pub use warp::{Warp, WARP_SIZE};

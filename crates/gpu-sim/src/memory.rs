@@ -1,0 +1,234 @@
+//! Memory accounting: global-memory budgets (OOM reproduction) and
+//! per-block shared-memory budgets (launch-failure reproduction).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A hard out-of-memory failure, as hit by the subgraph-centric baselines
+/// on dense graphs (the '×' entries of Table II).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    pub requested: usize,
+    pub in_use: usize,
+    pub limit: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} B with {} B of {} B in use",
+            self.requested, self.in_use, self.limit
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks device global-memory consumption against a hard limit.
+///
+/// Thread-safe: warps allocate concurrently. Peak usage is recorded so the
+/// bench harness can report the memory advantage of the stack-based design
+/// over materializing partial subgraphs.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: usize) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> MemoryBudget {
+        Self::new(usize::MAX)
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Attempts to allocate `bytes`; fails when the limit would be crossed.
+    pub fn try_alloc(&self, bytes: usize) -> Result<(), OutOfMemory> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.checked_add(bytes).ok_or(OutOfMemory {
+                requested: bytes,
+                in_use: cur,
+                limit: self.limit,
+            })?;
+            if next > self.limit {
+                return Err(OutOfMemory {
+                    requested: bytes,
+                    in_use: cur,
+                    limit: self.limit,
+                });
+            }
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Releases `bytes` previously allocated.
+    pub fn free(&self, bytes: usize) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "freeing more than allocated");
+    }
+
+    /// Bytes currently in use.
+    pub fn in_use(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Highest usage observed.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-threadblock shared-memory budget, consumed at launch-planning time.
+///
+/// An engine lays out its per-block shared structures (the `Csize`, `iter`,
+/// `uiter` arrays of the warp stacks, the compact plan encoding, steal
+/// metadata) against this budget; overflow aborts the launch like CUDA's
+/// `cudaErrorLaunchOutOfResources`. The default capacity matches the 100 KB
+/// opt-in maximum of the RTX 3090 the paper evaluates on.
+#[derive(Clone, Debug)]
+pub struct SharedBudget {
+    capacity: usize,
+    used: usize,
+    allocations: Vec<(String, usize)>,
+}
+
+/// Shared-memory overflow at launch time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedOverflow {
+    pub what: String,
+    pub requested: usize,
+    pub used: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for SharedOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared memory overflow allocating `{}`: {} B requested, {}/{} B used",
+            self.what, self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for SharedOverflow {}
+
+impl SharedBudget {
+    /// RTX 3090 opt-in shared memory per block.
+    pub const RTX3090_BYTES: usize = 100 * 1024;
+
+    /// A budget with the given capacity.
+    pub fn new(capacity: usize) -> SharedBudget {
+        SharedBudget {
+            capacity,
+            used: 0,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Reserves `bytes` for a named structure.
+    pub fn try_alloc(&mut self, what: &str, bytes: usize) -> Result<(), SharedOverflow> {
+        if self.used + bytes > self.capacity {
+            return Err(SharedOverflow {
+                what: what.to_string(),
+                requested: bytes,
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.allocations.push((what.to_string(), bytes));
+        Ok(())
+    }
+
+    /// Bytes reserved so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The named allocations made so far (for diagnostics).
+    pub fn allocations(&self) -> &[(String, usize)] {
+        &self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let b = MemoryBudget::new(100);
+        b.try_alloc(60).unwrap();
+        assert_eq!(b.in_use(), 60);
+        assert!(b.try_alloc(50).is_err());
+        b.free(60);
+        b.try_alloc(100).unwrap();
+        assert_eq!(b.peak(), 100);
+    }
+
+    #[test]
+    fn oom_reports_details() {
+        let b = MemoryBudget::new(10);
+        let err = b.try_alloc(11).unwrap_err();
+        assert_eq!(err.requested, 11);
+        assert_eq!(err.limit, 10);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn concurrent_allocs_respect_limit() {
+        let b = std::sync::Arc::new(MemoryBudget::new(1000));
+        let successes: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let b = b.clone();
+                    s.spawn(move || (0..100).filter(|_| b.try_alloc(10).is_ok()).count())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(successes, 100); // exactly 1000/10 allocations succeed
+        assert_eq!(b.in_use(), 1000);
+    }
+
+    #[test]
+    fn shared_budget_overflow() {
+        let mut s = SharedBudget::new(64);
+        s.try_alloc("Csize", 40).unwrap();
+        let err = s.try_alloc("iter", 40).unwrap_err();
+        assert_eq!(err.used, 40);
+        assert_eq!(s.allocations().len(), 1);
+        s.try_alloc("iter", 24).unwrap();
+        assert_eq!(s.used(), 64);
+    }
+}

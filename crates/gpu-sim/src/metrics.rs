@@ -1,0 +1,201 @@
+//! Instrumentation: per-warp counters and grid-level aggregation.
+
+/// Counters accumulated by one warp during a kernel.
+///
+/// The SIMT counters are maintained by [`crate::Warp`]'s vector primitives;
+/// the steal/match counters are incremented by the matching engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarpMetrics {
+    /// SIMT instructions issued (waves).
+    pub simt_instructions: u64,
+    /// Lane slots issued (`32 ×` waves).
+    pub issued_lane_slots: u64,
+    /// Lane slots that did useful work.
+    pub active_lane_slots: u64,
+    /// Local (intra-block) steal attempts.
+    pub local_steal_attempts: u64,
+    /// Successful local steals.
+    pub local_steals: u64,
+    /// Tasks pushed to idle blocks (global stealing, target side).
+    pub global_steal_pushes: u64,
+    /// Tasks received from other blocks (global stealing, stealer side).
+    pub global_steal_receives: u64,
+    /// Matches emitted by this warp.
+    pub matches_found: u64,
+    /// Nanoseconds spent doing useful matching work.
+    pub busy_nanos: u64,
+    /// Nanoseconds spent idle (spinning for work).
+    pub idle_nanos: u64,
+}
+
+impl WarpMetrics {
+    /// Fraction of issued lane slots that were active (Fig. 13's
+    /// "thread utilization"). 1.0 when nothing was issued.
+    pub fn lane_utilization(&self) -> f64 {
+        if self.issued_lane_slots == 0 {
+            1.0
+        } else {
+            self.active_lane_slots as f64 / self.issued_lane_slots as f64
+        }
+    }
+
+    /// Merges another warp's counters into this one.
+    pub fn merge(&mut self, other: &WarpMetrics) {
+        self.simt_instructions += other.simt_instructions;
+        self.issued_lane_slots += other.issued_lane_slots;
+        self.active_lane_slots += other.active_lane_slots;
+        self.local_steal_attempts += other.local_steal_attempts;
+        self.local_steals += other.local_steals;
+        self.global_steal_pushes += other.global_steal_pushes;
+        self.global_steal_receives += other.global_steal_receives;
+        self.matches_found += other.matches_found;
+        self.busy_nanos += other.busy_nanos;
+        self.idle_nanos += other.idle_nanos;
+    }
+}
+
+/// Aggregated results of one grid launch.
+#[derive(Clone, Debug, Default)]
+pub struct GridMetrics {
+    /// Per-warp counters, indexed by global warp id.
+    pub warps: Vec<WarpMetrics>,
+    /// Wall-clock time of the launch in nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Number of kernel launches this metrics object covers (subgraph-
+    /// centric baselines launch once per extension step).
+    pub kernel_launches: u64,
+}
+
+impl GridMetrics {
+    /// Sum of all warp counters.
+    pub fn total(&self) -> WarpMetrics {
+        let mut acc = WarpMetrics::default();
+        for w in &self.warps {
+            acc.merge(w);
+        }
+        acc
+    }
+
+    /// Grid-wide SIMT lane utilization.
+    pub fn lane_utilization(&self) -> f64 {
+        self.total().lane_utilization()
+    }
+
+    /// Total matches across warps.
+    pub fn matches(&self) -> u64 {
+        self.total().matches_found
+    }
+
+    /// Load imbalance: max warp busy time over mean warp busy time.
+    /// 1.0 is perfectly balanced; large values are the outer-loop
+    /// parallelization problem the paper's work stealing attacks.
+    pub fn load_imbalance(&self) -> f64 {
+        let busies: Vec<u64> = self.warps.iter().map(|w| w.busy_nanos).collect();
+        let max = busies.iter().copied().max().unwrap_or(0);
+        let sum: u64 = busies.iter().sum();
+        if sum == 0 || busies.is_empty() {
+            return 1.0;
+        }
+        let mean = sum as f64 / busies.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Fraction of warp time spent busy rather than spinning — the
+    /// occupancy signal the paper profiles with Nsight for Fig. 12.
+    pub fn busy_fraction(&self) -> f64 {
+        let t = self.total();
+        let denom = t.busy_nanos + t.idle_nanos;
+        if denom == 0 {
+            1.0
+        } else {
+            t.busy_nanos as f64 / denom as f64
+        }
+    }
+
+    /// Merges metrics from another launch (for multi-launch baselines and
+    /// multi-device runs).
+    pub fn merge(&mut self, other: &GridMetrics) {
+        if self.warps.len() < other.warps.len() {
+            self.warps.resize(other.warps.len(), WarpMetrics::default());
+        }
+        for (mine, theirs) in self.warps.iter_mut().zip(&other.warps) {
+            mine.merge(theirs);
+        }
+        self.elapsed_nanos += other.elapsed_nanos;
+        self.kernel_launches += other.kernel_launches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp_with(busy: u64, idle: u64, active: u64, issued: u64) -> WarpMetrics {
+        WarpMetrics {
+            busy_nanos: busy,
+            idle_nanos: idle,
+            active_lane_slots: active,
+            issued_lane_slots: issued,
+            ..WarpMetrics::default()
+        }
+    }
+
+    #[test]
+    fn utilization_of_empty_metrics_is_one() {
+        assert_eq!(WarpMetrics::default().lane_utilization(), 1.0);
+        assert_eq!(GridMetrics::default().lane_utilization(), 1.0);
+    }
+
+    #[test]
+    fn grid_totals_and_utilization() {
+        let g = GridMetrics {
+            warps: vec![warp_with(0, 0, 8, 32), warp_with(0, 0, 24, 32)],
+            elapsed_nanos: 1,
+            kernel_launches: 1,
+        };
+        assert_eq!(g.total().active_lane_slots, 32);
+        assert!((g.lane_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_detects_skew() {
+        let balanced = GridMetrics {
+            warps: vec![warp_with(100, 0, 0, 0), warp_with(100, 0, 0, 0)],
+            ..Default::default()
+        };
+        assert!((balanced.load_imbalance() - 1.0).abs() < 1e-12);
+        let skewed = GridMetrics {
+            warps: vec![warp_with(300, 0, 0, 0), warp_with(100, 0, 0, 0)],
+            ..Default::default()
+        };
+        assert!((skewed.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_fraction() {
+        let g = GridMetrics {
+            warps: vec![warp_with(75, 25, 0, 0)],
+            ..Default::default()
+        };
+        assert!((g.busy_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = GridMetrics {
+            warps: vec![warp_with(1, 0, 1, 32)],
+            elapsed_nanos: 10,
+            kernel_launches: 1,
+        };
+        let b = GridMetrics {
+            warps: vec![warp_with(2, 0, 3, 32), warp_with(5, 0, 0, 0)],
+            elapsed_nanos: 20,
+            kernel_launches: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.warps.len(), 2);
+        assert_eq!(a.warps[0].busy_nanos, 3);
+        assert_eq!(a.elapsed_nanos, 30);
+        assert_eq!(a.kernel_launches, 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Immutable CSR graph with sorted adjacency lists and vertex labels.
+
+use crate::Label;
+
+/// Vertex identifier. `u32` keeps the warp stacks compact (the paper stores
+/// candidate sets as 32-bit node ids in GPU global memory).
+pub type VertexId = u32;
+
+/// An undirected, vertex-labeled graph in CSR form.
+///
+/// Adjacency lists are sorted ascending, which every engine in the workspace
+/// relies on for binary-search set intersection/difference — the core
+/// primitive of the STMatch `getCandidates` step.
+///
+/// The graph is immutable after construction; build one with
+/// [`crate::GraphBuilder`] or a generator from [`crate::gen`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `row_ptr[v]..row_ptr[v+1]` indexes `col_idx` for vertex `v`.
+    row_ptr: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    col_idx: Vec<VertexId>,
+    /// One label per vertex; all zero for unlabeled graphs.
+    labels: Vec<Label>,
+    /// Number of distinct labels in use (at least 1).
+    num_labels: u32,
+    /// Human-readable name (dataset id), used by the bench harness.
+    name: String,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        row_ptr: Vec<usize>,
+        col_idx: Vec<VertexId>,
+        labels: Vec<Label>,
+        name: String,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), labels.len() + 1);
+        let num_labels = labels.iter().copied().max().unwrap_or(0) + 1;
+        Graph {
+            row_ptr,
+            col_idx,
+            labels,
+            num_labels,
+            name,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges (each edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len() / 2
+    }
+
+    /// The graph's dataset name (empty for ad-hoc graphs).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the graph (used by the dataset registry).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.col_idx[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// The label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Number of distinct labels (1 for unlabeled graphs).
+    #[inline]
+    pub fn num_labels(&self) -> u32 {
+        self.num_labels
+    }
+
+    /// True if the graph carries non-trivial labels.
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.num_labels > 1
+    }
+
+    /// Edge test via binary search on the (sorted) smaller adjacency list.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Returns a copy of this graph with labels replaced by `labels`.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != num_vertices()`.
+    pub fn relabeled(&self, labels: Vec<Label>) -> Graph {
+        assert_eq!(labels.len(), self.num_vertices(), "label count mismatch");
+        Graph::from_parts(
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            labels,
+            self.name.clone(),
+        )
+    }
+
+    /// Returns the same topology with all labels cleared to 0.
+    pub fn unlabeled(&self) -> Graph {
+        self.relabeled(vec![0; self.num_vertices()])
+    }
+
+    /// Approximate in-memory footprint in bytes (CSR arrays + labels).
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<VertexId>()
+            + self.labels.len() * std::mem::size_of::<Label>()
+    }
+
+    /// Returns a new graph whose vertex ids are permuted so that vertices are
+    /// ordered by descending degree. This is the standard relabeling that
+    /// graph-mining systems apply so that symmetry-breaking comparisons
+    /// (`v > u`) prune the search tree early.
+    pub fn degree_ordered(&self) -> Graph {
+        let n = self.num_vertices();
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        // Stable sort for determinism across runs.
+        order.sort_by(|&a, &b| self.degree(b).cmp(&self.degree(a)).then(a.cmp(&b)));
+        // old id -> new id
+        let mut rank = vec![0 as VertexId; n];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            rank[old_id as usize] = new_id as VertexId;
+        }
+        let mut builder = crate::GraphBuilder::with_capacity(n, self.col_idx.len() / 2);
+        for old in 0..n as VertexId {
+            builder.set_label(rank[old as usize], self.label(old));
+        }
+        for (u, v) in self.edges() {
+            builder.add_edge(rank[u as usize], rank[v as usize]);
+        }
+        builder.build().with_name(self.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> crate::Graph {
+        // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn counts_vertices_and_edges() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = triangle_plus_tail();
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+        }
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_tail();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn degrees_match_neighbor_lengths() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_ordering_puts_hubs_first() {
+        let g = triangle_plus_tail();
+        let d = g.degree_ordered();
+        assert_eq!(d.num_edges(), g.num_edges());
+        // New vertex 0 must be the old hub (degree 3).
+        assert_eq!(d.degree(0), 3);
+        let mut degs: Vec<_> = d.vertices().map(|v| d.degree(v)).collect();
+        let mut sorted = degs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(degs, sorted);
+    }
+
+    #[test]
+    fn relabel_roundtrip() {
+        let g = triangle_plus_tail();
+        let labeled = g.relabeled(vec![1, 2, 1, 0]);
+        assert!(labeled.is_labeled());
+        assert_eq!(labeled.num_labels(), 3);
+        assert_eq!(labeled.label(1), 2);
+        let back = labeled.unlabeled();
+        assert!(!back.is_labeled());
+        assert_eq!(back.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Registry of dataset stand-ins for the paper's SNAP graphs.
+//!
+//! The paper evaluates on WikiVote, Enron, MiCo, Youtube, LiveJournal, Orkut
+//! and Friendster. Those graphs are not redistributable inside this
+//! repository and are far too large for a software-simulated GPU, so each is
+//! replaced by a deterministic RMAT stand-in whose *shape* (relative size,
+//! density, degree skew) mirrors the original at 10–100x reduced scale. See
+//! DESIGN.md §1 for the substitution rationale. Real SNAP files can be used
+//! instead via [`crate::io::load_edge_list`].
+
+use crate::gen;
+use crate::Graph;
+
+/// The data graphs of the paper's evaluation, as synthetic stand-ins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Stand-in for soc-Wiki-Vote (7.1k nodes, 104k edges): small and dense.
+    WikiVote,
+    /// Stand-in for email-Enron (36.7k nodes, 184k edges).
+    Enron,
+    /// Stand-in for MiCo (100k nodes, 1.08M edges): dense mining graph.
+    MiCo,
+    /// Stand-in for com-Youtube (1.13M nodes, 2.99M edges): large, sparse.
+    Youtube,
+    /// Stand-in for soc-LiveJournal1 (4.8M nodes, 42.9M edges).
+    LiveJournal,
+    /// Stand-in for com-Orkut (3.1M nodes, 117M edges): very dense.
+    Orkut,
+    /// Stand-in for com-Friendster (65.6M nodes, 1.8B edges): the largest.
+    Friendster,
+}
+
+impl Dataset {
+    /// All datasets, in the order the paper's tables list them.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::WikiVote,
+        Dataset::Enron,
+        Dataset::MiCo,
+        Dataset::Youtube,
+        Dataset::LiveJournal,
+        Dataset::Orkut,
+        Dataset::Friendster,
+    ];
+
+    /// The three graphs of Table II (unlabeled experiments).
+    pub const TABLE2: [Dataset; 3] = [Dataset::WikiVote, Dataset::Enron, Dataset::MiCo];
+
+    /// Dataset name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::WikiVote => "WikiVote-s",
+            Dataset::Enron => "Enron-s",
+            Dataset::MiCo => "MiCo-s",
+            Dataset::Youtube => "Youtube-s",
+            Dataset::LiveJournal => "LiveJournal-s",
+            Dataset::Orkut => "Orkut-s",
+            Dataset::Friendster => "Friendster-s",
+        }
+    }
+
+    /// RMAT parameters: (scale, edge_factor, seed, quadrant probabilities).
+    ///
+    /// Scales are chosen so the full 24-query sweep finishes in minutes on a
+    /// multicore host while preserving each graph's relative density and
+    /// skew: WikiVote-s is small/dense, MiCo-s and Orkut-s are the dense
+    /// ones, Youtube-s/LiveJournal-s/Friendster-s are the large sparse ones.
+    fn params(self) -> (u32, usize, u64, (f64, f64, f64, f64)) {
+        match self {
+            Dataset::WikiVote => (8, 6, 0xA1 ^ 0x5717, (0.48, 0.21, 0.21, 0.10)),
+            Dataset::Enron => (9, 4, 0xE2 ^ 0x5717, (0.46, 0.22, 0.22, 0.10)),
+            Dataset::MiCo => (9, 9, 0x3C0 ^ 0x5717, (0.44, 0.23, 0.23, 0.10)),
+            Dataset::Youtube => (11, 2, 0x417 ^ 0x5717, (0.47, 0.22, 0.22, 0.09)),
+            Dataset::LiveJournal => (10, 5, 0x115 ^ 0x5717, (0.46, 0.22, 0.22, 0.10)),
+            Dataset::Orkut => (9, 13, 0x0CC ^ 0x5717, (0.45, 0.22, 0.22, 0.11)),
+            Dataset::Friendster => (11, 4, 0xF12 ^ 0x5717, (0.47, 0.22, 0.22, 0.09)),
+        }
+    }
+
+    /// Generates the stand-in, degree-ordered (hubs first) and named.
+    ///
+    /// Generation is deterministic; repeated calls return identical graphs.
+    pub fn load(self) -> Graph {
+        let (scale, ef, seed, probs) = self.params();
+        gen::rmat_with_probs(scale, ef, seed, probs)
+            .degree_ordered()
+            .with_name(self.name())
+    }
+
+    /// Generates the stand-in with `num_labels` random labels, matching the
+    /// paper's labeled setup ("randomly assign ten labels").
+    pub fn load_labeled(self, num_labels: u32, seed: u64) -> Graph {
+        let g = self.load();
+        gen::assign_random_labels(&g, num_labels, seed).with_name(self.name())
+    }
+}
+
+/// Tiny named test graphs used across the workspace's unit tests.
+pub mod toy {
+    use crate::builder::graph_from_edges;
+    use crate::Graph;
+
+    /// The 5-vertex "house": a 4-cycle with a roof triangle.
+    pub fn house() -> Graph {
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]).with_name("house")
+    }
+
+    /// Two triangles sharing one vertex (bow-tie).
+    pub fn bowtie() -> Graph {
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).with_name("bowtie")
+    }
+
+    /// The paper's running-example data graph shape: a small graph with
+    /// hubs and a tail, large enough to exercise level-3 recursion.
+    pub fn example() -> Graph {
+        graph_from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (4, 6),
+                (0, 7),
+            ],
+        )
+        .with_name("example")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphStats;
+
+    #[test]
+    fn loads_are_deterministic() {
+        let a = Dataset::WikiVote.load();
+        let b = Dataset::WikiVote.load();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Dataset::ALL.len());
+    }
+
+    #[test]
+    fn relative_density_ordering_holds() {
+        // MiCo-s and Orkut-s stand-ins must be denser than Youtube-s.
+        let mico = GraphStats::of(&Dataset::MiCo.load());
+        let orkut = GraphStats::of(&Dataset::Orkut.load());
+        let youtube = GraphStats::of(&Dataset::Youtube.load());
+        assert!(mico.avg_degree() > youtube.avg_degree());
+        assert!(orkut.avg_degree() > youtube.avg_degree());
+    }
+
+    #[test]
+    fn labeled_load_uses_requested_labels() {
+        let g = Dataset::WikiVote.load_labeled(10, 1);
+        assert!(g.is_labeled());
+        assert!(g.vertices().all(|v| g.label(v) < 10));
+    }
+
+    #[test]
+    fn toy_graphs_have_expected_shapes() {
+        assert_eq!(toy::house().num_edges(), 6);
+        assert_eq!(toy::bowtie().degree(2), 4);
+        assert_eq!(toy::example().num_vertices(), 8);
+    }
+}

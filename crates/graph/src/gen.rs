@@ -1,0 +1,320 @@
+//! Deterministic synthetic graph generators.
+//!
+//! All generators take an explicit seed and are fully deterministic, so the
+//! benchmark tables are reproducible run-to-run. The RMAT generator is the
+//! workhorse for the dataset stand-ins: it produces the power-law degree
+//! skew that makes work stealing matter in the paper's evaluation.
+
+use crate::{Graph, GraphBuilder, Label, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi G(n, m): `m` edges sampled uniformly without replacement.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0, "need at least two vertices for edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let target = m.min(max_edges);
+    // Rejection sampling; fine for the sparse graphs we generate.
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    while seen.len() < target {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// RMAT (recursive matrix) generator producing a power-law degree
+/// distribution. `scale` gives `n = 2^scale` vertices; `edge_factor` gives
+/// `m ≈ n * edge_factor` distinct undirected edges. Probabilities follow the
+/// Graph500 defaults (a=0.57, b=0.19, c=0.19, d=0.05) unless overridden.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    rmat_with_probs(scale, edge_factor, seed, (0.57, 0.19, 0.19, 0.05))
+}
+
+/// RMAT with explicit quadrant probabilities `(a, b, c, d)`, `a+b+c+d == 1`.
+pub fn rmat_with_probs(
+    scale: u32,
+    edge_factor: usize,
+    seed: u64,
+    (a, b, c, d): (f64, f64, f64, f64),
+) -> Graph {
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "RMAT probabilities must sum to 1"
+    );
+    let n = 1usize << scale;
+    let m_target = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m_target);
+    // Oversample: duplicates and self-loops get dropped by the builder.
+    let attempts = m_target * 2 + 16;
+    for _ in 0..attempts {
+        let (mut lo_u, mut lo_v) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, half)
+            } else if r < a + b + c {
+                (half, 0)
+            } else {
+                (half, half)
+            };
+            lo_u += du;
+            lo_v += dv;
+            half >>= 1;
+        }
+        builder.add_edge(lo_u as VertexId, lo_v as VertexId);
+    }
+    builder.build()
+}
+
+/// The complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A star: center 0 connected to `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(leaves + 1, leaves);
+    for leaf in 1..=leaves as VertexId {
+        b.add_edge(0, leaf);
+    }
+    b.build()
+}
+
+/// A simple path 0-1-...-(n-1).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// A cycle of `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as VertexId - 1, 0);
+    b.build()
+}
+
+/// `rows x cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::with_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph K_{a,b}.
+pub fn complete_bipartite(a: usize, b_count: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(a + b_count, a * b_count);
+    for u in 0..a as VertexId {
+        for v in 0..b_count as VertexId {
+            b.add_edge(u, a as VertexId + v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert-style preferential attachment: each new vertex attaches
+/// to `m` existing vertices chosen proportional to degree. Produces hubs.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique of m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in (m + 1)..n {
+        let mut chosen = std::collections::HashSet::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            chosen.insert(t);
+        }
+        for &t in &chosen {
+            b.add_edge(new as VertexId, t);
+            endpoints.push(new as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice of `n` vertices each
+/// joined to its `k` nearest neighbors (`k` even), with each edge rewired
+/// to a random endpoint with probability `beta`. High clustering with
+/// short paths — a useful counterpoint to RMAT's hub-dominated skew in
+/// tests.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniformly random non-self endpoint.
+                let mut w = rng.gen_range(0..n);
+                while w == u {
+                    w = rng.gen_range(0..n);
+                }
+                b.add_edge(u as VertexId, w as VertexId);
+            } else {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Assigns `num_labels` labels uniformly at random (seeded) to the vertices,
+/// as the paper does for the labeled-matching experiments ("randomly assign
+/// ten labels to the data and query graphs").
+pub fn assign_random_labels(g: &Graph, num_labels: u32, seed: u64) -> Graph {
+    assert!(num_labels >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels: Vec<Label> = (0..g.num_vertices())
+        .map(|_| rng.gen_range(0..num_labels))
+        .collect();
+    g.relabeled(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_deterministic_and_sized() {
+        let g1 = erdos_renyi(50, 100, 7);
+        let g2 = erdos_renyi(50, 100, 7);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_edges(), 100);
+        let g3 = erdos_renyi(50, 100, 8);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn er_caps_at_complete() {
+        let g = erdos_renyi(5, 1000, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 8, 42);
+        assert!(g.num_vertices() == 1024);
+        assert!(g.num_edges() > 1024); // enough survived dedup
+        // Power-law: max degree far above average degree.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "max {} avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_path_cycle_shapes() {
+        assert_eq!(star(5).degree(0), 5);
+        assert_eq!(path(4).num_edges(), 3);
+        let c = cycle(5);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 3);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.degree(0), 2); // corner
+    }
+
+    #[test]
+    fn bipartite_has_no_triangles() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        for (u, v) in g.edges() {
+            for &w in g.neighbors(v) {
+                assert!(!g.has_edge(u, w) || w == u);
+            }
+        }
+    }
+
+    #[test]
+    fn pa_produces_hubs() {
+        let g = preferential_attachment(200, 2, 3);
+        assert!(g.max_degree() >= 10, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn watts_strogatz_shapes() {
+        // Without rewiring, exactly a ring lattice: every degree == k.
+        let g0 = watts_strogatz(40, 4, 0.0, 1);
+        assert!(g0.vertices().all(|v| g0.degree(v) == 4));
+        assert_eq!(g0.num_edges(), 80);
+        // With rewiring the graph stays near the same size but changes.
+        let g1 = watts_strogatz(40, 4, 0.3, 1);
+        assert_ne!(g0, g1);
+        assert!(g1.num_edges() <= 80); // rewires can collide and dedup
+        // Deterministic per seed.
+        assert_eq!(g1, watts_strogatz(40, 4, 0.3, 1));
+    }
+
+    #[test]
+    fn random_labels_in_range() {
+        let g = assign_random_labels(&complete(20), 10, 99);
+        assert!(g.vertices().all(|v| g.label(v) < 10));
+        assert!(g.is_labeled());
+        // Deterministic.
+        let g2 = assign_random_labels(&complete(20), 10, 99);
+        assert_eq!(g, g2);
+    }
+}

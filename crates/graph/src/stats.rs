@@ -1,0 +1,104 @@
+//! Degree statistics reproducing Table I of the paper.
+
+use crate::Graph;
+
+/// Summary statistics for a data graph — the columns of Table I:
+/// `#nodes, #edges, max degree, median degree, fraction of nodes with
+/// degree > threshold` (the paper uses 4096, the `MAX_DEGREE` slab size).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    pub name: String,
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub max_degree: usize,
+    pub median_degree: usize,
+    /// Fraction (0..=1) of vertices whose degree exceeds `deg_threshold`.
+    pub frac_above_threshold: f64,
+    pub deg_threshold: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics with the paper's 4096 threshold.
+    pub fn of(g: &Graph) -> GraphStats {
+        Self::with_threshold(g, 4096)
+    }
+
+    /// Computes statistics with an explicit degree threshold.
+    pub fn with_threshold(g: &Graph, deg_threshold: usize) -> GraphStats {
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let median_degree = if n == 0 { 0 } else { degrees[n / 2] };
+        let above = degrees.iter().filter(|&&d| d > deg_threshold).count();
+        GraphStats {
+            name: g.name().to_string(),
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            max_degree: *degrees.last().unwrap_or(&0),
+            median_degree,
+            frac_above_threshold: if n == 0 { 0.0 } else { above as f64 / n as f64 },
+            deg_threshold,
+        }
+    }
+
+    /// Average degree `2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} |V|={:<9} |E|={:<10} max_deg={:<6} med_deg={:<4} deg>{}: {:.4}%",
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.median_degree,
+            self.deg_threshold,
+            self.frac_above_threshold * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_star() {
+        let g = gen::star(100).with_name("star100");
+        let s = GraphStats::with_threshold(&g, 50);
+        assert_eq!(s.num_vertices, 101);
+        assert_eq!(s.num_edges, 100);
+        assert_eq!(s.max_degree, 100);
+        assert_eq!(s.median_degree, 1);
+        // Exactly the hub exceeds 50.
+        assert!((s.frac_above_threshold - 1.0 / 101.0).abs() < 1e-12);
+        assert!((s.avg_degree() - 200.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let g = crate::GraphBuilder::new(0).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.frac_above_threshold, 0.0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let g = gen::complete(4).with_name("k4");
+        let line = GraphStats::of(&g).to_string();
+        assert!(line.contains("k4"));
+        assert!(line.contains("|V|=4"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Pattern-level isomorphism utilities.
+//!
+//! Patterns are at most [`crate::MAX_PATTERN_SIZE`] vertices, so exact
+//! brute-force isomorphism (≤ 8! = 40320 permutations) is instant. These
+//! helpers back the catalog's distinctness checks and give users a way to
+//! canonicalize and deduplicate query sets — e.g. when enumerating all
+//! motifs of a size class.
+
+use crate::Pattern;
+
+/// Tests whether two patterns are isomorphic (labels must correspond too).
+pub fn isomorphic(a: &Pattern, b: &Pattern) -> bool {
+    if a.size() != b.size() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    // Cheap invariant: sorted (degree, label) multisets must match.
+    let mut da: Vec<(usize, u32)> = (0..a.size()).map(|u| (a.degree(u), a.label(u))).collect();
+    let mut db: Vec<(usize, u32)> = (0..b.size()).map(|u| (b.degree(u), b.label(u))).collect();
+    da.sort_unstable();
+    db.sort_unstable();
+    if da != db {
+        return false;
+    }
+    let n = a.size();
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        if is_mapping(a, b, &perm) {
+            return true;
+        }
+        if !next_permutation(&mut perm) {
+            return false;
+        }
+    }
+}
+
+fn is_mapping(a: &Pattern, b: &Pattern, perm: &[usize]) -> bool {
+    for u in 0..a.size() {
+        if a.label(u) != b.label(perm[u]) {
+            return false;
+        }
+        for v in (u + 1)..a.size() {
+            if a.has_edge(u, v) != b.has_edge(perm[u], perm[v]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+pub(crate) fn next_permutation(p: &mut [usize]) -> bool {
+    let n = p.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+/// A canonical form for a pattern: the lexicographically smallest
+/// `(label vector, adjacency bitmask vector)` over all vertex
+/// permutations. Two patterns are isomorphic iff their canonical forms are
+/// equal, so this key can deduplicate motif sets in hash maps.
+pub fn canonical_form(p: &Pattern) -> (Vec<u32>, Vec<u8>) {
+    let n = p.size();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best: Option<(Vec<u32>, Vec<u8>)> = None;
+    loop {
+        let mut labels = vec![0u32; n];
+        let mut adj = vec![0u8; n];
+        // inverse[original] = position under perm
+        let mut inverse = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inverse[old] = new;
+        }
+        for old in 0..n {
+            let new = inverse[old];
+            labels[new] = p.label(old);
+            let mut mask = 0u8;
+            for other in 0..n {
+                if p.has_edge(old, other) {
+                    mask |= 1 << inverse[other];
+                }
+            }
+            adj[new] = mask;
+        }
+        let key = (labels, adj);
+        if best.as_ref().is_none_or(|b| key < *b) {
+            best = Some(key);
+        }
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    best.expect("non-empty pattern")
+}
+
+/// Enumerates all connected unlabeled patterns of `n` vertices, up to
+/// isomorphism, by filtering edge subsets through [`canonical_form`].
+/// Practical for `n <= 5` (the size-5 motif catalog has 21 entries); the
+/// tests use it to validate the paper-query catalog's claims.
+pub fn all_connected_motifs(n: usize) -> Vec<Pattern> {
+    assert!((1..=5).contains(&n), "motif enumeration supported for n <= 5");
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << pairs.len()) {
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        if edges.len() + 1 < n {
+            continue; // cannot be connected
+        }
+        // Pattern::new panics on disconnected graphs; pre-check.
+        if !connected(n, &edges) {
+            continue;
+        }
+        let p = Pattern::new(n, &edges);
+        if seen.insert(canonical_form(&p)) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn connected(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut adj = vec![0u8; n];
+    for &(u, v) in edges {
+        adj[u] |= 1 << v;
+        adj[v] |= 1 << u;
+    }
+    let mut seen: u8 = 1;
+    loop {
+        let mut next = seen;
+        let mut m = seen;
+        while m != 0 {
+            let u = m.trailing_zeros() as usize;
+            m &= m - 1;
+            next |= adj[u];
+        }
+        if next == seen {
+            break;
+        }
+        seen = next;
+    }
+    seen.count_ones() as usize == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn paths_are_isomorphic_under_relabeling() {
+        let a = Pattern::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = Pattern::new(4, &[(2, 0), (0, 3), (3, 1)]); // P4 scrambled
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn star_and_path_are_not_isomorphic() {
+        assert!(!isomorphic(&catalog::star3(), &catalog::path(4)));
+    }
+
+    #[test]
+    fn labels_break_isomorphism() {
+        let a = catalog::triangle().with_labels(&[0, 0, 1]);
+        let b = catalog::triangle().with_labels(&[0, 1, 1]);
+        assert!(!isomorphic(&a, &b));
+        let c = catalog::triangle().with_labels(&[1, 0, 0]);
+        assert!(isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn canonical_forms_agree_iff_isomorphic() {
+        let pats = [
+            catalog::square(),
+            catalog::diamond(),
+            catalog::star3(),
+            catalog::path(4),
+            catalog::tailed_triangle(),
+            catalog::k4(),
+        ];
+        for (i, a) in pats.iter().enumerate() {
+            for (j, b) in pats.iter().enumerate() {
+                assert_eq!(
+                    canonical_form(a) == canonical_form(b),
+                    i == j,
+                    "{} vs {}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn motif_counts_match_oeis() {
+        // Connected graphs on n nodes up to isomorphism (OEIS A001349):
+        // 1, 1, 2, 6, 21.
+        assert_eq!(all_connected_motifs(1).len(), 1);
+        assert_eq!(all_connected_motifs(2).len(), 1);
+        assert_eq!(all_connected_motifs(3).len(), 2);
+        assert_eq!(all_connected_motifs(4).len(), 6);
+        assert_eq!(all_connected_motifs(5).len(), 21);
+    }
+
+    #[test]
+    fn size5_paper_queries_are_among_the_21_motifs() {
+        let motifs = all_connected_motifs(5);
+        for i in 1..=8 {
+            let q = catalog::paper_query(i);
+            assert!(
+                motifs.iter().any(|m| isomorphic(m, &q)),
+                "q{i} missing from the size-5 motif catalog"
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Static matching-order selection.
+//!
+//! The paper adopts Dryadic's static matching order for all systems "for
+//! fairness". We implement the same family of connectivity-constrained
+//! greedy orders: start from a max-degree pattern vertex, then repeatedly
+//! pick the unmatched vertex with the most already-matched neighbors
+//! (maximizing pruning by set intersection), breaking ties by pattern degree
+//! and then by vertex id for determinism.
+
+use crate::Pattern;
+
+/// A matching order `π` over the pattern's vertices.
+///
+/// Invariant: for every level `l >= 1`, `π[l]` is adjacent in the pattern to
+/// at least one of `π[0..l]` — the property the backtracking loop relies on
+/// to seed each candidate set from a neighbor list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchOrder {
+    order: Vec<usize>,
+    /// `backward[l]` = bitmask over *positions* `< l` whose pattern vertices
+    /// are adjacent to `π[l]`.
+    backward: Vec<u8>,
+}
+
+impl MatchOrder {
+    /// Degeneracy (k-core) order: repeatedly remove the minimum-degree
+    /// vertex; the *reverse* removal order places dense-core vertices
+    /// first. An alternative to [`MatchOrder::greedy`] that favours early
+    /// pruning on clique-like patterns; exposed so users can plug in
+    /// Dryadic-style order search of their own.
+    pub fn degeneracy(p: &Pattern) -> MatchOrder {
+        let n = p.size();
+        let mut removed = [false; crate::MAX_PATTERN_SIZE];
+        let mut removal = Vec::with_capacity(n);
+        for _ in 0..n {
+            let next = (0..n)
+                .filter(|&u| !removed[u])
+                .min_by_key(|&u| {
+                    let live_deg = (0..n)
+                        .filter(|&v| !removed[v] && p.has_edge(u, v))
+                        .count();
+                    (live_deg, u)
+                })
+                .expect("vertex remains");
+            removed[next] = true;
+            removal.push(next);
+        }
+        removal.reverse();
+        // The reversed removal order may violate connectivity for sparse
+        // patterns (e.g. paths); repair by stable-moving each offender
+        // after one of its neighbors.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut pending = removal;
+        while !pending.is_empty() {
+            let pos = pending
+                .iter()
+                .position(|&u| {
+                    order.is_empty() || order.iter().any(|&v| p.has_edge(u, v))
+                })
+                .expect("pattern is connected");
+            order.push(pending.remove(pos));
+        }
+        MatchOrder::from_order(p, order)
+    }
+
+    /// Greedy max-connectivity order (see module docs).
+    pub fn greedy(p: &Pattern) -> MatchOrder {
+        let n = p.size();
+        let start = (0..n)
+            .max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u)))
+            .expect("pattern is non-empty");
+        let mut order = Vec::with_capacity(n);
+        let mut in_order = [false; crate::MAX_PATTERN_SIZE];
+        order.push(start);
+        in_order[start] = true;
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&u| !in_order[u])
+                .max_by_key(|&u| {
+                    let back = order.iter().filter(|&&v| p.has_edge(u, v)).count();
+                    (back, p.degree(u), std::cmp::Reverse(u))
+                })
+                .expect("some vertex remains");
+            // Connectivity of the pattern guarantees back >= 1 once the
+            // frontier is non-empty; assert in debug builds.
+            debug_assert!(
+                order.iter().any(|&v| p.has_edge(next, v)),
+                "greedy order broke connectivity"
+            );
+            order.push(next);
+            in_order[next] = true;
+        }
+        MatchOrder::from_order(p, order)
+    }
+
+    /// Wraps an explicit order, validating the connectivity invariant.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the pattern's vertices or
+    /// violates the connectivity invariant.
+    pub fn from_order(p: &Pattern, order: Vec<usize>) -> MatchOrder {
+        let n = p.size();
+        assert_eq!(order.len(), n, "order length mismatch");
+        let mut seen = [false; crate::MAX_PATTERN_SIZE];
+        for &u in &order {
+            assert!(u < n, "vertex {u} out of range");
+            assert!(!seen[u], "vertex {u} repeated in order");
+            seen[u] = true;
+        }
+        let mut backward = Vec::with_capacity(n);
+        for l in 0..n {
+            let mut mask = 0u8;
+            for (pos, &v) in order[..l].iter().enumerate() {
+                if p.has_edge(order[l], v) {
+                    mask |= 1 << pos;
+                }
+            }
+            assert!(
+                l == 0 || mask != 0,
+                "order position {l} (vertex {}) has no matched neighbor",
+                order[l]
+            );
+            backward.push(mask);
+        }
+        MatchOrder { order, backward }
+    }
+
+    /// Pattern size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the order is empty (never, for valid patterns).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The pattern vertex matched at level `l`.
+    #[inline]
+    pub fn vertex_at(&self, l: usize) -> usize {
+        self.order[l]
+    }
+
+    /// The full order `π`.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The position of pattern vertex `u` in the order.
+    pub fn position_of(&self, u: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&v| v == u)
+            .expect("vertex in order")
+    }
+
+    /// Bitmask over positions `< l` adjacent to `π[l]`.
+    #[inline]
+    pub fn backward_mask(&self, l: usize) -> u8 {
+        self.backward[l]
+    }
+
+    /// Iterator over backward-neighbor positions of level `l` in ascending
+    /// order.
+    pub fn backward_positions(&self, l: usize) -> impl Iterator<Item = usize> {
+        let mut mask = self.backward[l];
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                None
+            } else {
+                let pos = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                Some(pos)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn greedy_order_is_connected_for_all_paper_queries() {
+        for q in catalog::all_paper_queries() {
+            let o = MatchOrder::greedy(&q);
+            assert_eq!(o.len(), q.size());
+            for l in 1..o.len() {
+                assert_ne!(o.backward_mask(l), 0, "{} level {l}", q.name());
+            }
+        }
+    }
+
+    #[test]
+    fn clique_order_has_full_backward_masks() {
+        let o = MatchOrder::greedy(&catalog::clique(5));
+        for l in 0..5 {
+            assert_eq!(o.backward_mask(l), (1u8 << l) - 1);
+        }
+    }
+
+    #[test]
+    fn path_order_prefers_dense_frontier() {
+        // For P4 = 0-1-2-3 the greedy order starts at an interior vertex
+        // (degree 2) and must stay connected.
+        let p = catalog::path(4);
+        let o = MatchOrder::greedy(&p);
+        assert!(p.degree(o.vertex_at(0)) == 2);
+    }
+
+    #[test]
+    fn explicit_order_validation() {
+        let p = catalog::triangle();
+        let o = MatchOrder::from_order(&p, vec![2, 0, 1]);
+        assert_eq!(o.position_of(0), 1);
+        assert_eq!(o.backward_positions(2).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no matched neighbor")]
+    fn rejects_disconnected_order() {
+        // 0-1-2-3 path: order [0, 3, ...] breaks connectivity at level 1.
+        let p = catalog::path(4);
+        let _ = MatchOrder::from_order(&p, vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn degeneracy_order_is_valid_for_all_paper_queries() {
+        for q in catalog::all_paper_queries() {
+            let o = MatchOrder::degeneracy(&q);
+            assert_eq!(o.len(), q.size());
+            for l in 1..o.len() {
+                assert_ne!(o.backward_mask(l), 0, "{} level {l}", q.name());
+            }
+        }
+    }
+
+    #[test]
+    fn degeneracy_order_puts_core_first_on_lollipop() {
+        // K4 with a pendant: the pendant is removed first, so it lands
+        // last in the matching order.
+        let p = catalog::paper_query(5);
+        let o = MatchOrder::degeneracy(&p);
+        assert_eq!(o.vertex_at(o.len() - 1), 4, "pendant vertex matched last");
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn rejects_duplicate_vertices() {
+        let p = catalog::triangle();
+        let _ = MatchOrder::from_order(&p, vec![0, 1, 1]);
+    }
+}

@@ -1,0 +1,268 @@
+//! The query-pattern representation.
+
+use stmatch_graph::{Graph, Label};
+
+/// Maximum number of vertices in a query pattern. The paper evaluates
+/// patterns of up to 7 vertices; we allow 8 so adjacency fits a `u8` bitmask
+/// per vertex and every per-pattern array is stack-sized.
+pub const MAX_PATTERN_SIZE: usize = 8;
+
+/// A small connected query graph.
+///
+/// Adjacency is stored as one bitmask per vertex (`adj[u] & (1 << v) != 0`
+/// iff `{u, v}` is an edge), which makes the plan compiler's subset algebra
+/// trivial. Vertices may carry labels; label 0 with `labeled == false` means
+/// "unlabeled query".
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    n: usize,
+    adj: [u8; MAX_PATTERN_SIZE],
+    labels: [Label; MAX_PATTERN_SIZE],
+    labeled: bool,
+    name: String,
+}
+
+impl Pattern {
+    /// Builds an unlabeled pattern from an edge list.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`MAX_PATTERN_SIZE`], if an edge is out of
+    /// range or a self-loop, or if the pattern is not connected.
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Pattern {
+        assert!(
+            (1..=MAX_PATTERN_SIZE).contains(&n),
+            "pattern size {n} out of range 1..={MAX_PATTERN_SIZE}"
+        );
+        let mut adj = [0u8; MAX_PATTERN_SIZE];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for size {n}");
+            assert_ne!(u, v, "self-loop ({u},{v})");
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+        let p = Pattern {
+            n,
+            adj,
+            labels: [0; MAX_PATTERN_SIZE],
+            labeled: false,
+            name: String::new(),
+        };
+        assert!(p.is_connected(), "pattern must be connected");
+        p
+    }
+
+    /// Names the pattern (used in benchmark tables).
+    pub fn with_name(mut self, name: impl Into<String>) -> Pattern {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns a copy with the given vertex labels.
+    pub fn with_labels(mut self, labels: &[Label]) -> Pattern {
+        assert_eq!(labels.len(), self.n, "label count mismatch");
+        self.labels[..self.n].copy_from_slice(labels);
+        self.labeled = true;
+        self
+    }
+
+    /// Returns a copy with labels drawn uniformly from `0..num_labels` using
+    /// a simple deterministic mix of `seed` (the paper assigns random labels
+    /// to query graphs for the labeled experiments).
+    pub fn with_random_labels(self, num_labels: u32, seed: u64) -> Pattern {
+        assert!(num_labels >= 1);
+        let mut labels = [0 as Label; MAX_PATTERN_SIZE];
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for slot in labels.iter_mut().take(self.n) {
+            // SplitMix64 step: cheap, deterministic, good enough for labels.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *slot = (z % num_labels as u64) as Label;
+        }
+        let n = self.n;
+        let mut p = self;
+        p.labels[..n].copy_from_slice(&labels[..n]);
+        p.labeled = true;
+        p
+    }
+
+    /// Converts a small [`Graph`] into a pattern (vertices must number ≤ 8).
+    pub fn from_graph(g: &Graph) -> Pattern {
+        let n = g.num_vertices();
+        assert!(n <= MAX_PATTERN_SIZE, "graph too large for a pattern");
+        let edges: Vec<(usize, usize)> = g
+            .edges()
+            .map(|(u, v)| (u as usize, v as usize))
+            .collect();
+        let mut p = Pattern::new(n, &edges).with_name(g.name().to_string());
+        if g.is_labeled() {
+            let labels: Vec<Label> = g.vertices().map(|v| g.label(v)).collect();
+            p = p.with_labels(&labels);
+        }
+        p
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj[..self.n]
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
+    }
+
+    /// Pattern name (empty if unnamed).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if `{u, v}` is a pattern edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u] & (1 << v) != 0
+    }
+
+    /// Neighbor bitmask of `u`.
+    #[inline]
+    pub fn adj_mask(&self, u: usize) -> u8 {
+        self.adj[u]
+    }
+
+    /// Degree of `u` within the pattern.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].count_ones() as usize
+    }
+
+    /// Label of vertex `u` (0 when unlabeled).
+    #[inline]
+    pub fn label(&self, u: usize) -> Label {
+        self.labels[u]
+    }
+
+    /// True if the pattern carries labels.
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.labeled
+    }
+
+    /// True if the pattern is a clique.
+    pub fn is_clique(&self) -> bool {
+        (0..self.n).all(|u| self.degree(u) == self.n - 1)
+    }
+
+    fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let mut seen: u8 = 1;
+        let mut frontier: u8 = 1;
+        while frontier != 0 {
+            let mut next: u8 = 0;
+            let mut f = frontier;
+            while f != 0 {
+                let u = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[u];
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as usize >= self.n
+    }
+
+    /// Checks whether the vertex permutation `perm` (pattern → pattern) is an
+    /// automorphism: preserves adjacency and labels.
+    pub fn is_automorphism(&self, perm: &[usize]) -> bool {
+        debug_assert_eq!(perm.len(), self.n);
+        for u in 0..self.n {
+            if self.labels[u] != self.labels[perm[u]] {
+                return false;
+            }
+            for v in (u + 1)..self.n {
+                if self.has_edge(u, v) != self.has_edge(perm[u], perm[v]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(n={}, m={})", self.name, self.n, self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_basics() {
+        let t = Pattern::new(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.is_clique());
+        assert!(t.has_edge(0, 2));
+        assert_eq!(t.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let _ = Pattern::new(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = Pattern::new(2, &[(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let p = Pattern::new(3, &[(0, 1), (1, 2), (2, 0)]).with_labels(&[5, 6, 5]);
+        assert!(p.is_labeled());
+        assert_eq!(p.label(1), 6);
+    }
+
+    #[test]
+    fn random_labels_are_deterministic_and_in_range() {
+        let p = Pattern::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = p.clone().with_random_labels(10, 42);
+        let b = p.with_random_labels(10, 42);
+        assert_eq!(a, b);
+        for u in 0..4 {
+            assert!(a.label(u) < 10);
+        }
+    }
+
+    #[test]
+    fn automorphism_checks() {
+        let path = Pattern::new(3, &[(0, 1), (1, 2)]);
+        assert!(path.is_automorphism(&[2, 1, 0])); // reversal
+        assert!(!path.is_automorphism(&[1, 0, 2])); // breaks adjacency
+        let labeled = path.with_labels(&[1, 0, 2]);
+        assert!(!labeled.is_automorphism(&[2, 1, 0])); // labels differ
+    }
+
+    #[test]
+    fn from_graph_roundtrip() {
+        let g = stmatch_graph::builder::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = Pattern::from_graph(&g);
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.num_edges(), 4);
+        assert!(!p.is_labeled());
+    }
+}

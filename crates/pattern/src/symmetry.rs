@@ -1,0 +1,206 @@
+//! Pattern automorphisms and symmetry-breaking partial orders.
+//!
+//! Without symmetry breaking, a pattern with `|Aut(P)|` automorphisms is
+//! reported `|Aut(P)|` times per subgraph. Graph-mining systems (Dryadic
+//! included) break the symmetry with a partial order over the pattern
+//! vertices derived from the automorphism group, so each subgraph is
+//! enumerated exactly once. We use the classic orbit–stabilizer scheme:
+//! repeatedly pick the first vertex not fixed by the remaining group, order
+//! it below its orbit, and restrict the group to the stabilizer.
+
+use crate::order::MatchOrder;
+use crate::Pattern;
+
+/// Enumerates all automorphisms of `p` (label-preserving adjacency-preserving
+/// permutations). Brute force over at most `8! = 40320` permutations, which
+/// is instant for pattern-sized graphs.
+pub fn automorphisms(p: &Pattern) -> Vec<Vec<usize>> {
+    let n = p.size();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut result = Vec::new();
+    loop {
+        if p.is_automorphism(&perm) {
+            result.push(perm.clone());
+        }
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    result
+}
+
+fn next_permutation(p: &mut [usize]) -> bool {
+    let n = p.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+/// A single symmetry-breaking constraint: the data vertex matched to pattern
+/// vertex `small` must be numerically less than the one matched to `large`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LessThan {
+    pub small: usize,
+    pub large: usize,
+}
+
+/// Computes a set of [`LessThan`] constraints over pattern vertices such
+/// that exactly one embedding per subgraph satisfies all of them.
+///
+/// Orbit–stabilizer: while the remaining group `A` is non-trivial, take the
+/// smallest vertex `v` moved by `A`, add `v < u` for every other vertex `u`
+/// in `v`'s orbit under `A`, then restrict `A` to the stabilizer of `v`.
+pub fn breaking_constraints(p: &Pattern) -> Vec<LessThan> {
+    let mut group = automorphisms(p);
+    let n = p.size();
+    let mut constraints = Vec::new();
+    loop {
+        // Find the smallest vertex moved by any permutation in the group.
+        let moved = (0..n).find(|&v| group.iter().any(|g| g[v] != v));
+        let Some(v) = moved else { break };
+        // Orbit of v.
+        let mut orbit: Vec<usize> = group.iter().map(|g| g[v]).collect();
+        orbit.sort_unstable();
+        orbit.dedup();
+        for &u in orbit.iter().filter(|&&u| u != v) {
+            constraints.push(LessThan { small: v, large: u });
+        }
+        // Stabilizer of v.
+        group.retain(|g| g[v] == v);
+        if group.len() <= 1 {
+            break;
+        }
+    }
+    constraints
+}
+
+/// Direction of a per-level bound during matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// The candidate must be numerically less than the referenced match.
+    Less,
+    /// The candidate must be numerically greater than the referenced match.
+    Greater,
+}
+
+/// Per-level symmetry bounds: `bounds[l]` lists `(earlier_position, Bound)`
+/// pairs the candidate at level `l` must satisfy against already-matched
+/// vertices.
+pub fn bounds_for_order(p: &Pattern, order: &MatchOrder) -> Vec<Vec<(usize, Bound)>> {
+    let constraints = breaking_constraints(p);
+    let mut bounds: Vec<Vec<(usize, Bound)>> = vec![Vec::new(); order.len()];
+    for c in constraints {
+        let ps = order.position_of(c.small);
+        let pl = order.position_of(c.large);
+        if ps < pl {
+            // `large` matched later: its candidate must exceed m[ps].
+            bounds[pl].push((ps, Bound::Greater));
+        } else {
+            // `small` matched later: its candidate must be below m[pl].
+            bounds[ps].push((pl, Bound::Less));
+        }
+    }
+    bounds
+}
+
+/// `|Aut(P)|`, the factor separating embedding counts from subgraph counts.
+pub fn automorphism_count(p: &Pattern) -> usize {
+    automorphisms(p).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn automorphism_counts_of_known_patterns() {
+        assert_eq!(automorphism_count(&catalog::triangle()), 6);
+        assert_eq!(automorphism_count(&catalog::wedge()), 2);
+        assert_eq!(automorphism_count(&catalog::square()), 8);
+        assert_eq!(automorphism_count(&catalog::clique(5)), 120);
+        assert_eq!(automorphism_count(&catalog::path(4)), 2);
+        assert_eq!(automorphism_count(&catalog::star3()), 6);
+        // Diamond (K4 - e): swap the two degree-3 vertices and/or the two
+        // degree-2 vertices.
+        assert_eq!(automorphism_count(&catalog::diamond()), 4);
+    }
+
+    #[test]
+    fn labels_shrink_the_group() {
+        let t = catalog::triangle();
+        assert_eq!(automorphism_count(&t), 6);
+        let labeled = t.with_labels(&[0, 0, 1]);
+        assert_eq!(automorphism_count(&labeled), 2);
+    }
+
+    #[test]
+    fn triangle_constraints_form_total_order() {
+        let cs = breaking_constraints(&catalog::triangle());
+        // v0 < v1, v0 < v2 from orbit of 0; then v1 < v2 from stabilizer.
+        assert_eq!(cs.len(), 3);
+        assert!(cs.contains(&LessThan { small: 0, large: 1 }));
+        assert!(cs.contains(&LessThan { small: 0, large: 2 }));
+        assert!(cs.contains(&LessThan { small: 1, large: 2 }));
+    }
+
+    #[test]
+    fn clique_constraints_count() {
+        // K_n symmetry breaking yields a full chain: n*(n-1)/2 pairs... the
+        // orbit-stabilizer scheme emits (n-1) + (n-2) + ... + 1 constraints.
+        let cs = breaking_constraints(&catalog::clique(5));
+        assert_eq!(cs.len(), 10);
+    }
+
+    #[test]
+    fn asymmetric_pattern_has_no_constraints() {
+        // The smallest asymmetric tree: a 6-path with one extra leaf hung
+        // off vertex 2, giving the center three branches of distinct
+        // lengths (1, 2, 3).
+        let p = Pattern::new(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)],
+        );
+        assert_eq!(automorphism_count(&p), 1);
+        assert!(breaking_constraints(&p).is_empty());
+    }
+
+    #[test]
+    fn bounds_reference_earlier_positions_only() {
+        for q in catalog::all_paper_queries() {
+            let order = MatchOrder::greedy(&q);
+            let bounds = bounds_for_order(&q, &order);
+            for (l, bs) in bounds.iter().enumerate() {
+                for &(pos, _) in bs {
+                    assert!(pos < l, "{}: bound at level {l} references {pos}", q.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wedge_bounds_pick_endpoints() {
+        // Wedge 0-1-2 (center 1): constraints 0 < 2.
+        let p = catalog::wedge();
+        let cs = breaking_constraints(&p);
+        assert_eq!(cs, vec![LessThan { small: 0, large: 2 }]);
+        let order = MatchOrder::greedy(&p);
+        let bounds = bounds_for_order(&p, &order);
+        let total: usize = bounds.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: count triangles and 5-cliques in a synthetic social graph.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::gen;
+use stmatch_pattern::catalog;
+
+fn main() {
+    // A power-law graph standing in for a small social network.
+    let graph = gen::rmat(10, 8, 42).degree_ordered().with_name("demo-social");
+    println!(
+        "graph `{}`: {} vertices, {} edges, max degree {}",
+        graph.name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // The default engine: stack-based matching with two-level work
+    // stealing, loop unrolling (8) and code motion, on a simulated GPU
+    // grid of 4 blocks x 4 warps.
+    let engine = Engine::new(EngineConfig::default());
+
+    for pattern in [catalog::triangle(), catalog::k4(), catalog::clique(5)] {
+        let out = engine.run(&graph, &pattern).expect("launch");
+        println!(
+            "{:<10} {:>12} matches   {:>8.1} ms wall   {:>6.2} Mcycles (sim)   lane util {:>5.1}%",
+            pattern.name(),
+            out.count,
+            out.elapsed_ms(),
+            out.simulated_cycles() as f64 / 1e6,
+            out.metrics.lane_utilization() * 100.0
+        );
+    }
+
+    // Matching is configurable: vertex-induced mode, no symmetry breaking
+    // (count embeddings instead of subgraphs), different unroll size...
+    let mut cfg = EngineConfig::default();
+    cfg.induced = true;
+    cfg.symmetry_breaking = false;
+    let squares = Engine::new(cfg)
+        .run(&graph, &catalog::square())
+        .expect("launch");
+    println!(
+        "vertex-induced square embeddings: {} (each square counted 8x, once per automorphism)",
+        squares.count
+    );
+}

@@ -1,0 +1,32 @@
+//! # stmatch — facade crate
+//!
+//! Re-exports the whole STMatch reproduction workspace under one roof so
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use stmatch::prelude::*;
+//!
+//! let graph = gen::erdos_renyi(64, 256, 1);
+//! let engine = Engine::new(EngineConfig::default());
+//! let triangles = engine.run(&graph, &catalog::triangle()).unwrap().count;
+//! assert!(triangles > 0);
+//! ```
+//!
+//! See the [`stmatch_core`] crate for the engine itself, and the
+//! repository's README / DESIGN.md / EXPERIMENTS.md for the reproduction
+//! story.
+
+pub use stmatch_baselines as baselines;
+pub use stmatch_core as core;
+pub use stmatch_gpusim as gpusim;
+pub use stmatch_graph as graph;
+pub use stmatch_pattern as pattern;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use stmatch_core::{Engine, EngineConfig, Enumeration, MatchOutcome};
+    pub use stmatch_graph::{gen, io, Graph, GraphBuilder, GraphStats};
+    pub use stmatch_graph::datasets::Dataset;
+    pub use stmatch_gpusim::GridConfig;
+    pub use stmatch_pattern::{catalog, MatchPlan, Pattern, PlanOptions};
+}

@@ -1,0 +1,203 @@
+//! Cross-validation and behavioural contracts of the baseline systems:
+//! oracle agreement on wider inputs, memory-model ordering (trie vs full
+//! rows), kernel-launch accounting, and hybrid batching.
+
+use stmatch_baselines::reference::{self, RefOptions};
+use stmatch_baselines::{cuts, dryadic, gsi};
+use stmatch_graph::{gen, Graph};
+use stmatch_gpusim::GridConfig;
+use stmatch_pattern::{catalog, Pattern};
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+fn cuts_cfg() -> cuts::CutsConfig {
+    cuts::CutsConfig {
+        grid: grid(),
+        ..Default::default()
+    }
+}
+
+fn gsi_cfg() -> gsi::GsiConfig {
+    gsi::GsiConfig {
+        grid: grid(),
+        ..Default::default()
+    }
+}
+
+fn graphs() -> Vec<Graph> {
+    vec![
+        gen::erdos_renyi(36, 150, 21).with_name("er36"),
+        gen::preferential_attachment(60, 2, 5)
+            .degree_ordered()
+            .with_name("pa60"),
+        gen::grid(6, 6).with_name("grid6"),
+        gen::complete_bipartite(6, 7).with_name("k67"),
+    ]
+}
+
+#[test]
+fn subgraph_centric_engines_agree_with_oracle_widely() {
+    for g in graphs() {
+        for i in [1usize, 3, 6, 8, 11, 14, 16, 20, 22, 24] {
+            let q = catalog::paper_query(i);
+            let want = reference::count(&g, &q, RefOptions::default());
+            let c = cuts::run(&g, &q, cuts_cfg()).unwrap().count;
+            assert_eq!(c, want, "cuts {} q{i}", g.name());
+            let s = gsi::run(&g, &q, gsi_cfg()).unwrap().count;
+            assert_eq!(s, want, "gsi {} q{i}", g.name());
+        }
+    }
+}
+
+#[test]
+fn dryadic_agrees_with_oracle_widely() {
+    for g in graphs() {
+        for i in [2usize, 4, 7, 9, 12, 15, 18, 21, 23] {
+            let q = catalog::paper_query(i);
+            for induced in [false, true] {
+                let want = reference::count(
+                    &g,
+                    &q,
+                    RefOptions {
+                        induced,
+                        symmetry_breaking: true,
+                    },
+                );
+                let cfg = dryadic::DryadicConfig {
+                    threads: 3,
+                    induced,
+                    ..Default::default()
+                };
+                assert_eq!(
+                    dryadic::run(&g, &q, cfg).count,
+                    want,
+                    "dryadic {} q{i} induced={induced}",
+                    g.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trie_storage_uses_less_memory_than_full_rows() {
+    // On the same workload, the cuTS-like trie (8 B/node, parents shared)
+    // must peak below the GSI-like full-row table (4 B x row width).
+    let g = gen::erdos_renyi(100, 800, 9);
+    let q = catalog::paper_query(8); // K5: width-5 rows vs depth-5 trie
+    let mut ccfg = cuts_cfg();
+    ccfg.batch_roots = usize::MAX; // pure BFS so peaks are comparable
+    let c = cuts::run(&g, &q, ccfg).unwrap();
+    let s = gsi::run(&g, &q, gsi_cfg()).unwrap();
+    assert_eq!(c.count, s.count);
+    assert!(
+        c.peak_memory < s.peak_memory,
+        "trie {} B vs rows {} B",
+        c.peak_memory,
+        s.peak_memory
+    );
+}
+
+#[test]
+fn kernel_launch_counts_follow_the_level_structure() {
+    // A complete graph guarantees non-empty frontiers at every level, so
+    // the engines launch exactly once per extension step.
+    let g = gen::complete(10);
+    for size in [3usize, 5, 7] {
+        let q = catalog::clique(size);
+        let gs = gsi::run(&g, &q, gsi_cfg()).unwrap();
+        assert_eq!(
+            gs.metrics.kernel_launches,
+            (size - 1) as u64,
+            "gsi K{size}: one launch per extension level"
+        );
+        let mut ccfg = cuts_cfg();
+        ccfg.batch_roots = usize::MAX;
+        let cu = cuts::run(&g, &q, ccfg).unwrap();
+        assert_eq!(cu.metrics.kernel_launches, (size - 1) as u64);
+    }
+}
+
+#[test]
+fn hybrid_batching_launch_counts_scale_with_batches() {
+    let g = gen::erdos_renyi(64, 256, 4);
+    let q = catalog::k4();
+    let mut one_batch = cuts_cfg();
+    one_batch.batch_roots = usize::MAX;
+    let a = cuts::run(&g, &q, one_batch).unwrap();
+    let mut many = cuts_cfg();
+    many.batch_roots = 8;
+    let b = cuts::run(&g, &q, many).unwrap();
+    assert_eq!(a.count, b.count);
+    assert!(b.metrics.kernel_launches > a.metrics.kernel_launches);
+    assert!(b.peak_memory <= a.peak_memory);
+}
+
+#[test]
+fn oom_is_deterministic_and_leaves_no_leak() {
+    let g = gen::complete(30);
+    let q = catalog::paper_query(16); // K6 on K30: enormous frontier
+    let mut cfg = cuts_cfg();
+    cfg.memory_limit = 4 * 1024;
+    cfg.batch_roots = 32;
+    for _ in 0..3 {
+        assert!(cuts::run(&g, &q, cfg).is_err(), "must OOM every time");
+    }
+}
+
+#[test]
+fn dryadic_ops_metric_is_deterministic_and_additive() {
+    let g = gen::erdos_renyi(50, 220, 12);
+    let q = catalog::paper_query(8);
+    let base = dryadic::run(
+        &g,
+        &q,
+        dryadic::DryadicConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let again = dryadic::run(
+        &g,
+        &q,
+        dryadic::DryadicConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(base.element_ops, again.element_ops);
+    assert!(base.element_ops > 0);
+}
+
+#[test]
+fn reference_enumeration_matches_engine_enumeration() {
+    use stmatch_core::{Engine, EngineConfig};
+    let g = gen::erdos_renyi(24, 80, 31);
+    for p in [
+        catalog::triangle(),
+        catalog::square(),
+        catalog::paper_query(6),
+    ] {
+        let engine = Engine::new(EngineConfig::default().with_grid(grid()));
+        let mine = engine.enumerate(&g, &p).unwrap();
+        // Remap the oracle's order-position embeddings to pattern-vertex
+        // indexing for comparison.
+        let order = stmatch_pattern::order::MatchOrder::greedy(&p);
+        let mut theirs: Vec<Vec<u32>> = Vec::new();
+        reference::enumerate(&g, &p, RefOptions::default(), |m| {
+            let mut emb = vec![0u32; p.size()];
+            for (pos, &v) in m.iter().enumerate() {
+                emb[order.vertex_at(pos)] = v;
+            }
+            theirs.push(emb);
+        });
+        theirs.sort_unstable();
+        assert_eq!(mine.embeddings, theirs, "{}", p.name());
+    }
+}

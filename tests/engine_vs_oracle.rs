@@ -1,0 +1,127 @@
+//! Cross-validation of the STMatch engine against the reference oracle:
+//! every paper query, both induced modes, labeled and unlabeled, with and
+//! without symmetry breaking, on several small graphs.
+
+use stmatch_baselines::reference::{self, RefOptions};
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_graph::{gen, Graph};
+use stmatch_gpusim::GridConfig;
+use stmatch_pattern::{catalog, Pattern};
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+fn engine_count(g: &Graph, p: &Pattern, induced: bool, symmetry: bool) -> u64 {
+    let mut cfg = EngineConfig::default().with_grid(grid());
+    cfg.induced = induced;
+    cfg.symmetry_breaking = symmetry;
+    Engine::new(cfg).run(g, p).unwrap().count
+}
+
+fn oracle_count(g: &Graph, p: &Pattern, induced: bool, symmetry: bool) -> u64 {
+    reference::count(
+        g,
+        p,
+        RefOptions {
+            induced,
+            symmetry_breaking: symmetry,
+        },
+    )
+}
+
+fn check(g: &Graph, p: &Pattern, induced: bool, symmetry: bool) {
+    let want = oracle_count(g, p, induced, symmetry);
+    let got = engine_count(g, p, induced, symmetry);
+    assert_eq!(
+        got,
+        want,
+        "{} on {} induced={induced} symmetry={symmetry} labeled={}",
+        p.name(),
+        g.name(),
+        p.is_labeled()
+    );
+}
+
+fn small_graphs() -> Vec<Graph> {
+    vec![
+        gen::erdos_renyi(36, 130, 7).with_name("er36"),
+        gen::preferential_attachment(40, 3, 9)
+            .degree_ordered()
+            .with_name("pa40"),
+        gen::complete(9).with_name("k9"),
+        gen::grid(5, 5).with_name("grid5"),
+    ]
+}
+
+#[test]
+fn all_paper_queries_unlabeled_edge_induced() {
+    for g in small_graphs() {
+        for q in catalog::all_paper_queries() {
+            check(&g, &q, false, true);
+        }
+    }
+}
+
+#[test]
+fn all_paper_queries_unlabeled_vertex_induced() {
+    for g in small_graphs() {
+        for q in catalog::all_paper_queries() {
+            check(&g, &q, true, true);
+        }
+    }
+}
+
+#[test]
+fn paper_queries_embedding_counts_no_symmetry() {
+    // Without symmetry breaking counts can be |Aut| times larger; use the
+    // sparser graphs to keep runtimes sane.
+    let graphs = vec![
+        gen::erdos_renyi(30, 90, 3).with_name("er30"),
+        gen::grid(4, 4).with_name("grid4"),
+    ];
+    for g in graphs {
+        for i in [1, 3, 6, 8, 10, 13, 16, 19, 22, 24] {
+            let q = catalog::paper_query(i);
+            check(&g, &q, false, false);
+            check(&g, &q, true, false);
+        }
+    }
+}
+
+#[test]
+fn all_paper_queries_labeled() {
+    for g in small_graphs() {
+        let gl = gen::assign_random_labels(&g, 4, 17).with_name(g.name());
+        for (i, q) in catalog::all_paper_queries().into_iter().enumerate() {
+            let ql = q.with_random_labels(4, i as u64);
+            check(&gl, &ql, false, true);
+            check(&gl, &ql, true, true);
+        }
+    }
+}
+
+#[test]
+fn classic_motifs_all_modes() {
+    for g in small_graphs() {
+        for p in [
+            catalog::triangle(),
+            catalog::wedge(),
+            catalog::square(),
+            catalog::diamond(),
+            catalog::tailed_triangle(),
+            catalog::star3(),
+            catalog::k4(),
+        ] {
+            for induced in [false, true] {
+                for symmetry in [false, true] {
+                    check(&g, &p, induced, symmetry);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! File I/O and dataset-registry integration tests.
+
+use stmatch_graph::datasets::{toy, Dataset};
+use stmatch_graph::{gen, io, GraphStats};
+
+#[test]
+fn edge_list_file_roundtrip() {
+    let g = gen::erdos_renyi(50, 180, 77).with_name("er50");
+    let dir = std::env::temp_dir().join("stmatch-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("er50.txt");
+    // Write a SNAP-style edge list by hand.
+    let mut text = String::from("# comment line\n");
+    for (u, v) in g.edges() {
+        text.push_str(&format!("{u}\t{v}\n"));
+    }
+    std::fs::write(&path, text).unwrap();
+    let loaded = io::load_edge_list(&path).unwrap();
+    assert_eq!(loaded.num_edges(), g.num_edges());
+    assert_eq!(loaded.num_vertices(), g.num_vertices());
+    for (u, v) in g.edges() {
+        assert!(loaded.has_edge(u, v));
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn lg_file_roundtrip_with_labels() {
+    let g = gen::assign_random_labels(&gen::erdos_renyi(40, 120, 5), 6, 9).with_name("labeled40");
+    let dir = std::env::temp_dir().join("stmatch-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("labeled40.lg");
+    let mut buf = Vec::new();
+    io::write_lg(&g, &mut buf).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+    let loaded = io::load_lg(&path).unwrap();
+    assert_eq!(loaded.num_edges(), g.num_edges());
+    for v in g.vertices() {
+        assert_eq!(loaded.label(v), g.label(v));
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn loading_missing_file_errors() {
+    assert!(io::load_edge_list("/nonexistent/definitely-missing.txt").is_err());
+    assert!(io::load_lg("/nonexistent/definitely-missing.lg").is_err());
+}
+
+#[test]
+fn all_datasets_load_and_are_degree_ordered() {
+    for ds in Dataset::ALL {
+        let g = ds.load();
+        assert!(g.num_vertices() > 0, "{}", ds.name());
+        assert!(g.num_edges() > 0, "{}", ds.name());
+        assert_eq!(g.name(), ds.name());
+        // Degree ordering: vertex 0 is a max-degree hub.
+        let max = g.max_degree();
+        assert_eq!(g.degree(0), max, "{} not degree-ordered", ds.name());
+    }
+}
+
+#[test]
+fn dataset_relative_shapes_mirror_the_paper() {
+    // Relative orderings the paper's Table I implies, preserved by the
+    // stand-ins: WikiVote is the smallest; Friendster has the most nodes;
+    // MiCo and Orkut have the highest average degree of their size class.
+    let stats: Vec<GraphStats> = Dataset::ALL.iter().map(|d| GraphStats::of(&d.load())).collect();
+    let by_name = |n: &str| stats.iter().find(|s| s.name.starts_with(n)).unwrap();
+    assert!(by_name("WikiVote").num_vertices <= stats.iter().map(|s| s.num_vertices).min().unwrap());
+    assert_eq!(
+        by_name("Friendster").num_vertices,
+        stats.iter().map(|s| s.num_vertices).max().unwrap()
+    );
+    assert!(by_name("Orkut").avg_degree() > by_name("Youtube").avg_degree());
+    assert!(by_name("MiCo").avg_degree() > by_name("Enron").avg_degree());
+}
+
+#[test]
+fn labeled_datasets_are_deterministic_per_seed() {
+    let a = Dataset::Enron.load_labeled(10, 1);
+    let b = Dataset::Enron.load_labeled(10, 1);
+    let c = Dataset::Enron.load_labeled(10, 2);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn toy_graphs_match_documented_shapes() {
+    let house = toy::house();
+    assert_eq!((house.num_vertices(), house.num_edges()), (5, 6));
+    let bowtie = toy::bowtie();
+    assert_eq!(bowtie.degree(2), 4);
+    let ex = toy::example();
+    assert!(ex.num_edges() >= 10);
+}
+
+#[test]
+fn stats_threshold_column_counts_hubs() {
+    let g = gen::star(5000).with_name("star5000");
+    let s = GraphStats::of(&g); // threshold 4096
+    assert_eq!(s.max_degree, 5000);
+    assert!(s.frac_above_threshold > 0.0);
+    assert!(s.frac_above_threshold < 0.001);
+}
