@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate for stmatch-rs. Must pass with NO network access: the
+# workspace has zero registry dependencies (see DESIGN.md §5), so every
+# cargo invocation runs --offline. A hard wall-clock cap guards each
+# phase so a scheduler deadlock fails the gate instead of hanging it.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+CAP=${CI_PHASE_CAP:-900}   # seconds per phase
+run() {
+    local name=$1; shift
+    echo "==> ${name}: $*"
+    timeout --signal=KILL "${CAP}" "$@"
+    echo "==> ${name}: OK"
+}
+
+run "fmt"   cargo fmt --all --check
+run "build" cargo build --release --offline
+run "test"  cargo test -q --workspace --offline
+
+# Example smoke runs: the two cheapest examples, release profile (already
+# built above), each under the cap.
+run "smoke:quickstart"   cargo run --release --offline --example quickstart
+run "smoke:motif_census" cargo run --release --offline --example motif_census
+
+echo "ci.sh: all phases passed"

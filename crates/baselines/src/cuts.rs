@@ -21,8 +21,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use stmatch_core::setops;
-use stmatch_graph::{Graph, VertexId};
 use stmatch_gpusim::{Grid, GridConfig, GridMetrics, MemoryBudget, OutOfMemory, Warp};
+use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::plan::Base;
 use stmatch_pattern::symmetry::Bound;
 use stmatch_pattern::{LabelMask, MatchPlan, Pattern, PlanOptions};
@@ -227,8 +227,8 @@ fn run_batch(
         // One kernel launch: warps claim frontier chunks and extend them.
         let cursor = AtomicUsize::new(0);
         let matches = AtomicU64::new(0);
-        let results: Vec<parking_lot::Mutex<Vec<TrieNode>>> = (0..grid.config().total_warps())
-            .map(|_| parking_lot::Mutex::new(Vec::new()))
+        let results: Vec<std::sync::Mutex<Vec<TrieNode>>> = (0..grid.config().total_warps())
+            .map(|_| std::sync::Mutex::new(Vec::new()))
             .collect();
         let oom_hit = AtomicU64::new(0);
         let levels_ref = &levels;
@@ -290,7 +290,10 @@ fn run_batch(
                                 oom_hit.store(1, Ordering::Relaxed);
                                 break 'work;
                             }
-                            results[warp.id()].lock().append(&mut out);
+                            results[warp.id()]
+                                .lock()
+                                .expect("own-warp result lock")
+                                .append(&mut out);
                         }
                     }
                 }
@@ -299,7 +302,10 @@ fn run_batch(
                 if memory.try_alloc(out.len() * NODE_BYTES).is_err() {
                     oom_hit.store(1, Ordering::Relaxed);
                 } else {
-                    results[warp.id()].lock().append(&mut out);
+                    results[warp.id()]
+                        .lock()
+                        .expect("own-warp result lock")
+                        .append(&mut out);
                 }
             }
             warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
@@ -314,7 +320,10 @@ fn run_batch(
         agg.merge(&metrics);
         total += matches.load(Ordering::Relaxed);
 
-        let produced: usize = results.iter().map(|r| r.lock().len() * NODE_BYTES).sum();
+        let produced: usize = results
+            .iter()
+            .map(|r| r.lock().expect("own-warp result lock").len() * NODE_BYTES)
+            .sum();
         if oom_hit.load(Ordering::Relaxed) != 0 {
             // Free what this batch allocated and report OOM upward.
             memory.free(allocated + produced);
@@ -330,7 +339,7 @@ fn run_batch(
         allocated += produced;
         let mut next: Vec<TrieNode> = Vec::new();
         for r in &results {
-            next.append(&mut r.lock());
+            next.append(&mut r.lock().expect("own-warp result lock"));
         }
         levels.push(next);
     }
@@ -386,7 +395,15 @@ fn extend_one(
         let (a, b) = scratch.split_at_mut(1);
         {
             let input: &[VertexId] = &a[0];
-            setops::apply_op(warp, graph, &[input], &[operand], op.kind, mask, &mut b[..1]);
+            setops::apply_op(
+                warp,
+                graph,
+                &[input],
+                &[operand],
+                op.kind,
+                mask,
+                &mut b[..1],
+            );
         }
         scratch.swap(0, 1);
     }

@@ -370,7 +370,11 @@ mod tests {
                         symmetry_breaking: true,
                     },
                 );
-                assert_eq!(run(&g, &q, cfg(induced)).count, want, "q{i} induced={induced}");
+                assert_eq!(
+                    run(&g, &q, cfg(induced)).count,
+                    want,
+                    "q{i} induced={induced}"
+                );
             }
         }
     }

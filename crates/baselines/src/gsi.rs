@@ -14,8 +14,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use stmatch_core::setops;
-use stmatch_graph::{Graph, VertexId};
 use stmatch_gpusim::{Grid, GridConfig, GridMetrics, MemoryBudget, OutOfMemory, Warp};
+use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::plan::Base;
 use stmatch_pattern::symmetry::Bound;
 use stmatch_pattern::{LabelMask, MatchPlan, Pattern, PlanOptions};
@@ -84,7 +84,11 @@ pub fn run(graph: &Graph, pattern: &Pattern, cfg: GsiConfig) -> Result<GsiOutcom
 }
 
 /// Runs a pre-compiled (code-motion-free) plan.
-pub fn run_plan(graph: &Graph, plan: &MatchPlan, cfg: GsiConfig) -> Result<GsiOutcome, OutOfMemory> {
+pub fn run_plan(
+    graph: &Graph,
+    plan: &MatchPlan,
+    cfg: GsiConfig,
+) -> Result<GsiOutcome, OutOfMemory> {
     let start = Instant::now();
     let deadline = cfg.timeout.map(|t| start + t);
     let mut timed_out = false;
@@ -132,8 +136,8 @@ pub fn run_plan(graph: &Graph, plan: &MatchPlan, cfg: GsiConfig) -> Result<GsiOu
         let cursor = AtomicUsize::new(0);
         let matches = AtomicU64::new(0);
         let oom_hit = AtomicU64::new(0);
-        let results: Vec<parking_lot::Mutex<Vec<VertexId>>> = (0..grid.config().total_warps())
-            .map(|_| parking_lot::Mutex::new(Vec::new()))
+        let results: Vec<std::sync::Mutex<Vec<VertexId>>> = (0..grid.config().total_warps())
+            .map(|_| std::sync::Mutex::new(Vec::new()))
             .collect();
         let table_ref = &table;
         let metrics = grid.launch(|warp| {
@@ -185,7 +189,10 @@ pub fn run_plan(graph: &Graph, plan: &MatchPlan, cfg: GsiConfig) -> Result<GsiOu
                                 oom_hit.store(1, Ordering::Relaxed);
                                 break 'work;
                             }
-                            results[warp.id()].lock().append(&mut out);
+                            results[warp.id()]
+                                .lock()
+                                .expect("own-warp result lock")
+                                .append(&mut out);
                         }
                     }
                 }
@@ -194,7 +201,10 @@ pub fn run_plan(graph: &Graph, plan: &MatchPlan, cfg: GsiConfig) -> Result<GsiOu
                 if memory.try_alloc(out.len() * 4).is_err() {
                     oom_hit.store(1, Ordering::Relaxed);
                 } else {
-                    results[warp.id()].lock().append(&mut out);
+                    results[warp.id()]
+                        .lock()
+                        .expect("own-warp result lock")
+                        .append(&mut out);
                 }
             }
             warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
@@ -209,7 +219,10 @@ pub fn run_plan(graph: &Graph, plan: &MatchPlan, cfg: GsiConfig) -> Result<GsiOu
         agg.merge(&metrics);
         count += matches.load(Ordering::Relaxed);
 
-        let produced: usize = results.iter().map(|r| r.lock().len() * 4).sum();
+        let produced: usize = results
+            .iter()
+            .map(|r| r.lock().expect("own-warp result lock").len() * 4)
+            .sum();
         if oom_hit.load(Ordering::Relaxed) != 0 {
             memory.free(table_bytes + produced);
             return Err(OutOfMemory {
@@ -224,7 +237,7 @@ pub fn run_plan(graph: &Graph, plan: &MatchPlan, cfg: GsiConfig) -> Result<GsiOu
         // Pure BFS: swap in the next table, free the previous one.
         let mut next: Vec<VertexId> = Vec::new();
         for r in &results {
-            next.append(&mut r.lock());
+            next.append(&mut r.lock().expect("own-warp result lock"));
         }
         memory.free(table_bytes);
         table_bytes = produced;
@@ -279,7 +292,15 @@ fn extend_row(
         let (a, b) = scratch.split_at_mut(1);
         {
             let input: &[VertexId] = &a[0];
-            setops::apply_op(warp, graph, &[input], &[operand], op.kind, mask, &mut b[..1]);
+            setops::apply_op(
+                warp,
+                graph,
+                &[input],
+                &[operand],
+                op.kind,
+                mask,
+                &mut b[..1],
+            );
         }
         scratch.swap(0, 1);
     }

@@ -1,11 +1,12 @@
 //! Criterion mirror of Fig. 12: the naive / localsteal / local+global /
 //! unroll+local+global ablation on a labeled size-6 query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use stmatch_core::{Engine, EngineConfig};
-use stmatch_graph::gen;
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::gen;
 use stmatch_pattern::catalog;
+use stmatch_testkit::bench::Criterion;
+use stmatch_testkit::{criterion_group, criterion_main};
 
 fn grid() -> GridConfig {
     GridConfig {

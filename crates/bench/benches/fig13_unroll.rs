@@ -1,11 +1,12 @@
 //! Criterion mirror of Fig. 13: runtime and (via the harness) lane
 //! utilization across unroll sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stmatch_core::{Engine, EngineConfig};
-use stmatch_graph::gen;
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::gen;
 use stmatch_pattern::catalog;
+use stmatch_testkit::bench::{BenchmarkId, Criterion};
+use stmatch_testkit::{criterion_group, criterion_main};
 
 fn grid() -> GridConfig {
     GridConfig {

@@ -1,11 +1,12 @@
 //! Micro-benchmarks of the warp set operations: the combined (unrolled)
 //! operation of Fig. 8 versus one-set-at-a-time processing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stmatch_core::setops;
-use stmatch_graph::{gen, VertexId};
 use stmatch_gpusim::{Grid, GridConfig};
+use stmatch_graph::{gen, VertexId};
 use stmatch_pattern::{LabelMask, OpKind};
+use stmatch_testkit::bench::{BenchmarkId, Criterion};
+use stmatch_testkit::{criterion_group, criterion_main};
 
 fn one_warp_grid() -> Grid {
     Grid::new(GridConfig {
@@ -45,7 +46,9 @@ fn bench_intersection_sizes(c: &mut Criterion) {
 
 fn bench_combined_vs_single(c: &mut Criterion) {
     let g = gen::complete(2);
-    let sets: Vec<Vec<VertexId>> = (0..8).map(|s| (0..8).map(|v| s * 64 + v * 4).collect()).collect();
+    let sets: Vec<Vec<VertexId>> = (0..8)
+        .map(|s| (0..8).map(|v| s * 64 + v * 4).collect())
+        .collect();
     let operand: Vec<VertexId> = (0..512).collect();
     let mut group = c.benchmark_group("fig8_combined_setop");
     group.bench_function("one_at_a_time", |bench| {
@@ -74,7 +77,15 @@ fn bench_combined_vs_single(c: &mut Criterion) {
                 let ins: Vec<&[VertexId]> = sets.iter().map(|v| v.as_slice()).collect();
                 let ops: Vec<&[VertexId]> = vec![operand.as_slice(); 8];
                 let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); 8];
-                setops::apply_op(w, &g, &ins, &ops, OpKind::Intersect, LabelMask::ALL, &mut outs);
+                setops::apply_op(
+                    w,
+                    &g,
+                    &ins,
+                    &ops,
+                    OpKind::Intersect,
+                    LabelMask::ALL,
+                    &mut outs,
+                );
             })
         });
     });

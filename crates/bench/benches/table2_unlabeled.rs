@@ -1,12 +1,13 @@
 //! Criterion mirror of Table II: STMatch vs the cuTS-like baseline vs the
 //! Dryadic-like CPU baseline on unlabeled queries, at micro scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stmatch_baselines::{cuts, dryadic};
 use stmatch_core::{Engine, EngineConfig};
-use stmatch_graph::gen;
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::gen;
 use stmatch_pattern::catalog;
+use stmatch_testkit::bench::{BenchmarkId, Criterion};
+use stmatch_testkit::{criterion_group, criterion_main};
 
 fn grid() -> GridConfig {
     GridConfig {

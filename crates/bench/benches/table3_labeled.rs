@@ -1,12 +1,13 @@
 //! Criterion mirror of Table III: labeled matching, STMatch vs GSI-like vs
 //! Dryadic-like.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use stmatch_baselines::{dryadic, gsi};
 use stmatch_core::{Engine, EngineConfig};
-use stmatch_graph::gen;
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::gen;
 use stmatch_pattern::catalog;
+use stmatch_testkit::bench::Criterion;
+use stmatch_testkit::{criterion_group, criterion_main};
 
 fn grid() -> GridConfig {
     GridConfig {

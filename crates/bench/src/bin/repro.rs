@@ -89,10 +89,7 @@ fn main() {
 
     println!(
         "repro: timeout {:?}/cell, grid {}x{} warps, queries {:?}",
-        params.timeout,
-        params.grid.num_blocks,
-        params.grid.warps_per_block,
-        queries
+        params.timeout, params.grid.num_blocks, params.grid.warps_per_block, queries
     );
     println!("('-' = exceeded budget, like the paper's 8h timeouts; 'x' = device OOM)");
 

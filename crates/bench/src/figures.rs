@@ -122,7 +122,10 @@ pub fn fig12(p: &RunParams, queries: &[usize]) {
             rows.push(row);
         }
         print_table(
-            &format!("Fig 12: ablation, labeled size-6 queries, {} [Mcyc (speedup)]", ds.name()),
+            &format!(
+                "Fig 12: ablation, labeled size-6 queries, {} [Mcyc (speedup)]",
+                ds.name()
+            ),
             &["query", "naive", "localsteal", "local+global", "unroll+l+g"],
             &rows,
         );
@@ -149,7 +152,10 @@ pub fn fig13(p: &RunParams, queries: &[usize]) {
         rows.push(row);
     }
     print_table(
-        &format!("Fig 13: lane utilization vs unroll size, {} labeled", ds.name()),
+        &format!(
+            "Fig 13: lane utilization vs unroll size, {} labeled",
+            ds.name()
+        ),
         &["query", "u=1", "u=2", "u=4", "u=8"],
         &rows,
     );
@@ -169,13 +175,28 @@ pub fn codemotion(p: &RunParams, queries: &[usize]) {
         without_cfg.code_motion = false;
         let with = harness::run_stmatch_cfg(&g, &plans, with_cfg, p);
         let without = harness::run_stmatch_cfg(&g, &plans, without_cfg, p);
-        let ratio = match (with.sim_mcycles, without.sim_mcycles, with.status, without.status) {
-            (Some(a), Some(b), crate::harness::CellStatus::Done, crate::harness::CellStatus::Done) => {
+        let ratio = match (
+            with.sim_mcycles,
+            without.sim_mcycles,
+            with.status,
+            without.status,
+        ) {
+            (
+                Some(a),
+                Some(b),
+                crate::harness::CellStatus::Done,
+                crate::harness::CellStatus::Done,
+            ) => {
                 format!("{:.2}x", b / a)
             }
             _ => "-".into(),
         };
-        rows.push(vec![format!("q{qi}"), with.sim_text(), without.sim_text(), ratio]);
+        rows.push(vec![
+            format!("q{qi}"),
+            with.sim_text(),
+            without.sim_text(),
+            ratio,
+        ]);
     }
     print_table(
         "Code-motion ablation (naive engine, Enron-s labeled) [Mcyc]",

@@ -3,8 +3,8 @@
 use std::time::Duration;
 use stmatch_baselines::{cuts, dryadic, gsi};
 use stmatch_core::{Engine, EngineConfig};
-use stmatch_graph::Graph;
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::Graph;
 use stmatch_pattern::{MatchPlan, Pattern, PlanOptions};
 
 /// Warp-issue rate of the paper's RTX 3090 in GHz. Converts simulated
@@ -319,7 +319,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         line
     };
     println!("{}", fmt_row(header.to_vec()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row.iter().map(|s| s.as_str()).collect()));
     }

@@ -1,8 +1,6 @@
 //! Regeneration of the paper's tables.
 
-use crate::harness::{
-    self, geomean, print_table, Cell, QueryPlans, RunParams,
-};
+use crate::harness::{self, geomean, print_table, Cell, QueryPlans, RunParams};
 use stmatch_graph::datasets::Dataset;
 use stmatch_graph::{Graph, GraphStats};
 use stmatch_pattern::{catalog, Pattern};
@@ -36,7 +34,9 @@ pub fn table1() {
         .collect();
     print_table(
         "Table I: graph datasets (synthetic stand-ins)",
-        &["graph", "#nodes", "#edges", "max deg", "med deg", "deg>4096"],
+        &[
+            "graph", "#nodes", "#edges", "max deg", "med deg", "deg>4096",
+        ],
         &rows,
     );
 }
@@ -88,7 +88,10 @@ pub fn table2a(p: &RunParams, queries: &[usize]) {
             &rows,
         );
         summary(&format!("{} STMatch vs cuTS (sim)", ds.name()), st_vs_cuts);
-        summary(&format!("{} STMatch vs Dryadic (est)", ds.name()), st_vs_dry_ms);
+        summary(
+            &format!("{} STMatch vs Dryadic (est)", ds.name()),
+            st_vs_dry_ms,
+        );
     }
 }
 
@@ -117,7 +120,15 @@ pub fn table2b(p: &RunParams, queries: &[usize]) {
         }
         print_table(
             &format!("Table II(b): unlabeled vertex-induced, {}", ds.name()),
-            &["query", "STM est-ms", "STM Mcyc", "Dry ms(1c)", "Dry est-ms", "vs Dry x", "count"],
+            &[
+                "query",
+                "STM est-ms",
+                "STM Mcyc",
+                "Dry ms(1c)",
+                "Dry est-ms",
+                "vs Dry x",
+                "count",
+            ],
             &rows,
         );
         summary(&format!("{} STMatch vs Dryadic (est)", ds.name()), speedups);
@@ -180,7 +191,10 @@ pub fn table3(p: &RunParams, queries: &[usize]) {
             &rows,
         );
         summary(&format!("{} STMatch vs GSI (sim)", ds.name()), st_vs_gsi);
-        summary(&format!("{} STMatch vs Dryadic (est)", ds.name()), st_vs_dry);
+        summary(
+            &format!("{} STMatch vs Dryadic (est)", ds.name()),
+            st_vs_dry,
+        );
     }
 }
 

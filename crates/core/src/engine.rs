@@ -4,10 +4,10 @@
 use crate::config::EngineConfig;
 use crate::kernel::WarpKernel;
 use crate::steal::Board;
-use parking_lot::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
-use stmatch_graph::{Graph, VertexId};
 use stmatch_gpusim::{Grid, GridMetrics, LaunchError, MemoryBudget, SharedBudget};
+use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::{MatchPlan, Pattern, PlanOptions};
 
 /// Result of an enumeration run: the embeddings plus the usual outcome.
@@ -153,7 +153,9 @@ impl Engine {
     ) -> Result<Enumeration, LaunchError> {
         let collector = Mutex::new(Vec::new());
         let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector))?;
-        let mut embeddings = collector.into_inner();
+        let mut embeddings = collector
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         embeddings.sort_unstable();
         debug_assert_eq!(embeddings.len() as u64, outcome.count);
         Ok(Enumeration {
@@ -249,7 +251,11 @@ impl Engine {
         // spreads the skew so all devices get comparable work (the paper
         // "divides the outermost loop iterations across GPUs"). The board
         // dispenses virtual indices; the kernel maps them to vertex ids.
-        let device_count = if n > device { (n - device).div_ceil(devices) } else { 0 };
+        let device_count = if n > device {
+            (n - device).div_ceil(devices)
+        } else {
+            0
+        };
         let mut board = Board::new(
             cfg.grid.num_blocks,
             cfg.grid.warps_per_block,
@@ -303,9 +309,7 @@ impl Engine {
                         warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
                         break 'outer;
                     }
-                    if board.chunks_remain()
-                        || (cfg.local_steal && board.any_local_victim(me))
-                    {
+                    if board.chunks_remain() || (cfg.local_steal && board.any_local_victim(me)) {
                         board.mark_busy(me);
                         warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
                         continue 'outer;
@@ -313,8 +317,7 @@ impl Engine {
                     if cfg.global_steal {
                         if let Some(p) = board.try_claim_global(me) {
                             // try_claim_global marked us busy already.
-                            warp.metrics_mut().idle_nanos +=
-                                idle_start.elapsed().as_nanos() as u64;
+                            warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
                             warp.metrics_mut().global_steal_receives += 1;
                             warp.metrics_mut().simt_instructions += 256;
                             let t = Instant::now();
@@ -328,7 +331,12 @@ impl Engine {
                 }
             }
             if let Some(c) = collector {
-                c.lock().append(&mut kernel.take_emitted());
+                // Poison recovery as in steal.rs: embeddings are appended
+                // atomically per warp, so a panicking sibling cannot tear
+                // this vector.
+                c.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .append(&mut kernel.take_emitted());
             }
         });
         (metrics, board.aborted())
@@ -351,13 +359,19 @@ mod tests {
     }
 
     fn run_cfg(cfg: EngineConfig, g: &Graph, p: &Pattern) -> u64 {
-        Engine::new(cfg.with_grid(small_grid())).run(g, p).unwrap().count
+        Engine::new(cfg.with_grid(small_grid()))
+            .run(g, p)
+            .unwrap()
+            .count
     }
 
     #[test]
     fn triangles_in_k6() {
         let g = gen::complete(6);
-        assert_eq!(run_cfg(EngineConfig::default(), &g, &catalog::triangle()), 20);
+        assert_eq!(
+            run_cfg(EngineConfig::default(), &g, &catalog::triangle()),
+            20
+        );
     }
 
     #[test]
@@ -404,7 +418,12 @@ mod tests {
             with.code_motion = true;
             let mut without = EngineConfig::default();
             without.code_motion = false;
-            assert_eq!(run_cfg(with, &g, &q), run_cfg(without, &g, &q), "{}", q.name());
+            assert_eq!(
+                run_cfg(with, &g, &q),
+                run_cfg(without, &g, &q),
+                "{}",
+                q.name()
+            );
         }
     }
 
@@ -414,7 +433,10 @@ mod tests {
         let p = catalog::paper_query(2); // C5
         let expected = run_cfg(EngineConfig::default().with_unroll(1), &g, &p);
         for u in [2, 4, 8, 16] {
-            assert_eq!(run_cfg(EngineConfig::default().with_unroll(u), &g, &p), expected);
+            assert_eq!(
+                run_cfg(EngineConfig::default().with_unroll(u), &g, &p),
+                expected
+            );
         }
     }
 

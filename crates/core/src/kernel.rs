@@ -19,8 +19,8 @@
 use crate::config::EngineConfig;
 use crate::setops;
 use crate::steal::{Board, StealPayload};
-use stmatch_graph::{Graph, VertexId};
 use stmatch_gpusim::Warp;
+use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::plan::Base;
 use stmatch_pattern::symmetry::Bound;
 use stmatch_pattern::{LabelMask, MatchPlan};
@@ -391,7 +391,11 @@ impl<'a> WarpKernel<'a> {
             .candidate_set(l)
             .expect("levels >= 1 have candidate sets") as usize;
         let def_level = self.plan.sets()[cid].level as usize;
-        let slot = if def_level == l { u } else { self.uiter[def_level] };
+        let slot = if def_level == l {
+            u
+        } else {
+            self.uiter[def_level]
+        };
         (cid, slot)
     }
 
@@ -444,7 +448,11 @@ impl<'a> WarpKernel<'a> {
                     let uiter = &self.uiter;
                     let inputs: Vec<&[VertexId]> = (0..m)
                         .map(|u| {
-                            let slot = if dep_level == level { u } else { uiter[dep_level] };
+                            let slot = if dep_level == level {
+                                u
+                            } else {
+                                uiter[dep_level]
+                            };
                             storage.slot(dep, slot)
                         })
                         .collect();

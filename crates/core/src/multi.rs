@@ -10,8 +10,8 @@
 //! that determines wall clock on real hardware.
 
 use crate::engine::{Engine, MatchOutcome};
-use stmatch_graph::Graph;
 use stmatch_gpusim::LaunchError;
+use stmatch_graph::Graph;
 use stmatch_pattern::Pattern;
 
 /// Aggregated result of a multi-device run.

@@ -11,8 +11,8 @@
 //! one-set-at-a-time operation whose lane utilization is bounded by the
 //! data graph's (usually small) degrees — the effect Fig. 13 quantifies.
 
-use stmatch_graph::{Graph, VertexId};
 use stmatch_gpusim::{Warp, WARP_SIZE};
+use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::{LabelMask, OpKind};
 
 /// Copies `sources[u]` into `outs[u]` keeping only vertices admitted by

@@ -19,8 +19,8 @@
 //!   of their shallowest remaining range into the target block's
 //!   `global_stks` slot (Fig. 6).
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use stmatch_graph::VertexId;
 
@@ -71,8 +71,16 @@ impl Mirror {
     }
 
     /// Locks the mirror state.
-    pub fn lock(&self) -> parking_lot::MutexGuard<'_, MirrorState> {
-        self.state.lock()
+    ///
+    /// Poison handling: a poisoned mirror means some warp thread panicked
+    /// while holding the lock. The state is plain cursors (`iter`/`size`/
+    /// `matched` arrays) with no invariant spanning multiple fields that a
+    /// mid-update panic could tear — any torn write at worst re-exposes
+    /// already-claimed iterations, which the claim paths re-validate under
+    /// the lock. So we recover the guard instead of propagating the
+    /// poison; the original panic still unwinds through the grid launch.
+    pub fn lock(&self) -> MutexGuard<'_, MirrorState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -305,7 +313,7 @@ impl Board {
             if b == my_block || self.is_idle[b].load(Ordering::SeqCst) != full {
                 continue;
             }
-            let mut slot = self.slots[b].lock();
+            let mut slot = self.slots[b].lock().unwrap_or_else(PoisonError::into_inner);
             if slot.is_some() {
                 continue;
             }
@@ -329,7 +337,9 @@ impl Board {
     /// busy in the same critical section.
     pub fn try_claim_global(&self, me: usize) -> Option<StealPayload> {
         let block = me / self.warps_per_block;
-        let mut slot = self.slots[block].lock();
+        let mut slot = self.slots[block]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let payload = slot.take()?;
         // Become busy *before* decrementing pending so `finished()` can
         // never observe both counters at zero while work is in flight.
@@ -493,7 +503,10 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         let mut covered = vec![false; 10_000];
         for (lo, hi) in ranges {

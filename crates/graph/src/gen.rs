@@ -6,8 +6,7 @@
 //! skew that makes work stealing matter in the paper's evaluation.
 
 use crate::{Graph, GraphBuilder, Label, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use stmatch_testkit::rng::{Rng, SmallRng};
 
 /// Erdős–Rényi G(n, m): `m` edges sampled uniformly without replacement.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
@@ -165,10 +164,16 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
         }
     }
     for new in (m + 1)..n {
-        let mut chosen = std::collections::HashSet::with_capacity(m);
+        // Insertion-ordered Vec, not a HashSet: iterating a HashSet walks
+        // RandomState order, which differs per process and broke the
+        // cross-process determinism the golden-count fixtures pin. `m` is
+        // tiny, so the linear dedup scan is free.
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
         while chosen.len() < m {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            chosen.insert(t);
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
         }
         for &t in &chosen {
             b.add_edge(new as VertexId, t);
@@ -245,7 +250,7 @@ mod tests {
         let g = rmat(10, 8, 42);
         assert!(g.num_vertices() == 1024);
         assert!(g.num_edges() > 1024); // enough survived dedup
-        // Power-law: max degree far above average degree.
+                                       // Power-law: max degree far above average degree.
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(
             g.max_degree() as f64 > 4.0 * avg,
@@ -304,7 +309,7 @@ mod tests {
         let g1 = watts_strogatz(40, 4, 0.3, 1);
         assert_ne!(g0, g1);
         assert!(g1.num_edges() <= 80); // rewires can collide and dedup
-        // Deterministic per seed.
+                                       // Deterministic per seed.
         assert_eq!(g1, watts_strogatz(40, 4, 0.3, 1));
     }
 

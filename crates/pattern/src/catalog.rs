@@ -113,18 +113,13 @@ pub fn paper_query(i: usize) -> Pattern {
         1 => path(5),
         2 => cycle(5),
         // House: 4-cycle 0-1-2-3 with a roof vertex 4 over edge {0,1}.
-        3 => Pattern::new(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
-            .with_name("house"),
+        3 => Pattern::new(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]).with_name("house"),
         4 => tailed_cycle(5),
         // Lollipop: K4 on {0,1,2,3} plus pendant 4 on vertex 3.
-        5 => Pattern::new(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        )
-        .with_name("lollipop5"),
+        5 => Pattern::new(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)])
+            .with_name("lollipop5"),
         // Bowtie: triangles {0,1,2} and {2,3,4} sharing vertex 2.
-        6 => Pattern::new(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
-            .with_name("bowtie"),
+        6 => Pattern::new(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).with_name("bowtie"),
         7 => clique_minus_edge(5),
         8 => clique(5),
         // ---- size 6: q9..q16 ----
@@ -149,8 +144,7 @@ pub fn paper_query(i: usize) -> Pattern {
         .with_name("prism"),
         12 => tailed_cycle(6),
         // Net: triangle {0,1,2} with one pendant per corner.
-        13 => Pattern::new(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5)])
-            .with_name("net"),
+        13 => Pattern::new(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5)]).with_name("net"),
         14 => wheel(6),
         15 => clique_minus_edge(6),
         16 => clique(6),
@@ -259,7 +253,9 @@ mod tests {
                 di.sort_unstable();
                 dj.sort_unstable();
                 assert!(
-                    di != dj || qs[i].num_edges() != qs[j].num_edges() || !isomorphic(&qs[i], &qs[j]),
+                    di != dj
+                        || qs[i].num_edges() != qs[j].num_edges()
+                        || !isomorphic(&qs[i], &qs[j]),
                     "q{} and q{} are isomorphic",
                     i + 1,
                     j + 1
@@ -273,9 +269,9 @@ mod tests {
         let n = a.size();
         let mut perm: Vec<usize> = (0..n).collect();
         loop {
-            if (0..n).all(|u| {
-                (0..n).all(|v| u == v || a.has_edge(u, v) == b.has_edge(perm[u], perm[v]))
-            }) {
+            if (0..n)
+                .all(|u| (0..n).all(|v| u == v || a.has_edge(u, v) == b.has_edge(perm[u], perm[v])))
+            {
                 return true;
             }
             if !next_permutation(&mut perm) {

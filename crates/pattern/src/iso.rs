@@ -111,7 +111,10 @@ pub fn canonical_form(p: &Pattern) -> (Vec<u32>, Vec<u8>) {
 /// Practical for `n <= 5` (the size-5 motif catalog has 21 entries); the
 /// tests use it to validate the paper-query catalog's claims.
 pub fn all_connected_motifs(n: usize) -> Vec<Pattern> {
-    assert!((1..=5).contains(&n), "motif enumeration supported for n <= 5");
+    assert!(
+        (1..=5).contains(&n),
+        "motif enumeration supported for n <= 5"
+    );
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
         .collect();

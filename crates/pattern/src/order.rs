@@ -36,9 +36,7 @@ impl MatchOrder {
             let next = (0..n)
                 .filter(|&u| !removed[u])
                 .min_by_key(|&u| {
-                    let live_deg = (0..n)
-                        .filter(|&v| !removed[v] && p.has_edge(u, v))
-                        .count();
+                    let live_deg = (0..n).filter(|&v| !removed[v] && p.has_edge(u, v)).count();
                     (live_deg, u)
                 })
                 .expect("vertex remains");
@@ -54,9 +52,7 @@ impl MatchOrder {
         while !pending.is_empty() {
             let pos = pending
                 .iter()
-                .position(|&u| {
-                    order.is_empty() || order.iter().any(|&v| p.has_edge(u, v))
-                })
+                .position(|&u| order.is_empty() || order.iter().any(|&v| p.has_edge(u, v)))
                 .expect("pattern is connected");
             order.push(pending.remove(pos));
         }

@@ -92,10 +92,7 @@ impl Pattern {
     pub fn from_graph(g: &Graph) -> Pattern {
         let n = g.num_vertices();
         assert!(n <= MAX_PATTERN_SIZE, "graph too large for a pattern");
-        let edges: Vec<(usize, usize)> = g
-            .edges()
-            .map(|(u, v)| (u as usize, v as usize))
-            .collect();
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u as usize, v as usize)).collect();
         let mut p = Pattern::new(n, &edges).with_name(g.name().to_string());
         if g.is_labeled() {
             let labels: Vec<Label> = g.vertices().map(|v| g.label(v)).collect();

@@ -309,52 +309,51 @@ impl MatchPlan {
             }
         }
 
-        let intern_prefix =
-            |prefix: &[ChainOp],
-             sets: &mut Vec<SetDef>,
-             trie: &mut HashMap<Vec<ChainOp>, u16>|
-             -> u16 {
-                if let Some(&id) = trie.get(prefix) {
-                    return id;
-                }
-                // Intern parents first (recursively, iteratively here).
-                let mut parent: Option<u16> = None;
-                for plen in 1..=prefix.len() {
-                    let key = &prefix[..plen];
-                    if let Some(&id) = trie.get(key) {
-                        parent = Some(id);
-                        continue;
-                    }
-                    let level = key.iter().map(|op| op.pos + 1).max().unwrap();
-                    let mask = if labeled {
-                        masks.get(key).copied().unwrap_or(LabelMask::NONE)
-                    } else {
-                        LabelMask::ALL
-                    };
-                    let def = if plen == 1 {
-                        SetDef {
-                            level,
-                            base: Base::Neighbors(key[0].pos),
-                            ops: Vec::new(),
-                            mask,
-                            target_label: None,
-                        }
-                    } else {
-                        SetDef {
-                            level,
-                            base: Base::Set(parent.expect("parent interned")),
-                            ops: vec![*key.last().unwrap()],
-                            mask,
-                            target_label: None,
-                        }
-                    };
-                    let id = sets.len() as u16;
-                    sets.push(def);
-                    trie.insert(key.to_vec(), id);
+        let intern_prefix = |prefix: &[ChainOp],
+                             sets: &mut Vec<SetDef>,
+                             trie: &mut HashMap<Vec<ChainOp>, u16>|
+         -> u16 {
+            if let Some(&id) = trie.get(prefix) {
+                return id;
+            }
+            // Intern parents first (recursively, iteratively here).
+            let mut parent: Option<u16> = None;
+            for plen in 1..=prefix.len() {
+                let key = &prefix[..plen];
+                if let Some(&id) = trie.get(key) {
                     parent = Some(id);
+                    continue;
                 }
-                parent.unwrap()
-            };
+                let level = key.iter().map(|op| op.pos + 1).max().unwrap();
+                let mask = if labeled {
+                    masks.get(key).copied().unwrap_or(LabelMask::NONE)
+                } else {
+                    LabelMask::ALL
+                };
+                let def = if plen == 1 {
+                    SetDef {
+                        level,
+                        base: Base::Neighbors(key[0].pos),
+                        ops: Vec::new(),
+                        mask,
+                        target_label: None,
+                    }
+                } else {
+                    SetDef {
+                        level,
+                        base: Base::Set(parent.expect("parent interned")),
+                        ops: vec![*key.last().unwrap()],
+                        mask,
+                        target_label: None,
+                    }
+                };
+                let id = sets.len() as u16;
+                sets.push(def);
+                trie.insert(key.to_vec(), id);
+                parent = Some(id);
+            }
+            parent.unwrap()
+        };
 
         // Dedup of labeled candidate sets by (chain, label).
         let mut cand_cache: HashMap<(Vec<ChainOp>, Label), u16> = HashMap::new();
@@ -694,7 +693,11 @@ mod tests {
             .iter()
             .filter(|s| s.target_label.is_none() && !s.mask.is_all())
             .any(|s| s.mask.label_count().unwrap_or(0) >= 2);
-        assert!(merged, "expected a merged multi-label intermediate: {:?}", plan.sets());
+        assert!(
+            merged,
+            "expected a merged multi-label intermediate: {:?}",
+            plan.sets()
+        );
     }
 
     #[test]

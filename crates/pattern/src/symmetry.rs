@@ -171,10 +171,7 @@ mod tests {
         // The smallest asymmetric tree: a 6-path with one extra leaf hung
         // off vertex 2, giving the center three branches of distinct
         // lengths (1, 2, 3).
-        let p = Pattern::new(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)],
-        );
+        let p = Pattern::new(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6)]);
         assert_eq!(automorphism_count(&p), 1);
         assert!(breaking_constraints(&p).is_empty());
     }

@@ -1,0 +1,355 @@
+//! Criterion-free bench timer.
+//!
+//! Exposes just enough of the criterion API surface — [`Criterion`],
+//! [`BenchmarkId`], `benchmark_group`, `bench_function`,
+//! `bench_with_input`, [`crate::criterion_group!`],
+//! [`crate::criterion_main!`] — that the paper-figure benches under
+//! `crates/bench/benches/` keep their structure, while the measurement
+//! loop is a ~100-line in-tree timer:
+//!
+//! 1. **Warmup**: the routine runs repeatedly until `warm_up_time`
+//!    elapses (at least once), which also calibrates the batch size.
+//! 2. **Sampling**: `sample_size` samples are taken; each sample times a
+//!    batch of iterations sized so the total measurement roughly fills
+//!    `measurement_time`, and records mean nanoseconds per iteration.
+//! 3. **Reporting**: median, p95 (nearest-rank), mean, and min go to
+//!    stdout as an aligned human line *and* a JSON line, so
+//!    `cargo bench` output can be scraped into BENCH_*.json trajectories
+//!    with `grep '^{'`. Set `TESTKIT_BENCH_JSON=<path>` to also append
+//!    the JSON lines to a file.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function` or `group/function/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("stmatch", 8)` → `stmatch/8`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(8)` → `8`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// The timer configuration (criterion's builder surface).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 samples for a median");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warmup duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group; results are reported as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark; the routine drives [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            cfg: self.criterion.clone(),
+            stats: None,
+        };
+        routine(&mut bencher);
+        report(&self.name, &id.text, bencher.stats.as_ref());
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (kept for criterion API parity; reporting is
+    /// per-benchmark and immediate).
+    pub fn finish(self) {}
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    pub median_ns: f64,
+    pub p95_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+/// Passed to the benchmark routine; [`Bencher::iter`] performs the
+/// warmup + sampling loop.
+pub struct Bencher {
+    cfg: Criterion,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping its output alive via `black_box` so the work
+    /// is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: run until the warmup clock expires (at least once) and
+        // estimate the per-iteration cost from it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Size each sample's batch so sample_size batches fill roughly
+        // the measurement budget.
+        let per_sample_ns =
+            self.cfg.measurement_time.as_nanos() as f64 / self.cfg.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples_ns.len();
+        let median = if n % 2 == 0 {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+        } else {
+            samples_ns[n / 2]
+        };
+        let p95 = samples_ns[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+        self.stats = Some(Stats {
+            median_ns: median,
+            p95_ns: p95,
+            mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
+            min_ns: samples_ns[0],
+            samples: n,
+            iters_per_sample: batch,
+        });
+    }
+}
+
+fn report(group: &str, bench: &str, stats: Option<&Stats>) {
+    let name = format!("{group}/{bench}");
+    let Some(s) = stats else {
+        println!("{name}: no measurement (routine never called iter)");
+        return;
+    };
+    println!(
+        "{name}: median {} p95 {} mean {} min {} ({} samples x {} iters)",
+        fmt_ns(s.median_ns),
+        fmt_ns(s.p95_ns),
+        fmt_ns(s.mean_ns),
+        fmt_ns(s.min_ns),
+        s.samples,
+        s.iters_per_sample,
+    );
+    let json = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{:.1},\"p95_ns\":{:.1},\"mean_ns\":{:.1},\
+         \"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+        s.median_ns, s.p95_ns, s.mean_ns, s.min_ns, s.samples, s.iters_per_sample,
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("TESTKIT_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{json}");
+        }
+    }
+}
+
+/// Human-readable nanoseconds: `842ns`, `13.4us`, `2.13ms`, `1.07s`.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Criterion-compatible group declaration: defines a function that runs
+/// every target against the given config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $cfg;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Criterion-compatible main: runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn timer_produces_ordered_stats() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("testkit_smoke");
+        let mut captured: Option<Stats> = None;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            captured = b.stats.clone();
+        });
+        group.finish();
+        let s = captured.expect("iter must record stats");
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert_eq!(s.samples, 5);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("stmatch", 8).text, "stmatch/8");
+        assert_eq!(BenchmarkId::from_parameter(4).text, "4");
+        assert_eq!(BenchmarkId::from("plain").text, "plain");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(900.0), "900ns");
+        assert_eq!(fmt_ns(13_400.0), "13.4us");
+        assert_eq!(fmt_ns(2_130_000.0), "2.13ms");
+    }
+
+    #[test]
+    fn slow_routine_still_samples_with_unit_batches() {
+        // A routine slower than measurement_time/sample_size must still
+        // produce sample_size samples, with the batch clamped to 1.
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(3))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("slow");
+        let mut captured: Option<Stats> = None;
+        group.bench_function("sleepy", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_millis(2)));
+            captured = b.stats.clone();
+        });
+        group.finish();
+        let s = captured.unwrap();
+        assert_eq!(s.iters_per_sample, 1);
+        assert_eq!(s.samples, 3);
+        assert!(s.median_ns >= 1_000_000.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Minimal property-testing harness.
+//!
+//! A property is a function `Fn(&T) -> Result<(), String>` over inputs
+//! drawn from a seeded generator. [`forall`] runs it for
+//! [`Config::cases`] cases; on the first failure it *shrinks* the input —
+//! halving integers toward zero and bisecting vectors — and panics with
+//! both the minimal counterexample and the exact environment variables
+//! that reproduce the failing case:
+//!
+//! ```text
+//! property 'engine_matches_oracle' falsified (case 17 of 24)
+//!   original: (38, 3, 812, true) — count mismatch: engine 12 oracle 13
+//!   minimal:  (9, 1, 812, true) — count mismatch: engine 2 oracle 3
+//!   reproduce: TESTKIT_SEED=0xdeadbeef TESTKIT_CASES=1 cargo test ...
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `TESTKIT_CASES` — cases per property (default 24).
+//! * `TESTKIT_SEED` — base seed (default 0x53544d41, "STMA"). Each case
+//!   `i` derives its own generator seed via `SplitMix64::mix(seed, i)`,
+//!   except case 0 which uses the base seed directly — so re-running with
+//!   `TESTKIT_SEED=<printed case seed> TESTKIT_CASES=1` replays exactly
+//!   the failing case.
+
+use crate::rng::{SmallRng, SplitMix64};
+use std::fmt::Debug;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 24;
+
+/// Default base seed ("STMA" in ASCII).
+pub const DEFAULT_SEED: u64 = 0x5354_4d41;
+
+/// Cap on property evaluations spent shrinking one counterexample.
+const SHRINK_BUDGET: usize = 512;
+
+/// Harness configuration, read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Base seed; case `i` runs with `SplitMix64::mix(seed, i)` (case 0
+    /// with `seed` itself).
+    pub seed: u64,
+}
+
+impl Config {
+    /// Reads `TESTKIT_CASES` and `TESTKIT_SEED` (decimal or `0x`-hex),
+    /// falling back to the defaults.
+    pub fn from_env() -> Config {
+        let cases = std::env::var("TESTKIT_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let seed = std::env::var("TESTKIT_SEED")
+            .ok()
+            .and_then(|v| parse_u64(&v))
+            .unwrap_or(DEFAULT_SEED);
+        Config { cases, seed }
+    }
+
+    /// The generator seed of case `i` under this config.
+    pub fn case_seed(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.seed
+        } else {
+            SplitMix64::mix(self.seed, i as u64)
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Inputs the harness knows how to minimize. Candidates must be
+/// "smaller" by some well-founded measure so greedy shrinking
+/// terminates; the integer impls halve toward zero, vectors bisect.
+pub trait Shrink: Sized {
+    /// Candidate smaller inputs, most aggressive first. Empty when the
+    /// value is atomic or already minimal.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let x = *self;
+                if x == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![x / 2];
+                if x > 1 {
+                    out.push(x - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new() // not worth minimizing; seeds reproduce exactly anyway
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Bisect: drop the back half, then the front half; then drop one
+        // element from either end so odd lengths can still make progress.
+        out.push(self[..n / 2].to_vec());
+        out.push(self[n - n / 2..].to_vec());
+        if n > 1 {
+            out.push(self[..n - 1].to_vec());
+            out.push(self[1..].to_vec());
+        }
+        // Then try shrinking each element in place (first candidate only,
+        // to keep the fan-out linear).
+        for i in 0..n {
+            if let Some(smaller) = self[i].shrink().into_iter().next() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+impl_shrink_tuple!(A: 0);
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Runs `prop` on [`Config::cases`] inputs drawn from `gen`; shrinks and
+/// panics with the reproducing seed on the first failure.
+pub fn forall<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: Debug + Clone + Shrink,
+    G: Fn(&mut SmallRng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    forall_with(Config::from_env(), name, gen, prop);
+}
+
+/// [`forall`] with an explicit config (used by the harness's own tests).
+pub fn forall_with<T, G, P>(cfg: Config, name: &str, gen: G, prop: P)
+where
+    T: Debug + Clone + Shrink,
+    G: Fn(&mut SmallRng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let case_seed = cfg.case_seed(case);
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let input = gen(&mut rng);
+        if let Err(err) = prop(&input) {
+            let (minimal, min_err) = minimize(input.clone(), err.clone(), &prop);
+            panic!(
+                "property '{name}' falsified (case {case} of {cases})\n  \
+                 original: {input:?} — {err}\n  \
+                 minimal:  {minimal:?} — {min_err}\n  \
+                 reproduce: TESTKIT_SEED={case_seed:#x} TESTKIT_CASES=1",
+                cases = cfg.cases,
+            );
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly replace the counterexample with its first
+/// still-failing shrink candidate, within [`SHRINK_BUDGET`] evaluations.
+fn minimize<T, P>(mut cur: T, mut cur_err: String, prop: &P) -> (T, String)
+where
+    T: Debug + Clone + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut budget = SHRINK_BUDGET;
+    'outer: loop {
+        for cand in cur.shrink() {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(e) = prop(&cand) {
+                cur = cand;
+                cur_err = e;
+                continue 'outer;
+            }
+        }
+        break; // no candidate fails: minimal
+    }
+    (cur, cur_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn fixed() -> Config {
+        Config {
+            cases: 50,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn passing_property_is_silent() {
+        forall_with(
+            fixed(),
+            "sum_commutes",
+            |rng| (rng.gen_range(0u64..1000), rng.gen_range(0u64..1000)),
+            |&(a, b)| {
+                if a + b == b + a {
+                    Ok(())
+                } else {
+                    Err("math broke".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        let result = std::panic::catch_unwind(|| {
+            forall_with(
+                fixed(),
+                "all_below_ten",
+                |rng| rng.gen_range(0u64..1000),
+                |&n| {
+                    if n < 10 {
+                        Ok(())
+                    } else {
+                        Err(format!("{n} >= 10"))
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // Halving toward zero must land exactly on the boundary value.
+        assert!(msg.contains("minimal:  10"), "unexpected message:\n{msg}");
+        assert!(
+            msg.contains("TESTKIT_SEED=0x"),
+            "missing repro seed:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn vec_shrink_bisects() {
+        let v: Vec<u64> = (0..8).collect();
+        let cands = v.shrink();
+        assert!(cands.contains(&vec![0, 1, 2, 3]));
+        assert!(cands.contains(&vec![4, 5, 6, 7]));
+        assert!(Vec::<u64>::new().shrink().is_empty());
+    }
+
+    #[test]
+    fn failing_vec_property_shrinks_small() {
+        let result = std::panic::catch_unwind(|| {
+            forall_with(
+                fixed(),
+                "no_vec_longer_than_3",
+                |rng| {
+                    let len = rng.gen_range(0usize..64);
+                    (0..len)
+                        .map(|_| rng.gen_range(0u64..5))
+                        .collect::<Vec<u64>>()
+                },
+                |v| {
+                    if v.len() <= 3 {
+                        Ok(())
+                    } else {
+                        Err(format!("len {}", v.len()))
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // Bisection halves any failing vector down to exactly 4 elements.
+        assert!(
+            msg.contains("len 4"),
+            "shrink did not reach minimum:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn case_zero_replays_base_seed() {
+        let cfg = Config {
+            cases: 1,
+            seed: 0xabcdef,
+        };
+        assert_eq!(cfg.case_seed(0), 0xabcdef);
+        assert_ne!(cfg.case_seed(1), cfg.case_seed(0));
+    }
+
+    #[test]
+    fn env_parsing_accepts_hex() {
+        assert_eq!(parse_u64("0xff"), Some(255));
+        assert_eq!(parse_u64("17"), Some(17));
+        assert_eq!(parse_u64("zz"), None);
+    }
+}

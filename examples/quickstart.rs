@@ -10,7 +10,9 @@ use stmatch_pattern::catalog;
 
 fn main() {
     // A power-law graph standing in for a small social network.
-    let graph = gen::rmat(10, 8, 42).degree_ordered().with_name("demo-social");
+    let graph = gen::rmat(10, 8, 42)
+        .degree_ordered()
+        .with_name("demo-social");
     println!(
         "graph `{}`: {} vertices, {} edges, max degree {}",
         graph.name(),

@@ -25,7 +25,10 @@ fn main() {
     println!("multi-device scaling (simulated bottleneck time):");
     for devices in [1usize, 2, 4] {
         let out = multi::run_multi_device(&engine, &graph, &query, devices).expect("launch");
-        assert_eq!(out.count, single.count, "partitioning must not change counts");
+        assert_eq!(
+            out.count, single.count,
+            "partitioning must not change counts"
+        );
         println!(
             "  {devices} device(s): {:>8.2} Mcycles   speedup {:.2}x",
             out.simulated_cycles() as f64 / 1e6,

@@ -25,8 +25,8 @@ pub use stmatch_pattern as pattern;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use stmatch_core::{Engine, EngineConfig, Enumeration, MatchOutcome};
-    pub use stmatch_graph::{gen, io, Graph, GraphBuilder, GraphStats};
-    pub use stmatch_graph::datasets::Dataset;
     pub use stmatch_gpusim::GridConfig;
+    pub use stmatch_graph::datasets::Dataset;
+    pub use stmatch_graph::{gen, io, Graph, GraphBuilder, GraphStats};
     pub use stmatch_pattern::{catalog, MatchPlan, Pattern, PlanOptions};
 }

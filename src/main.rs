@@ -16,8 +16,8 @@
 use std::process::exit;
 use std::time::Duration;
 use stmatch_core::{multi, Engine, EngineConfig};
-use stmatch_graph::{gen, io, Graph, GraphStats};
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::{gen, io, Graph, GraphStats};
 use stmatch_pattern::{catalog, Pattern};
 
 fn main() {
@@ -242,7 +242,11 @@ fn count(opts: &Opts) {
         out.elapsed_ms(),
         out.simulated_cycles() as f64 / 1e6,
         out.metrics.lane_utilization() * 100.0,
-        if out.timed_out { " [TIMED OUT: partial]" } else { "" }
+        if out.timed_out {
+            " [TIMED OUT: partial]"
+        } else {
+            ""
+        }
     );
 }
 

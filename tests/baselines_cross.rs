@@ -4,9 +4,9 @@
 
 use stmatch_baselines::reference::{self, RefOptions};
 use stmatch_baselines::{cuts, dryadic, gsi};
-use stmatch_graph::{gen, Graph};
 use stmatch_gpusim::GridConfig;
-use stmatch_pattern::{catalog, Pattern};
+use stmatch_graph::{gen, Graph};
+use stmatch_pattern::catalog;
 
 fn grid() -> GridConfig {
     GridConfig {

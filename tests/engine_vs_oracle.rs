@@ -4,8 +4,8 @@
 
 use stmatch_baselines::reference::{self, RefOptions};
 use stmatch_core::{Engine, EngineConfig};
-use stmatch_graph::{gen, Graph};
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::{gen, Graph};
 use stmatch_pattern::{catalog, Pattern};
 
 fn grid() -> GridConfig {

@@ -65,9 +65,14 @@ fn dataset_relative_shapes_mirror_the_paper() {
     // Relative orderings the paper's Table I implies, preserved by the
     // stand-ins: WikiVote is the smallest; Friendster has the most nodes;
     // MiCo and Orkut have the highest average degree of their size class.
-    let stats: Vec<GraphStats> = Dataset::ALL.iter().map(|d| GraphStats::of(&d.load())).collect();
+    let stats: Vec<GraphStats> = Dataset::ALL
+        .iter()
+        .map(|d| GraphStats::of(&d.load()))
+        .collect();
     let by_name = |n: &str| stats.iter().find(|s| s.name.starts_with(n)).unwrap();
-    assert!(by_name("WikiVote").num_vertices <= stats.iter().map(|s| s.num_vertices).min().unwrap());
+    assert!(
+        by_name("WikiVote").num_vertices <= stats.iter().map(|s| s.num_vertices).min().unwrap()
+    );
     assert_eq!(
         by_name("Friendster").num_vertices,
         stats.iter().map(|s| s.num_vertices).max().unwrap()

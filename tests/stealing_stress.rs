@@ -4,8 +4,8 @@
 //! scheduler-dependent.
 
 use stmatch_core::{multi, Engine, EngineConfig};
-use stmatch_graph::{gen, Graph};
 use stmatch_gpusim::GridConfig;
+use stmatch_graph::{gen, Graph};
 use stmatch_pattern::{catalog, Pattern};
 
 fn grid(blocks: usize, wpb: usize) -> GridConfig {
@@ -53,7 +53,11 @@ fn tiny_chunks_force_contention_but_not_miscounts() {
     for chunk in [1usize, 2, 3] {
         let mut cfg = EngineConfig::full().with_grid(grid(3, 3));
         cfg.chunk_size = chunk;
-        assert_eq!(Engine::new(cfg).run(&g, &p).unwrap().count, want, "chunk={chunk}");
+        assert_eq!(
+            Engine::new(cfg).run(&g, &p).unwrap().count,
+            want,
+            "chunk={chunk}"
+        );
     }
 }
 
@@ -82,7 +86,10 @@ fn single_warp_grid_degenerates_gracefully() {
         EngineConfig::local_global_steal(),
         EngineConfig::full(),
     ] {
-        let got = Engine::new(cfg.with_grid(grid(1, 1))).run(&g, &p).unwrap().count;
+        let got = Engine::new(cfg.with_grid(grid(1, 1)))
+            .run(&g, &p)
+            .unwrap()
+            .count;
         assert_eq!(got, want);
     }
 }

@@ -1,0 +1,91 @@
+//! Deadline / cancellation tests for the work-stealing scheduler under
+//! the std::sync locks: a deliberately oversized enumeration with
+//! [`Engine::with_timeout`] must come back within 2× the deadline, with
+//! the abort flag latched (`MatchOutcome::timed_out`, which mirrors
+//! `Board::aborted()`), and without panicking or deadlocking any warp in
+//! the idle-spin loops of `steal.rs`.
+
+use std::time::{Duration, Instant};
+use stmatch_core::steal::Board;
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_gpusim::GridConfig;
+use stmatch_graph::gen;
+use stmatch_pattern::catalog;
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+/// A workload that takes far longer than the deadline: a hub-heavy graph
+/// large enough that q9 (size 6, dense) enumerates for many seconds.
+#[test]
+fn oversized_run_returns_within_twice_the_deadline() {
+    let g = gen::preferential_attachment(2000, 6, 1).degree_ordered();
+    let q = catalog::paper_query(9);
+    let deadline = Duration::from_millis(500);
+    let engine = Engine::new(EngineConfig::full().with_grid(grid())).with_timeout(deadline);
+    let t = Instant::now();
+    let out = engine.run(&g, &q).expect("launch must not fail");
+    let elapsed = t.elapsed();
+    assert!(
+        out.timed_out,
+        "workload finished before the deadline ({elapsed:?}) — enlarge the graph"
+    );
+    assert!(
+        elapsed < deadline * 2,
+        "cancellation took {elapsed:?}, more than 2x the {deadline:?} deadline"
+    );
+}
+
+/// The cancelled count is a partial lower bound (the paper's '−' cells
+/// still report progress internally), and cancellation composes with the
+/// stealing configurations.
+#[test]
+fn cancelled_runs_report_partial_progress_in_every_config() {
+    let g = gen::preferential_attachment(2000, 6, 2).degree_ordered();
+    let q = catalog::paper_query(9);
+    let full = Engine::new(EngineConfig::full().with_grid(grid()))
+        .run(&g, &catalog::triangle())
+        .unwrap()
+        .count;
+    assert!(full > 0);
+    for cfg in [
+        EngineConfig::naive(),
+        EngineConfig::local_steal_only(),
+        EngineConfig::local_global_steal(),
+        EngineConfig::full(),
+    ] {
+        let engine = Engine::new(cfg.with_grid(grid())).with_timeout(Duration::from_millis(200));
+        let out = engine.run(&g, &q).expect("launch must not fail");
+        assert!(out.timed_out, "config should time out on this workload");
+        // Partial progress: the run did real work before the deadline.
+        assert!(out.metrics.total().simt_instructions > 0);
+    }
+}
+
+/// Board-level deadline mechanics, directly: a deadline in the past
+/// latches the abort flag on the next poll, and the flag is sticky.
+#[test]
+fn board_latches_abort_on_expired_deadline() {
+    let mut board = Board::new(2, 2, 2, (0, 1000), 10);
+    assert!(!board.aborted());
+    board.set_deadline(Instant::now() - Duration::from_millis(1));
+    assert!(board.check_deadline(), "expired deadline must report abort");
+    assert!(board.aborted(), "abort flag must latch");
+    // Sticky even without a further deadline check.
+    assert!(board.aborted());
+}
+
+/// A timeout that never fires leaves the outcome clean.
+#[test]
+fn generous_timeout_does_not_mark_timed_out() {
+    let g = gen::erdos_renyi(30, 90, 4);
+    let engine =
+        Engine::new(EngineConfig::full().with_grid(grid())).with_timeout(Duration::from_secs(120));
+    let out = engine.run(&g, &catalog::triangle()).unwrap();
+    assert!(!out.timed_out);
+}
