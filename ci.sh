@@ -23,4 +23,8 @@ run "test"  cargo test -q --workspace --offline
 run "smoke:quickstart"   cargo run --release --offline --example quickstart
 run "smoke:motif_census" cargo run --release --offline --example motif_census
 
+# Hot-path drift gate: re-runs the BENCH_PR2 workloads and fails on any
+# drift in golden counts or simulator metrics (instructions, utilization).
+run "smoke:hotpath" cargo run --release --offline -p stmatch-bench --bin hotpath_check
+
 echo "ci.sh: all phases passed"

@@ -1,0 +1,60 @@
+//! The hot-path wall-time bench (PR 2): q1/q6/q8 on the seeded PA graph,
+//! steal-free full-hot-path config (see `stmatch_bench::hotpath`).
+//!
+//! Timing lines go to stdout as JSON (and to `TESTKIT_BENCH_JSON` when
+//! set); one extra JSON line per workload records the deterministic
+//! behaviour metrics (count, total_instructions, lane_utilization) so a
+//! `BENCH_PR2.json` snapshot carries both speed and behaviour.
+
+use std::io::Write as _;
+use stmatch_bench::hotpath;
+use stmatch_core::Engine;
+use stmatch_testkit::bench::Criterion;
+use stmatch_testkit::{criterion_group, criterion_main};
+
+fn bench_hotpath(c: &mut Criterion) {
+    let g = hotpath::graph();
+    let mut group = c.benchmark_group("hotpath");
+    for qi in hotpath::QUERIES {
+        let q = hotpath::query(qi);
+        let engine = Engine::new(hotpath::config());
+        let plan = engine.compile(&q);
+        group.bench_function(format!("q{qi}"), |b| {
+            b.iter(|| engine.run_plan(&g, &plan).unwrap().count)
+        });
+        // One extra (untimed) run for the behaviour metrics.
+        let out = engine.run_plan(&g, &plan).unwrap();
+        let json = format!(
+            "{{\"name\":\"hotpath/q{qi}/metrics\",\"count\":{},\
+             \"total_instructions\":{},\"lane_utilization\":{}}}",
+            out.count,
+            out.total_instructions(),
+            out.metrics.lane_utilization()
+        );
+        println!("{json}");
+        if let Ok(path) = std::env::var("TESTKIT_BENCH_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(f, "{json}");
+            }
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hotpath
+}
+criterion_main!(benches);

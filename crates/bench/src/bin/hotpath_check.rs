@@ -1,0 +1,47 @@
+//! CI smoke gate for the hot path: runs the three `hotpath` workloads
+//! once each and fails (exit 1) if match counts, total SIMT instructions,
+//! or lane utilization drift from the values recorded in
+//! [`stmatch_bench::hotpath::GOLDEN`]. Wall time is *not* checked — this
+//! gate pins simulated behaviour, not host speed.
+//!
+//! `--print` emits the current values as a `GOLDEN` table, for
+//! regeneration after an intentional cost-model change.
+
+use stmatch_bench::hotpath;
+
+fn main() {
+    let print = std::env::args().any(|a| a == "--print");
+    let g = hotpath::graph();
+    let mut failed = false;
+    for qi in hotpath::QUERIES {
+        let t = std::time::Instant::now();
+        let out = hotpath::run_once(&g, qi);
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        if print {
+            println!(
+                "    Golden {{\n        query: {qi},\n        count: {},\n        \
+                 total_instructions: {},\n        lane_utilization: {},\n    }},",
+                out.count,
+                out.total_instructions(),
+                out.metrics.lane_utilization()
+            );
+            eprintln!("q{qi}: {wall:.1}ms wall");
+            continue;
+        }
+        match hotpath::check(qi, &out) {
+            Ok(()) => println!(
+                "hotpath q{qi}: OK (count {}, {} instr, util {:.4}, {wall:.1}ms)",
+                out.count,
+                out.total_instructions(),
+                out.metrics.lane_utilization()
+            ),
+            Err(e) => {
+                eprintln!("hotpath DRIFT: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

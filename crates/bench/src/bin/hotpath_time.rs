@@ -1,0 +1,48 @@
+//! Wall-time probe for the hotpath workloads, one measurement per line.
+//!
+//! `hotpath_time <query> <reps>` runs paper query `<query>` on the pinned
+//! hotpath graph `<reps>` times and prints each run's wall time in
+//! milliseconds. Deliberately restricted to APIs that exist on every
+//! revision of the engine, so the identical source builds in a baseline
+//! worktree — `tools/bench_pr2.sh` interleaves the two binaries to cancel
+//! host noise when producing `BENCH_PR2.json`.
+
+use stmatch_core::{Engine, EngineConfig};
+use stmatch_gpusim::GridConfig;
+use stmatch_graph::gen;
+use stmatch_pattern::catalog;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let query: usize = args
+        .next()
+        .expect("usage: hotpath_time <query> <reps>")
+        .parse()
+        .unwrap();
+    let reps: usize = args
+        .next()
+        .expect("usage: hotpath_time <query> <reps>")
+        .parse()
+        .unwrap();
+
+    let g = gen::preferential_attachment(420, 8, 7).degree_ordered();
+    let q = catalog::paper_query(query);
+
+    let mut cfg = EngineConfig::default();
+    cfg.grid = GridConfig {
+        num_blocks: 1,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    };
+    cfg.local_steal = false;
+    cfg.global_steal = false;
+
+    let engine = Engine::new(cfg);
+    let plan = engine.compile(&q);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let out = engine.run_plan(&g, &plan).unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("{ms:.3} {}", out.count);
+    }
+}

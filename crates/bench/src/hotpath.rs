@@ -1,0 +1,118 @@
+//! The hot-path benchmark workloads (PR 2's allocation-free claim path).
+//!
+//! Three paper queries — q1 (5-path, unroll-heavy shallow work), q6
+//! (bowtie, mixed intersect chains), q8 (5-clique, deep intersection
+//! chains) — on one seeded preferential-attachment graph with the hub
+//! skew of the paper's datasets. The engine config keeps the full hot
+//! path active (unroll 8, code motion) but disables both stealing levels:
+//! steal timing is host-scheduler-dependent and would perturb both the
+//! wall-time medians and the fixed-cost-model instruction counters, while
+//! the claim/`compute_sets`/set-op path — the thing this bench watches —
+//! is identical with or without stealing.
+//!
+//! The recorded [`GOLDEN`] values pin behaviour: wall time may (should)
+//! drop across host-side optimizations, but match counts, total SIMT
+//! instructions, and lane utilization are deterministic for this
+//! steal-free config and must not drift (see `ci.sh`'s hotpath smoke
+//! phase and `--bin hotpath_check`).
+
+use stmatch_core::{Engine, EngineConfig, MatchOutcome};
+use stmatch_gpusim::GridConfig;
+use stmatch_graph::{gen, Graph};
+use stmatch_pattern::{catalog, Pattern};
+
+/// Queries of the hotpath suite (paper indices).
+pub const QUERIES: [usize; 3] = [1, 6, 8];
+
+/// The seeded hub-skewed data graph all three workloads run on.
+pub fn graph() -> Graph {
+    gen::preferential_attachment(420, 8, 7).degree_ordered()
+}
+
+/// Steal-free full-hot-path engine config (see module docs).
+pub fn config() -> EngineConfig {
+    let mut cfg = EngineConfig::default().with_grid(GridConfig {
+        num_blocks: 1,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    });
+    cfg.local_steal = false;
+    cfg.global_steal = false;
+    cfg
+}
+
+/// One workload's pinned behaviour: `(query, count, total_instructions)`.
+/// Lane utilization is derived and checked to 1e-9.
+#[derive(Clone, Copy, Debug)]
+pub struct Golden {
+    pub query: usize,
+    pub count: u64,
+    pub total_instructions: u64,
+    pub lane_utilization: f64,
+}
+
+/// Recorded behaviour of the three workloads (deterministic for the
+/// steal-free config). Regenerate with `--bin hotpath_check -- --print`
+/// **only** when an intentional cost-model or planner change lands, and
+/// say so in the commit message.
+pub const GOLDEN: [Golden; 3] = [
+    Golden {
+        query: 1,
+        count: 54844163,
+        total_instructions: 7230441,
+        lane_utilization: 0.5700081870303623,
+    },
+    Golden {
+        query: 6,
+        count: 559194,
+        total_instructions: 2169011,
+        lane_utilization: 0.7525314958812046,
+    },
+    Golden {
+        query: 8,
+        count: 769,
+        total_instructions: 35769,
+        lane_utilization: 0.43357732239411234,
+    },
+];
+
+/// The query pattern for one suite entry.
+pub fn query(qi: usize) -> Pattern {
+    catalog::paper_query(qi)
+}
+
+/// Runs one workload once and returns its outcome.
+pub fn run_once(graph: &Graph, qi: usize) -> MatchOutcome {
+    let engine = Engine::new(config());
+    engine.run(graph, &query(qi)).unwrap()
+}
+
+/// Checks one outcome against its golden row; returns an error string
+/// describing the first drift found.
+pub fn check(qi: usize, out: &MatchOutcome) -> Result<(), String> {
+    let golden = GOLDEN
+        .iter()
+        .find(|g| g.query == qi)
+        .ok_or_else(|| format!("q{qi} not in GOLDEN"))?;
+    if out.count != golden.count {
+        return Err(format!(
+            "q{qi} count drifted: got {}, golden {}",
+            out.count, golden.count
+        ));
+    }
+    if out.total_instructions() != golden.total_instructions {
+        return Err(format!(
+            "q{qi} total_instructions drifted: got {}, golden {}",
+            out.total_instructions(),
+            golden.total_instructions
+        ));
+    }
+    let util = out.metrics.lane_utilization();
+    if (util - golden.lane_utilization).abs() > 1e-9 {
+        return Err(format!(
+            "q{qi} lane_utilization drifted: got {util}, golden {}",
+            golden.lane_utilization
+        ));
+    }
+    Ok(())
+}

@@ -19,4 +19,5 @@
 
 pub mod figures;
 pub mod harness;
+pub mod hotpath;
 pub mod tables;

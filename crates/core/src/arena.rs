@@ -1,0 +1,285 @@
+//! The flat warp-stack arena — the paper's fixed
+//! `C[NUM_SETS][UNROLL][MAX_DEGREE]` global-memory slabs (§VIII-A, Fig. 7).
+//!
+//! One contiguous `Vec<VertexId>` holds every candidate-set slot of one
+//! warp's stack: slot `(set, u)` owns the `cap`-element slab starting at
+//! `(set * unroll + u) * cap`, and a `Csize`-style length array records how
+//! much of each slab is live. This is exactly the geometry the engine
+//! already reports as `MatchOutcome::stack_bytes`
+//! (`NUM_SETS × UNROLL × MAX_DEGREE × 4` bytes per warp), so the
+//! accounting and the allocation now agree — and, unlike the previous
+//! `Vec<Vec<VertexId>>` storage, the steady-state claim path never touches
+//! the heap: writes land in the pre-sized slab through [`ArenaWriter`].
+//!
+//! **Overflow policy (graceful fallback).** A candidate list longer than
+//! `cap` spills to a per-slot heap vector, mirroring the paper's
+//! CPU-memory spill for vertices with degree > `MAX_DEGREE`. On the first
+//! overflowing push the slab prefix is copied into the spill vector so the
+//! list stays contiguous; `len > cap` marks the slot as spilled. Spilling
+//! allocates (it is the escape hatch, not the hot path) and the
+//! zero-allocation guarantee applies only while candidate lists fit their
+//! slabs — size `EngineConfig::max_degree_slab` accordingly.
+//!
+//! Set-operation *outputs* never alias their inputs: a set's operands are
+//! sets with strictly smaller ids (dependencies precede dependents in the
+//! plan), so [`StackArena::split_for_write`] hands out a read view of the
+//! slots below the written set and a write sink over the written set's
+//! slots from one `split_at_mut`, with no copying and no locks.
+
+use crate::setops::SetSink;
+use stmatch_graph::VertexId;
+
+/// One warp's candidate-set storage: a flat slab plus per-slot lengths.
+pub struct StackArena {
+    /// The contiguous slab; slot `(set, u)` owns
+    /// `data[(set * unroll + u) * cap ..][..cap]`.
+    data: Vec<VertexId>,
+    /// `Csize`: live length per slot. `len > cap` means the slot spilled.
+    len: Vec<u32>,
+    /// Heap-side overflow per slot; holds the *entire* list when spilled.
+    spill: Vec<Vec<VertexId>>,
+    cap: usize,
+    unroll: usize,
+}
+
+/// Resolves slot `i`'s live list given the split-out arena parts.
+#[inline]
+fn view<'s>(
+    data: &'s [VertexId],
+    len: &[u32],
+    spill: &'s [Vec<VertexId>],
+    cap: usize,
+    i: usize,
+) -> &'s [VertexId] {
+    let n = len[i] as usize;
+    if n <= cap {
+        &data[i * cap..i * cap + n]
+    } else {
+        &spill[i]
+    }
+}
+
+impl StackArena {
+    /// Allocates the slab for `num_sets × unroll` slots of `cap` vertices.
+    /// This is the *only* allocation of the arena's lifetime (absent
+    /// spills); it happens once per warp per launch.
+    pub fn new(num_sets: usize, unroll: usize, cap: usize) -> StackArena {
+        let slots = num_sets.max(1) * unroll;
+        StackArena {
+            data: vec![0; slots * cap],
+            len: vec![0; slots],
+            spill: vec![Vec::new(); slots],
+            cap,
+            unroll,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, u: usize) -> usize {
+        debug_assert!(u < self.unroll);
+        set * self.unroll + u
+    }
+
+    /// The live candidate list of slot `(set, u)`.
+    #[inline]
+    pub fn slot(&self, set: usize, u: usize) -> &[VertexId] {
+        view(
+            &self.data,
+            &self.len,
+            &self.spill,
+            self.cap,
+            self.idx(set, u),
+        )
+    }
+
+    /// True if slot `(set, u)` outgrew its slab and lives on the heap.
+    #[inline]
+    pub fn spilled(&self, set: usize, u: usize) -> bool {
+        self.len[self.idx(set, u)] as usize > self.cap
+    }
+
+    /// Splits the arena at `set`: a read view over every slot of sets
+    /// `< set` (the only sets a plan allows as operands) and a write sink
+    /// over slots `(set, 0..m)`.
+    pub fn split_for_write(&mut self, set: usize, m: usize) -> (ArenaRead<'_>, ArenaWriter<'_>) {
+        debug_assert!(m >= 1 && m <= self.unroll);
+        let at = set * self.unroll;
+        let (rd, wd) = self.data.split_at_mut(at * self.cap);
+        let (rl, wl) = self.len.split_at_mut(at);
+        let (rs, ws) = self.spill.split_at_mut(at);
+        (
+            ArenaRead {
+                data: rd,
+                len: rl,
+                spill: rs,
+                cap: self.cap,
+                unroll: self.unroll,
+            },
+            ArenaWriter {
+                data: &mut wd[..m * self.cap],
+                len: &mut wl[..m],
+                spill: &mut ws[..m],
+                cap: self.cap,
+            },
+        )
+    }
+}
+
+/// Read view over the sets below a [`StackArena::split_for_write`] point.
+pub struct ArenaRead<'a> {
+    data: &'a [VertexId],
+    len: &'a [u32],
+    spill: &'a [Vec<VertexId>],
+    cap: usize,
+    unroll: usize,
+}
+
+impl ArenaRead<'_> {
+    /// The live candidate list of slot `(set, u)`; `set` must be below the
+    /// split point.
+    #[inline]
+    pub fn slot(&self, set: usize, u: usize) -> &[VertexId] {
+        debug_assert!(u < self.unroll);
+        view(
+            self.data,
+            self.len,
+            self.spill,
+            self.cap,
+            set * self.unroll + u,
+        )
+    }
+}
+
+/// Write sink over the `m` unroll slots of one set: implements
+/// [`SetSink`] so the combined set operations stream survivors straight
+/// into the slab (or its spill) with zero steady-state allocations.
+pub struct ArenaWriter<'a> {
+    data: &'a mut [VertexId],
+    len: &'a mut [u32],
+    spill: &'a mut [Vec<VertexId>],
+    cap: usize,
+}
+
+impl SetSink for ArenaWriter<'_> {
+    #[inline]
+    fn begin(&mut self, slot: usize, _capacity_hint: usize) {
+        self.len[slot] = 0;
+        if !self.spill[slot].is_empty() {
+            self.spill[slot].clear();
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, slot: usize, value: VertexId) {
+        let n = self.len[slot] as usize;
+        if n < self.cap {
+            self.data[slot * self.cap + n] = value;
+        } else {
+            if n == self.cap {
+                // First overflow: migrate the slab prefix so the spilled
+                // list stays one contiguous sorted slice.
+                let base = slot * self.cap;
+                let head = &self.data[base..base + self.cap];
+                self.spill[slot].extend_from_slice(head);
+            }
+            self.spill[slot].push(value);
+        }
+        self.len[slot] = (n + 1) as u32;
+    }
+
+    #[inline]
+    fn extend(&mut self, slot: usize, values: &[VertexId]) {
+        let n = self.len[slot] as usize;
+        let end = n + values.len();
+        if end <= self.cap {
+            let base = slot * self.cap;
+            self.data[base + n..base + end].copy_from_slice(values);
+            self.len[slot] = end as u32;
+        } else {
+            // Crosses the slab boundary: per-value pushes handle the
+            // spill migration.
+            for &v in values {
+                self.push(slot, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(w: &mut ArenaWriter<'_>, slot: usize, vals: &[VertexId]) {
+        w.begin(slot, vals.len());
+        for &v in vals {
+            w.push(slot, v);
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut a = StackArena::new(3, 2, 4);
+        {
+            let (_, mut w) = a.split_for_write(1, 2);
+            fill(&mut w, 0, &[5, 6, 7]);
+            fill(&mut w, 1, &[9]);
+        }
+        assert_eq!(a.slot(1, 0), &[5, 6, 7]);
+        assert_eq!(a.slot(1, 1), &[9]);
+        assert_eq!(a.slot(0, 0), &[] as &[VertexId]);
+        assert_eq!(a.slot(2, 1), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn rewrite_resets_previous_contents() {
+        let mut a = StackArena::new(1, 1, 4);
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[1, 2, 3, 4]);
+        }
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[8]);
+        }
+        assert_eq!(a.slot(0, 0), &[8]);
+    }
+
+    #[test]
+    fn read_view_sees_lower_sets_during_write() {
+        let mut a = StackArena::new(2, 1, 4);
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[2, 4, 6]);
+        }
+        let (r, mut w) = a.split_for_write(1, 1);
+        assert_eq!(r.slot(0, 0), &[2, 4, 6]);
+        w.begin(0, 2);
+        w.push(0, r.slot(0, 0)[1]);
+        drop((r, w));
+        assert_eq!(a.slot(1, 0), &[4]);
+    }
+
+    #[test]
+    fn overflow_spills_transparently_and_recovers() {
+        let mut a = StackArena::new(1, 1, 3);
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[1, 2, 3, 4, 5, 6]);
+        }
+        assert!(a.spilled(0, 0));
+        assert_eq!(a.slot(0, 0), &[1, 2, 3, 4, 5, 6]);
+        // Shrinking back under the cap returns to the slab.
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[7, 8]);
+        }
+        assert!(!a.spilled(0, 0));
+        assert_eq!(a.slot(0, 0), &[7, 8]);
+    }
+
+    #[test]
+    fn zero_sets_still_constructs() {
+        let a = StackArena::new(0, 4, 8);
+        assert_eq!(a.slot(0, 0), &[] as &[VertexId]);
+    }
+}

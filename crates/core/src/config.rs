@@ -1,6 +1,12 @@
 //! Engine configuration and the paper's ablation presets.
 
-use stmatch_gpusim::GridConfig;
+use crate::setops::SetOpTuning;
+use stmatch_gpusim::{GridConfig, WARP_SIZE};
+
+/// Largest supported unroll size. The combined set operations map one
+/// unroll slot's size per prefix-scan lane (Fig. 8), so a batch can never
+/// span more slots than the warp has lanes.
+pub const MAX_UNROLL: usize = WARP_SIZE;
 
 /// Configuration of the STMatch engine.
 ///
@@ -34,9 +40,15 @@ pub struct EngineConfig {
     /// Vertex-induced (true) vs edge-induced (false) matching.
     pub induced: bool,
     /// Candidate-set slab capacity per (set, unroll slot); the paper's
-    /// `MAX_DEGREE`. Only used for memory accounting — slabs spill
-    /// transparently, like the paper's CPU-memory overflow for hubs.
+    /// `MAX_DEGREE`. Sizes both the memory accounting and the flat stack
+    /// arena's per-slot slabs — slabs spill transparently to the heap when
+    /// a candidate list outgrows them, like the paper's CPU-memory
+    /// overflow for hubs (see `arena`).
     pub max_degree_slab: usize,
+    /// Size-ratio thresholds steering the adaptive set-operation kernels
+    /// (binary search / linear merge / galloping search). Host-side only:
+    /// tuning never changes results or simulator metrics.
+    pub setops: SetOpTuning,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +65,7 @@ impl Default for EngineConfig {
             symmetry_breaking: true,
             induced: false,
             max_degree_slab: 4096,
+            setops: SetOpTuning::default(),
         }
     }
 }
@@ -109,7 +122,10 @@ impl EngineConfig {
 
     /// Returns a copy with the given unroll size.
     pub fn with_unroll(mut self, unroll: usize) -> Self {
-        assert!(unroll >= 1 && unroll <= 32, "unroll must be in 1..=32");
+        assert!(
+            unroll >= 1 && unroll <= MAX_UNROLL,
+            "unroll must be in 1..={MAX_UNROLL}"
+        );
         self.unroll = unroll;
         self
     }
@@ -118,6 +134,27 @@ impl EngineConfig {
     pub fn with_grid(mut self, grid: GridConfig) -> Self {
         self.grid = grid;
         self
+    }
+
+    /// Validates internal consistency; every launch entry point calls this
+    /// before building warp state, so a malformed config fails loudly at
+    /// the API boundary instead of corrupting a lane mapping deep in the
+    /// set-op stream.
+    pub fn validate(&self) {
+        assert!(
+            self.unroll >= 1 && self.unroll <= MAX_UNROLL,
+            "unroll must be in 1..={MAX_UNROLL}: the combined set ops map \
+             one unroll slot per warp lane (got {})",
+            self.unroll
+        );
+        assert!(
+            self.detect_level <= self.stop_level,
+            "DetectLevel ({}) must not exceed StopLevel ({})",
+            self.detect_level,
+            self.stop_level
+        );
+        assert!(self.max_degree_slab >= 1, "max_degree_slab must be >= 1");
+        assert!(self.chunk_size >= 1, "chunk_size must be >= 1");
     }
 }
 
@@ -157,5 +194,30 @@ mod tests {
     #[should_panic(expected = "unroll")]
     fn rejects_zero_unroll() {
         let _ = EngineConfig::default().with_unroll(0);
+    }
+
+    #[test]
+    fn validate_accepts_all_presets() {
+        EngineConfig::default().validate();
+        EngineConfig::naive().validate();
+        EngineConfig::local_steal_only().validate();
+        EngineConfig::local_global_steal().validate();
+        EngineConfig::full().with_unroll(MAX_UNROLL).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "warp lane")]
+    fn validate_rejects_unroll_beyond_warp_width() {
+        let mut c = EngineConfig::default();
+        c.unroll = MAX_UNROLL + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "DetectLevel")]
+    fn validate_rejects_detect_above_stop() {
+        let mut c = EngineConfig::default();
+        c.detect_level = c.stop_level + 1;
+        c.validate();
     }
 }

@@ -153,9 +153,14 @@ impl Engine {
     ) -> Result<Enumeration, LaunchError> {
         let collector = Mutex::new(Vec::new());
         let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector))?;
-        let mut embeddings = collector
+        // Warps emit flat k-strided records; chunk them into per-embedding
+        // vectors here, off the hot path.
+        let k = plan.num_levels();
+        let flat = collector
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
+        let mut embeddings: Vec<Vec<VertexId>> =
+            flat.chunks_exact(k).map(<[VertexId]>::to_vec).collect();
         embeddings.sort_unstable();
         debug_assert_eq!(embeddings.len() as u64, outcome.count);
         Ok(Enumeration {
@@ -190,14 +195,11 @@ impl Engine {
         plan: &MatchPlan,
         device: usize,
         devices: usize,
-        collector: Option<&Mutex<Vec<Vec<VertexId>>>>,
+        collector: Option<&Mutex<Vec<VertexId>>>,
     ) -> Result<MatchOutcome, LaunchError> {
         assert!(devices >= 1 && device < devices);
         let cfg = &self.cfg;
-        assert!(
-            cfg.detect_level <= cfg.stop_level,
-            "DetectLevel must not exceed StopLevel"
-        );
+        cfg.validate();
         let grid = Grid::new(cfg.grid)?;
         let k = plan.num_levels();
         let stop = cfg.effective_stop(k);
@@ -241,7 +243,7 @@ impl Engine {
         stop: usize,
         device: usize,
         devices: usize,
-        collector: Option<&Mutex<Vec<Vec<VertexId>>>>,
+        collector: Option<&Mutex<Vec<VertexId>>>,
     ) -> (GridMetrics, bool) {
         let cfg = &self.cfg;
         let n = graph.num_vertices();

@@ -3,8 +3,9 @@
 //! One [`WarpKernel`] instance runs per warp. Its state is the explicit
 //! call stack of the paper:
 //!
-//! * `storage` — the candidate sets `C[NUM_SETS][UNROLL][·]` ("global
-//!   memory" slabs in the paper),
+//! * `storage` — the candidate sets `C[NUM_SETS][UNROLL][·]`, one flat
+//!   pre-sized slab per warp ("global memory" in the paper; see
+//!   [`StackArena`]),
 //! * `iter`/`uiter`/`batch` — the per-level loop cursors ("shared memory"
 //!   in the paper),
 //! * the warp's [`Mirror`](crate::steal::Mirror) — the stealable region:
@@ -15,40 +16,22 @@
 //! levels iterate privately and claim `UNROLL` iterations at once, whose
 //! candidate-set computations are combined into shared warp waves
 //! (Fig. 8). At the last level candidates are counted instead of iterated.
+//!
+//! All per-claim scratch (the unroll batches, ping/pong chain buffers, the
+//! raw-claim buffer, the emit tail) is owned by the kernel and reused, and
+//! set-operation outputs stream straight into the arena slabs — after the
+//! first passes warm the scratch capacities, the steady-state claim loop
+//! performs no heap allocation (see `tests/alloc_free.rs`).
 
-use crate::config::EngineConfig;
+use crate::arena::StackArena;
+use crate::config::{EngineConfig, MAX_UNROLL};
 use crate::setops;
 use crate::steal::{Board, StealPayload};
 use stmatch_gpusim::Warp;
 use stmatch_graph::{Graph, VertexId};
-use stmatch_pattern::plan::Base;
+use stmatch_pattern::plan::{Base, ChainOp};
 use stmatch_pattern::symmetry::Bound;
 use stmatch_pattern::{LabelMask, MatchPlan};
-
-/// Candidate-set storage: one slab per (set id, unroll slot).
-struct Storage {
-    c: Vec<Vec<VertexId>>,
-    unroll: usize,
-}
-
-impl Storage {
-    fn new(num_sets: usize, unroll: usize) -> Storage {
-        Storage {
-            c: vec![Vec::new(); num_sets.max(1) * unroll],
-            unroll,
-        }
-    }
-
-    #[inline]
-    fn slot(&self, set: usize, u: usize) -> &[VertexId] {
-        &self.c[set * self.unroll + u]
-    }
-
-    #[inline]
-    fn swap_in(&mut self, set: usize, u: usize, buf: &mut Vec<VertexId>) {
-        std::mem::swap(&mut self.c[set * self.unroll + u], buf);
-    }
-}
 
 /// Per-warp kernel state.
 pub struct WarpKernel<'a> {
@@ -61,7 +44,8 @@ pub struct WarpKernel<'a> {
     k: usize,
     /// Effective stop level (stealable shallow depth).
     stop: usize,
-    storage: Storage,
+    /// The warp's flat candidate-set slab (the paper's `C` array).
+    storage: StackArena,
     /// `batch[l]` = candidate vertices claimed for position `l-1` (the
     /// unroll slots of level `l`); `batch[0]` unused.
     batch: Vec<Vec<VertexId>>,
@@ -78,16 +62,20 @@ pub struct WarpKernel<'a> {
     /// `i` denotes data vertex `l0_base + i * l0_stride`.
     l0_base: usize,
     l0_stride: usize,
-    /// Ping/pong scratch buffers for chained set ops.
+    /// Ping/pong scratch for multi-op set chains; the final chain op
+    /// writes straight into the arena, so these only hold intermediates.
     ping: Vec<Vec<VertexId>>,
     pong: Vec<Vec<VertexId>>,
     /// Claimed-but-unfiltered candidates scratch.
     raw: Vec<VertexId>,
+    /// Valid last-level candidates scratch (enumeration only).
+    emit_tail: Vec<VertexId>,
     /// Claims since the last deadline poll.
     deadline_tick: u32,
-    /// When enumerating, completed embeddings are appended here, indexed
-    /// by *pattern vertex* (not matching-order position).
-    emit: Option<Vec<Vec<VertexId>>>,
+    /// When enumerating, completed embeddings are appended here as
+    /// `k`-strided records indexed by *pattern vertex* (not matching-order
+    /// position).
+    emit: Option<Vec<VertexId>>,
 }
 
 impl<'a> WarpKernel<'a> {
@@ -100,6 +88,12 @@ impl<'a> WarpKernel<'a> {
     ) -> Self {
         let k = plan.num_levels();
         let unroll = cfg.unroll;
+        // Tight slab capacity: every candidate list descends from some
+        // neighbor list through shrinking ops, so no list outgrows the
+        // graph's max degree. Budget accounting still reserves the paper's
+        // fixed `max_degree_slab` per slot (see `run_inner`); allocating
+        // tighter just packs the slabs densely for the cache.
+        let cap = cfg.max_degree_slab.min(g.max_degree().max(1));
         WarpKernel {
             g,
             plan,
@@ -108,7 +102,7 @@ impl<'a> WarpKernel<'a> {
             warp_id,
             k,
             stop: board.stop(),
-            storage: Storage::new(plan.num_sets(), unroll),
+            storage: StackArena::new(plan.num_sets(), unroll, cap),
             batch: vec![Vec::with_capacity(unroll); k + 1],
             uiter: vec![0; k + 1],
             iter: vec![0; k + 1],
@@ -117,6 +111,7 @@ impl<'a> WarpKernel<'a> {
             ping: vec![Vec::new(); unroll],
             pong: vec![Vec::new(); unroll],
             raw: Vec::with_capacity(unroll),
+            emit_tail: Vec::new(),
             deadline_tick: 0,
             l0_base: 0,
             l0_stride: 1,
@@ -131,22 +126,24 @@ impl<'a> WarpKernel<'a> {
         self.emit = Some(Vec::new());
     }
 
-    /// Drains the embeddings collected since enumeration was enabled.
-    pub fn take_emitted(&mut self) -> Vec<Vec<VertexId>> {
+    /// Drains the embeddings collected since enumeration was enabled, as a
+    /// flat buffer of `k`-strided records.
+    pub fn take_emitted(&mut self) -> Vec<VertexId> {
         self.emit.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Appends the embedding `matched[0..k-1] + v` remapped from matching
-    /// order to pattern vertex ids.
+    /// order to pattern vertex ids, as one more `k`-strided record.
     fn emit_match(&mut self, v: VertexId) {
         let k = self.k;
         let order = self.plan.order();
-        let mut emb = vec![0 as VertexId; k];
+        let emb = self.emit.as_mut().expect("enumeration enabled");
+        let base = emb.len();
+        emb.resize(base + k, 0);
         for pos in 0..k - 1 {
-            emb[order.vertex_at(pos)] = self.matched[pos];
+            emb[base + order.vertex_at(pos)] = self.matched[pos];
         }
-        emb[order.vertex_at(k - 1)] = v;
-        self.emit.as_mut().expect("enumeration enabled").push(emb);
+        emb[base + order.vertex_at(k - 1)] = v;
     }
 
     /// Configures the strided level-0 partition for multi-device runs:
@@ -216,8 +213,8 @@ impl<'a> WarpKernel<'a> {
             // candidates directly.
             while let Some(v) = self.claim_shallow(warp, 0) {
                 warp.metrics_mut().matches_found += 1;
-                if self.emit.is_some() {
-                    self.emit.as_mut().unwrap().push(vec![v]);
+                if let Some(emb) = self.emit.as_mut() {
+                    emb.push(v);
                 }
             }
             return;
@@ -303,6 +300,7 @@ impl<'a> WarpKernel<'a> {
     /// validity-filtered into `batch[l + 1]` (slots never mix: all unroll
     /// candidates share one matched path).
     fn claim_deep(&mut self, warp: &mut Warp, l: usize) -> bool {
+        let vy = Validity::new(self.plan, l);
         loop {
             if self.cancelled() {
                 return false;
@@ -335,13 +333,12 @@ impl<'a> WarpKernel<'a> {
             let raw = std::mem::take(&mut self.raw);
             self.batch[l + 1].clear();
             // Validity filtering as one warp wave over the claimed batch.
-            let mut keep = [false; 32];
+            let mut keep = [false; MAX_UNROLL];
             {
                 let g = self.g;
-                let plan = self.plan;
                 let matched = &self.matched;
                 warp.simt_for(raw.len(), |i| {
-                    keep[i] = valid_candidate(g, plan, matched, l, raw[i]);
+                    keep[i] = vy.check(g, matched, l, raw[i]);
                 });
             }
             for (i, &v) in raw.iter().enumerate() {
@@ -364,19 +361,28 @@ impl<'a> WarpKernel<'a> {
         self.uiter[l] = 0;
         self.iter[l] = 0;
         self.matched[l - 1] = self.batch[l][0];
-        if l - 1 < self.stop {
-            let mut m = self.board.mirror(self.warp_id).lock();
-            m.matched[l - 1] = self.batch[l][0];
-        }
         let b = std::mem::take(&mut self.batch[l]);
         self.compute_sets(warp, l, &b);
         self.batch[l] = b;
-        if l < self.stop {
-            let (cid, slot) = self.candidate_location(l, 0);
-            let size = self.storage.slot(cid, slot).len();
+        // One mirror lock publishes the whole stealable view of the level:
+        // `matched[l-1]`, plus level `l`'s iteration range when `l` itself
+        // is shallow. Publishing after `compute_sets` is safe: a stealer
+        // targeting level `l` needs `size[l] - iter[l] >= 2`, and until
+        // this store lands the previous range at `l` is fully drained
+        // (`iter == size`), so no stealer can observe a half-updated view.
+        if l - 1 < self.stop {
+            let size = if l < self.stop {
+                let (cid, slot) = self.candidate_location(l, 0);
+                Some(self.storage.slot(cid, slot).len())
+            } else {
+                None
+            };
             let mut m = self.board.mirror(self.warp_id).lock();
-            m.iter[l] = 0;
-            m.size[l] = size;
+            m.matched[l - 1] = self.batch[l][0];
+            if let Some(size) = size {
+                m.iter[l] = 0;
+                m.size[l] = size;
+            }
         }
     }
 
@@ -407,12 +413,19 @@ impl<'a> WarpKernel<'a> {
     }
 
     /// Computes every set of `level` for all slots of `bat`, as combined
-    /// warp-wide operations (Fig. 8).
+    /// warp-wide operations (Fig. 8) streaming straight into the arena.
+    ///
+    /// Slot source/input/operand slices live in fixed stack arrays (no
+    /// per-set `Vec` collects), and only multi-op chains touch the
+    /// ping/pong scratch — a set's final operation always lands in its
+    /// arena slab via [`StackArena::split_for_write`], which the plan's
+    /// dependencies-precede-dependents invariant makes alias-free.
     fn compute_sets(&mut self, warp: &mut Warp, level: usize, bat: &[VertexId]) {
         let m = bat.len();
         debug_assert!(m >= 1 && m <= self.cfg.unroll);
         let g = self.g;
         let plan = self.plan;
+        let tuning = self.cfg.setops;
         // Small copy of the matched prefix so no closure needs `self`.
         let mut matched = [0 as VertexId; stmatch_pattern::MAX_PATTERN_SIZE];
         matched[..self.k].copy_from_slice(&self.matched);
@@ -423,103 +436,169 @@ impl<'a> WarpKernel<'a> {
                 matched[pos]
             }
         };
-        let mut ping = std::mem::take(&mut self.ping);
-        let mut pong = std::mem::take(&mut self.pong);
+        const EMPTY: &[VertexId] = &[];
         for sid in plan.sets_at_level(level) {
             let def = &plan.sets()[sid];
-            let mut rest: &[stmatch_pattern::plan::ChainOp] = &def.ops;
+            let nops = def.ops.len();
+            // `rest` = chain ops still to apply after the base step; the
+            // base step writes to the arena and short-circuits when it is
+            // also the final step.
+            let rest: &[ChainOp];
             match def.base {
                 Base::Neighbors(pos) => {
-                    let sources: Vec<&[VertexId]> = (0..m)
-                        .map(|u| g.neighbors(vertex_at(pos as usize, u)))
-                        .collect();
-                    let mask = if def.ops.is_empty() {
-                        def.mask
-                    } else {
-                        LabelMask::ALL
-                    };
-                    setops::materialize_base(warp, g, &sources, mask, &mut ping[..m]);
+                    let mut sources = [EMPTY; MAX_UNROLL];
+                    for (u, s) in sources.iter_mut().enumerate().take(m) {
+                        *s = g.neighbors(vertex_at(pos as usize, u));
+                    }
+                    if nops == 0 {
+                        let (_, mut sink) = self.storage.split_for_write(sid, m);
+                        setops::materialize_base_into(warp, g, &sources[..m], def.mask, &mut sink);
+                        continue;
+                    }
+                    setops::materialize_base_into(
+                        warp,
+                        g,
+                        &sources[..m],
+                        LabelMask::ALL,
+                        &mut self.ping[..m],
+                    );
+                    rest = &def.ops;
                 }
                 Base::Set(dep) => {
                     let dep = dep as usize;
                     let dep_level = plan.sets()[dep].level as usize;
                     let op = def.ops.first().expect("set deps carry an op");
-                    let storage = &self.storage;
-                    let uiter = &self.uiter;
-                    let inputs: Vec<&[VertexId]> = (0..m)
-                        .map(|u| {
-                            let slot = if dep_level == level {
-                                u
-                            } else {
-                                uiter[dep_level]
-                            };
-                            storage.slot(dep, slot)
-                        })
-                        .collect();
-                    let operands: Vec<&[VertexId]> = (0..m)
-                        .map(|u| g.neighbors(vertex_at(op.pos as usize, u)))
-                        .collect();
-                    let mask = if def.ops.len() == 1 {
-                        def.mask
-                    } else {
-                        LabelMask::ALL
-                    };
-                    setops::apply_op(warp, g, &inputs, &operands, op.kind, mask, &mut ping[..m]);
+                    let mask = if nops == 1 { def.mask } else { LabelMask::ALL };
+                    let mut operands = [EMPTY; MAX_UNROLL];
+                    for (u, o) in operands.iter_mut().enumerate().take(m) {
+                        *o = g.neighbors(vertex_at(op.pos as usize, u));
+                    }
+                    // Split the arena below `sid`: dependency sets are
+                    // readable while `sid`'s slots are written.
+                    let (read, mut sink) = self.storage.split_for_write(sid, m);
+                    let mut inputs = [EMPTY; MAX_UNROLL];
+                    for (u, inp) in inputs.iter_mut().enumerate().take(m) {
+                        let slot = if dep_level == level {
+                            u
+                        } else {
+                            self.uiter[dep_level]
+                        };
+                        *inp = read.slot(dep, slot);
+                    }
+                    if nops == 1 {
+                        setops::apply_op_into(
+                            warp,
+                            g,
+                            &inputs[..m],
+                            &operands[..m],
+                            op.kind,
+                            mask,
+                            tuning,
+                            &mut sink,
+                        );
+                        continue;
+                    }
+                    setops::apply_op_into(
+                        warp,
+                        g,
+                        &inputs[..m],
+                        &operands[..m],
+                        op.kind,
+                        mask,
+                        tuning,
+                        &mut self.ping[..m],
+                    );
                     rest = &def.ops[1..];
                 }
             }
+            // Multi-op chain tail: intermediates ping→pong, the final op
+            // straight into the arena.
+            let last = rest.len() - 1;
             for (i, op) in rest.iter().enumerate() {
-                let mask = if i + 1 == rest.len() {
-                    def.mask
+                let mask = if i == last { def.mask } else { LabelMask::ALL };
+                let mut operands = [EMPTY; MAX_UNROLL];
+                for (u, o) in operands.iter_mut().enumerate().take(m) {
+                    *o = g.neighbors(vertex_at(op.pos as usize, u));
+                }
+                let mut inputs = [EMPTY; MAX_UNROLL];
+                for (u, inp) in inputs.iter_mut().enumerate().take(m) {
+                    *inp = self.ping[u].as_slice();
+                }
+                if i == last {
+                    let (_, mut sink) = self.storage.split_for_write(sid, m);
+                    setops::apply_op_into(
+                        warp,
+                        g,
+                        &inputs[..m],
+                        &operands[..m],
+                        op.kind,
+                        mask,
+                        tuning,
+                        &mut sink,
+                    );
                 } else {
-                    LabelMask::ALL
-                };
-                let inputs: Vec<&[VertexId]> = ping[..m].iter().map(|v| v.as_slice()).collect();
-                let operands: Vec<&[VertexId]> = (0..m)
-                    .map(|u| g.neighbors(vertex_at(op.pos as usize, u)))
-                    .collect();
-                setops::apply_op(warp, g, &inputs, &operands, op.kind, mask, &mut pong[..m]);
-                std::mem::swap(&mut ping, &mut pong);
-            }
-            for (u, buf) in ping.iter_mut().enumerate().take(m) {
-                self.storage.swap_in(sid, u, buf);
-                buf.clear();
+                    setops::apply_op_into(
+                        warp,
+                        g,
+                        &inputs[..m],
+                        &operands[..m],
+                        op.kind,
+                        mask,
+                        tuning,
+                        &mut self.pong[..m],
+                    );
+                    std::mem::swap(&mut self.ping, &mut self.pong);
+                }
             }
         }
-        self.ping = ping;
-        self.pong = pong;
     }
 
     /// Last level: counts (or, when enumerating, outputs) the valid
     /// candidates of every slot instead of iterating them (Fig. 3 line 16).
+    ///
+    /// The counting path exploits sortedness: the symmetry bounds select a
+    /// contiguous window of the candidate list (two `partition_point`s per
+    /// bound) and injectivity subtracts the `≤ l` matched vertices found
+    /// by binary search — `O(l log n)` per slot instead of a linear scan.
+    /// The simulated cost is unchanged: the warp still issues the same
+    /// count-pass waves over every element (`simt_for`), exactly as the
+    /// per-element path would.
     fn count_last_level(&mut self, warp: &mut Warp) {
         let l = self.k - 1;
         let slots = self.batch[l].len();
+        let vy = Validity::new(self.plan, l);
         let mut total = 0u64;
-        let mut valid_tail: Vec<VertexId> = Vec::new();
         for u in 0..slots {
             self.matched[l - 1] = self.batch[l][u];
             let (cid, slot) = self.candidate_location(l, u);
             let g = self.g;
-            let plan = self.plan;
             let matched = &self.matched;
             let cl = self.storage.slot(cid, slot);
             if self.emit.is_some() {
-                valid_tail.clear();
+                let mut tail = std::mem::take(&mut self.emit_tail);
+                tail.clear();
                 total += setops::count_with(warp, cl, |v| {
-                    let ok = valid_candidate(g, plan, matched, l, v);
+                    let ok = vy.check(g, matched, l, v);
                     if ok {
-                        valid_tail.push(v);
+                        tail.push(v);
                     }
                     ok
                 });
-                let tail = std::mem::take(&mut valid_tail);
                 for &v in &tail {
                     self.emit_match(v);
                 }
-                valid_tail = tail;
+                self.emit_tail = tail;
+            } else if vy.resid.is_some() {
+                // Residual label checks need a per-element probe.
+                total += setops::count_with(warp, cl, |v| vy.check(g, matched, l, v));
             } else {
-                total += setops::count_with(warp, cl, |v| valid_candidate(g, plan, matched, l, v));
+                warp.simt_for(cl.len(), |_| {});
+                let n = count_valid_sorted(cl, matched, l, vy.bounds);
+                debug_assert_eq!(
+                    n,
+                    cl.iter().filter(|&&v| vy.check(g, matched, l, v)).count() as u64
+                );
+                total += n;
             }
         }
         warp.metrics_mut().matches_found += total;
@@ -541,8 +620,53 @@ impl<'a> WarpKernel<'a> {
     }
 }
 
+/// Per-level validity context: the residual-label requirement and
+/// symmetry-bound list, resolved once per claim/count pass instead of per
+/// candidate element (these lookups sit inside million-element loops).
+#[derive(Clone, Copy)]
+struct Validity<'p> {
+    resid: Option<stmatch_graph::Label>,
+    bounds: &'p [(usize, Bound)],
+}
+
+impl<'p> Validity<'p> {
+    #[inline]
+    fn new(plan: &'p MatchPlan, l: usize) -> Self {
+        Validity {
+            resid: plan.residual_label_check(l),
+            bounds: plan.bounds(l),
+        }
+    }
+
+    /// Injectivity, residual-label and symmetry-bound check against the
+    /// matched prefix.
+    #[inline]
+    fn check(&self, g: &Graph, matched: &[VertexId], l: usize, v: VertexId) -> bool {
+        if let Some(lbl) = self.resid {
+            if g.label(v) != lbl {
+                return false;
+            }
+        }
+        for &m in &matched[..l] {
+            if m == v {
+                return false;
+            }
+        }
+        for &(pos, bound) in self.bounds {
+            let ok = match bound {
+                Bound::Less => v < matched[pos],
+                Bound::Greater => v > matched[pos],
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Injectivity, residual-label and symmetry-bound check against the
-/// matched prefix.
+/// matched prefix (one-off form; hot loops hoist a [`Validity`] instead).
 #[inline]
 fn valid_candidate(
     g: &Graph,
@@ -551,24 +675,37 @@ fn valid_candidate(
     l: usize,
     v: VertexId,
 ) -> bool {
-    if let Some(lbl) = plan.residual_label_check(l) {
-        if g.label(v) != lbl {
-            return false;
+    Validity::new(plan, l).check(g, matched, l, v)
+}
+
+/// Valid-candidate count of a strictly sorted candidate list, in closed
+/// form: every symmetry bound (`v < matched[pos]` / `v > matched[pos]`)
+/// clips a contiguous window of the sorted list, and injectivity removes
+/// the matched vertices that land inside the window.
+fn count_valid_sorted(
+    cl: &[VertexId],
+    matched: &[VertexId],
+    l: usize,
+    bounds: &[(usize, Bound)],
+) -> u64 {
+    let mut lo = 0usize;
+    let mut hi = cl.len();
+    for &(pos, bound) in bounds {
+        let m = matched[pos];
+        match bound {
+            Bound::Less => hi = hi.min(cl.partition_point(|&v| v < m)),
+            Bound::Greater => lo = lo.max(cl.partition_point(|&v| v <= m)),
         }
     }
+    if lo >= hi {
+        return 0;
+    }
+    let window = &cl[lo..hi];
+    let mut dup = 0u64;
     for &m in &matched[..l] {
-        if m == v {
-            return false;
+        if window.binary_search(&m).is_ok() {
+            dup += 1;
         }
     }
-    for &(pos, bound) in plan.bounds(l) {
-        let ok = match bound {
-            Bound::Less => v < matched[pos],
-            Bound::Greater => v > matched[pos],
-        };
-        if !ok {
-            return false;
-        }
-    }
-    true
+    window.len() as u64 - dup
 }

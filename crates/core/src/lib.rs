@@ -33,6 +33,7 @@
 //! println!("{} triangles", triangles.count);
 //! ```
 
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod kernel;

@@ -1,19 +1,161 @@
 //! Warp-wide set operations — the `getCandidates` primitives.
 //!
 //! Candidate sets are sorted vertex lists; intersections and differences
-//! against neighbor lists are computed with one binary search per element,
-//! one element per SIMT lane (§IV of the paper). The *combined* variants
-//! process the sets of several unroll slots in a single stream of waves
-//! (Fig. 8): a prefix sum over set sizes maps each lane to a
-//! `(set index, offset)` pair, lanes binary-search their own operand, a
-//! ballot collects the survivors and `popc`-ranking compacts them into the
+//! against neighbor lists are computed with one membership probe per
+//! element, one element per SIMT lane (§IV of the paper). The *combined*
+//! variants process the sets of several unroll slots in a single stream of
+//! waves (Fig. 8): a prefix sum over set sizes maps each lane to a
+//! `(set index, offset)` pair, lanes probe their own operand, a ballot
+//! collects the survivors and `popc`-ranking compacts them into the
 //! output sets. With unroll size 1 the same code degrades to the naive
 //! one-set-at-a-time operation whose lane utilization is bounded by the
 //! data graph's (usually small) degrees — the effect Fig. 13 quantifies.
+//!
+//! **Adaptive membership probes.** The *simulated* cost model charges one
+//! lane instruction per streamed element regardless of how the host
+//! resolves membership, so the host is free to pick the cheapest real
+//! algorithm per slot without perturbing any simulator metric:
+//!
+//! * [`SetOpAlgo::BinarySearch`] — `O(log |B|)` per element; the
+//!   always-correct default for mid-range size ratios.
+//! * [`SetOpAlgo::Merge`] — a monotone cursor walked linearly; `O(|A|+|B|)`
+//!   total, best when `|B|` is comparable to `|A|`. Correct because each
+//!   slot's elements stream in ascending order.
+//! * [`SetOpAlgo::Gallop`] — exponential search from the monotone cursor,
+//!   then binary search inside the bracket; best when `|B| ≫ |A|`.
+//!
+//! [`choose_algo`] picks per slot from the size ratio using the
+//! [`SetOpTuning`] thresholds (an [`EngineConfig`](crate::config::EngineConfig)
+//! knob). An empty operand short-circuits the probe entirely: intersection
+//! drops every element, difference keeps every element.
+//!
+//! **Sinks.** Outputs stream through the [`SetSink`] trait so callers
+//! choose where survivors land: plain `[Vec<VertexId>]` buffers (the
+//! baselines, tests) or the flat stack arena's
+//! [`ArenaWriter`](crate::arena::ArenaWriter) (the kernel's
+//! allocation-free hot path).
 
 use stmatch_gpusim::{Warp, WARP_SIZE};
 use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::{LabelMask, OpKind};
+
+/// Destination of a combined set operation: one output list per unroll
+/// slot. `begin(u, hint)` resets slot `u` before its first `push`; pushes
+/// arrive in ascending element order per slot.
+pub trait SetSink {
+    fn begin(&mut self, slot: usize, capacity_hint: usize);
+    fn push(&mut self, slot: usize, value: VertexId);
+
+    /// Bulk append, equivalent to pushing every value in order; sinks
+    /// override this with a block copy for the unfiltered-copy fast path.
+    fn extend(&mut self, slot: usize, values: &[VertexId]) {
+        for &v in values {
+            self.push(slot, v);
+        }
+    }
+}
+
+/// Plain heap-vector sink; reuses each vector's capacity across calls.
+impl SetSink for [Vec<VertexId>] {
+    #[inline]
+    fn begin(&mut self, slot: usize, capacity_hint: usize) {
+        self[slot].clear();
+        self[slot].reserve(capacity_hint);
+    }
+
+    #[inline]
+    fn push(&mut self, slot: usize, value: VertexId) {
+        self[slot].push(value);
+    }
+
+    #[inline]
+    fn extend(&mut self, slot: usize, values: &[VertexId]) {
+        self[slot].extend_from_slice(values);
+    }
+}
+
+/// Host-side membership algorithm for one slot of a combined set op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOpAlgo {
+    /// Full-range binary search per streamed element.
+    BinarySearch,
+    /// Linear merge: a monotone operand cursor advanced element by element.
+    Merge,
+    /// Galloping (exponential) search from the monotone cursor.
+    Gallop,
+}
+
+/// Size-ratio thresholds for [`choose_algo`]. With `|A|` the input length
+/// and `|B|` the operand length: merge when `|B| ≤ merge_ratio·|A|`,
+/// gallop when `|B| ≥ gallop_ratio·|A|`, binary search between. `force`
+/// pins one algorithm for every slot (tests, ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetOpTuning {
+    pub merge_ratio: usize,
+    pub gallop_ratio: usize,
+    pub force: Option<SetOpAlgo>,
+}
+
+impl Default for SetOpTuning {
+    fn default() -> Self {
+        SetOpTuning {
+            merge_ratio: 4,
+            gallop_ratio: 64,
+            force: None,
+        }
+    }
+}
+
+impl SetOpTuning {
+    /// A tuning that pins every slot to `algo` (bypasses the ratio test).
+    pub fn forced(algo: SetOpAlgo) -> Self {
+        SetOpTuning {
+            force: Some(algo),
+            ..SetOpTuning::default()
+        }
+    }
+}
+
+/// Picks the membership algorithm for one slot from the input/operand
+/// size ratio (see [`SetOpTuning`]).
+#[inline]
+pub fn choose_algo(input_len: usize, operand_len: usize, t: SetOpTuning) -> SetOpAlgo {
+    if let Some(f) = t.force {
+        return f;
+    }
+    if operand_len <= input_len.saturating_mul(t.merge_ratio) {
+        SetOpAlgo::Merge
+    } else if operand_len >= input_len.saturating_mul(t.gallop_ratio) {
+        SetOpAlgo::Gallop
+    } else {
+        SetOpAlgo::BinarySearch
+    }
+}
+
+/// First index `i ≥ lo` with `ops[i] ≥ value`, found by exponential
+/// probing from `lo` followed by binary search inside the bracket.
+/// Amortized `O(log gap)` across a monotone scan.
+#[inline]
+fn gallop_to(ops: &[VertexId], lo: usize, value: VertexId) -> usize {
+    let n = ops.len();
+    if lo >= n || ops[lo] >= value {
+        return lo;
+    }
+    // Invariant: ops[base] < value; limit is exclusive upper bound.
+    let mut step = 1usize;
+    let mut base = lo;
+    let mut limit = n;
+    while base + step < n {
+        if ops[base + step] < value {
+            base += step;
+            step <<= 1;
+        } else {
+            limit = base + step;
+            break;
+        }
+    }
+    base + 1 + ops[base + 1..limit].partition_point(|&x| x < value)
+}
 
 /// Copies `sources[u]` into `outs[u]` keeping only vertices admitted by
 /// `mask`, for all slots in one combined lane stream.
@@ -25,20 +167,41 @@ pub fn materialize_base(
     outs: &mut [Vec<VertexId>],
 ) {
     debug_assert_eq!(sources.len(), outs.len());
-    for (src, out) in sources.iter().zip(outs.iter_mut()) {
-        out.clear();
-        out.reserve(src.len());
+    materialize_base_into(warp, g, sources, mask, outs)
+}
+
+/// [`materialize_base`] streaming into any [`SetSink`].
+pub fn materialize_base_into<S: SetSink + ?Sized>(
+    warp: &mut Warp,
+    g: &Graph,
+    sources: &[&[VertexId]],
+    mask: LabelMask,
+    out: &mut S,
+) {
+    for (u, src) in sources.iter().enumerate() {
+        out.begin(u, src.len());
+    }
+    if mask.is_all() {
+        // Unfiltered copy: move the data with one block copy per slot and
+        // replay the stream's wave accounting verbatim — the per-element
+        // closure below touches no warp state, so metrics are identical.
+        for (u, src) in sources.iter().enumerate() {
+            out.extend(u, src);
+        }
+        stream_accounting(warp, sources);
+        return;
     }
     stream_slots(warp, sources, |_warp, slot, value| {
-        if mask.is_all() || mask.allows(g.label(value)) {
-            outs[slot].push(value);
+        if mask.allows(g.label(value)) {
+            out.push(slot, value);
         }
     });
 }
 
 /// Computes `outs[u] = inputs[u] (∩ | −) operands[u]` filtered by `mask`,
-/// for all slots in one combined lane stream. Inputs and operands must be
-/// sorted ascending; outputs are sorted ascending.
+/// for all slots in one combined lane stream, with default adaptive
+/// tuning. Inputs and operands must be sorted ascending; outputs are
+/// sorted ascending.
 pub fn apply_op(
     warp: &mut Warp,
     g: &Graph,
@@ -48,14 +211,66 @@ pub fn apply_op(
     mask: LabelMask,
     outs: &mut [Vec<VertexId>],
 ) {
-    debug_assert_eq!(inputs.len(), operands.len());
     debug_assert_eq!(inputs.len(), outs.len());
-    for (inp, out) in inputs.iter().zip(outs.iter_mut()) {
-        out.clear();
-        out.reserve(inp.len());
+    apply_op_into(
+        warp,
+        g,
+        inputs,
+        operands,
+        kind,
+        mask,
+        SetOpTuning::default(),
+        outs,
+    )
+}
+
+/// [`apply_op`] streaming into any [`SetSink`], with explicit tuning.
+///
+/// The algorithm choice is per slot and purely host-side: wave, scan,
+/// ballot, and survivor-rank accounting are identical across the three
+/// paths (the simulated probe costs one lane instruction either way), so
+/// simulator metrics are bit-identical regardless of tuning.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_op_into<S: SetSink + ?Sized>(
+    warp: &mut Warp,
+    g: &Graph,
+    inputs: &[&[VertexId]],
+    operands: &[&[VertexId]],
+    kind: OpKind,
+    mask: LabelMask,
+    tuning: SetOpTuning,
+    out: &mut S,
+) {
+    debug_assert_eq!(inputs.len(), operands.len());
+    debug_assert!(inputs.len() <= WARP_SIZE);
+    let mut algo = [SetOpAlgo::BinarySearch; WARP_SIZE];
+    let mut cursor = [0usize; WARP_SIZE];
+    for (u, (inp, ops)) in inputs.iter().zip(operands).enumerate() {
+        out.begin(u, inp.len());
+        algo[u] = choose_algo(inp.len(), ops.len(), tuning);
     }
     stream_slots(warp, inputs, |warp, slot, value| {
-        let found = operands[slot].binary_search(&value).is_ok();
+        let ops = operands[slot];
+        let found = if ops.is_empty() {
+            // Empty operand: ∩ drops everything, − keeps everything.
+            false
+        } else {
+            match algo[slot] {
+                SetOpAlgo::BinarySearch => ops.binary_search(&value).is_ok(),
+                SetOpAlgo::Merge => {
+                    let c = &mut cursor[slot];
+                    while *c < ops.len() && ops[*c] < value {
+                        *c += 1;
+                    }
+                    *c < ops.len() && ops[*c] == value
+                }
+                SetOpAlgo::Gallop => {
+                    let c = &mut cursor[slot];
+                    *c = gallop_to(ops, *c, value);
+                    *c < ops.len() && ops[*c] == value
+                }
+            }
+        };
         let keep = match kind {
             OpKind::Intersect => found,
             OpKind::Difference => !found,
@@ -65,20 +280,65 @@ pub fn apply_op(
             // Output offset = popc of lower survivor lanes (Fig. 8); with
             // in-order lane simulation a push lands at exactly that offset.
             let _ = warp.rank_in_mask(0, 0);
-            outs[slot].push(value);
+            out.push(slot, value);
         }
     });
+}
+
+/// Issues exactly the waves [`stream_slots`] would issue for `slots` —
+/// size prefix-scan, full waves, one ballot per wave — without visiting
+/// the elements. Used by fast paths that move data with block copies but
+/// must keep the simulated accounting identical.
+fn stream_accounting(warp: &mut Warp, slots: &[&[VertexId]]) {
+    assert!(
+        slots.len() <= WARP_SIZE,
+        "combined set op over {} slots exceeds the warp width {}",
+        slots.len(),
+        WARP_SIZE
+    );
+    let total: usize = slots.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return;
+    }
+    if slots.len() > 1 {
+        let mut sizes = [0u32; WARP_SIZE];
+        for (i, s) in slots.iter().enumerate() {
+            sizes[i] = s.len() as u32;
+        }
+        let _ = warp.exclusive_scan(&mut sizes);
+    }
+    let waves = total.div_ceil(WARP_SIZE);
+    for wave in 0..waves {
+        let in_wave = (total - wave * WARP_SIZE).min(WARP_SIZE);
+        let active = if in_wave == WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << in_wave) - 1
+        };
+        warp.wave(active, |_| {});
+        let _ = warp.ballot(active);
+    }
 }
 
 /// Streams the concatenated elements of all slots through SIMT waves,
 /// invoking `f(warp, slot, value)` per element, with Fig. 8 accounting:
 /// a size prefix-scan per batch, full waves of 32 lanes, and one ballot
-/// per wave for the output compaction.
+/// per wave for the output compaction. Within a slot, elements stream in
+/// ascending order (what makes monotone-cursor probes correct).
 fn stream_slots<F: FnMut(&mut Warp, usize, VertexId)>(
     warp: &mut Warp,
     slots: &[&[VertexId]],
     mut f: F,
 ) {
+    // The Fig. 8 lane mapping assigns one slot size per scan lane; more
+    // slots than lanes would silently drop sizes from the prefix scan.
+    // `EngineConfig::validate` bounds unroll at WARP_SIZE for this reason.
+    assert!(
+        slots.len() <= WARP_SIZE,
+        "combined set op over {} slots exceeds the warp width {}",
+        slots.len(),
+        WARP_SIZE
+    );
     let total: usize = slots.iter().map(|s| s.len()).sum();
     if total == 0 {
         return;
@@ -86,7 +346,7 @@ fn stream_slots<F: FnMut(&mut Warp, usize, VertexId)>(
     if slots.len() > 1 {
         // size_scan: one warp scan maps lanes to (set_idx, set_ofs).
         let mut sizes = [0u32; WARP_SIZE];
-        for (i, s) in slots.iter().enumerate().take(WARP_SIZE) {
+        for (i, s) in slots.iter().enumerate() {
             sizes[i] = s.len() as u32;
         }
         let _ = warp.exclusive_scan(&mut sizes);
@@ -101,7 +361,7 @@ fn stream_slots<F: FnMut(&mut Warp, usize, VertexId)>(
         } else {
             (1u32 << in_wave) - 1
         };
-        // Issue the wave: per-lane binary search / copy.
+        // Issue the wave: per-lane membership probe / copy.
         warp.wave(active, |_| {});
         for _ in 0..in_wave {
             while ofs >= slots[slot].len() {
@@ -301,5 +561,98 @@ mod tests {
         });
         assert_eq!(m.issued_lane_slots, 64);
         assert_eq!(m.active_lane_slots, 40);
+    }
+
+    #[test]
+    fn choose_algo_respects_thresholds() {
+        let t = SetOpTuning::default(); // merge ≤ 4×, gallop ≥ 64×
+        assert_eq!(choose_algo(100, 100, t), SetOpAlgo::Merge);
+        assert_eq!(choose_algo(100, 400, t), SetOpAlgo::Merge);
+        assert_eq!(choose_algo(100, 401, t), SetOpAlgo::BinarySearch);
+        assert_eq!(choose_algo(100, 6399, t), SetOpAlgo::BinarySearch);
+        assert_eq!(choose_algo(100, 6400, t), SetOpAlgo::Gallop);
+        assert_eq!(
+            choose_algo(1, 1_000_000, SetOpTuning::forced(SetOpAlgo::Merge)),
+            SetOpAlgo::Merge
+        );
+    }
+
+    #[test]
+    fn forced_algos_agree_and_keep_metrics_identical() {
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = (0..200).step_by(3).collect();
+        let b: Vec<VertexId> = (0..200).step_by(2).collect();
+        let mut results: Vec<(Vec<VertexId>, u64, u64)> = Vec::new();
+        for algo in [SetOpAlgo::BinarySearch, SetOpAlgo::Merge, SetOpAlgo::Gallop] {
+            for kind in [OpKind::Intersect, OpKind::Difference] {
+                let (a, b, g) = (a.clone(), b.clone(), g.clone());
+                let out = std::sync::Mutex::new(Vec::new());
+                let m = with_warp(|w| {
+                    let mut outs = vec![Vec::new()];
+                    apply_op_into(
+                        w,
+                        &g,
+                        &[&a],
+                        &[&b],
+                        kind,
+                        LabelMask::ALL,
+                        SetOpTuning::forced(algo),
+                        &mut outs[..],
+                    );
+                    *out.lock().unwrap() = outs.remove(0);
+                });
+                results.push((
+                    out.into_inner().unwrap(),
+                    m.simt_instructions,
+                    m.issued_lane_slots,
+                ));
+            }
+        }
+        // All three algorithms: same outputs, same simulated cost.
+        for pair in results.chunks(2).skip(1) {
+            assert_eq!(pair[0], results[0], "intersect path diverged");
+            assert_eq!(pair[1], results[1], "difference path diverged");
+        }
+    }
+
+    #[test]
+    fn empty_operand_short_circuits_correctly() {
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = vec![2, 4, 6];
+        let _ = with_warp(move |w| {
+            let mut outs = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&a],
+                &[&[]],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut outs,
+            );
+            assert!(outs[0].is_empty());
+            apply_op(
+                w,
+                &g,
+                &[&a],
+                &[&[]],
+                OpKind::Difference,
+                LabelMask::ALL,
+                &mut outs,
+            );
+            assert_eq!(outs[0], vec![2, 4, 6]);
+        });
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bounds() {
+        let ops: Vec<VertexId> = vec![1, 3, 5, 7, 9, 11, 13];
+        assert_eq!(gallop_to(&ops, 0, 0), 0);
+        assert_eq!(gallop_to(&ops, 0, 1), 0);
+        assert_eq!(gallop_to(&ops, 0, 2), 1);
+        assert_eq!(gallop_to(&ops, 0, 13), 6);
+        assert_eq!(gallop_to(&ops, 0, 14), 7);
+        assert_eq!(gallop_to(&ops, 3, 8), 4);
+        assert_eq!(gallop_to(&ops, 7, 99), 7);
     }
 }

@@ -1,0 +1,106 @@
+//! Proves the allocation-free hot path: after one warmup pass has sized
+//! the kernel's reusable scratch (arena slabs, unroll batches, ping/pong
+//! chain buffers, the raw-claim buffer), a full steady-state matching run
+//! performs **zero** heap allocations.
+//!
+//! A counting `#[global_allocator]` tallies every `alloc`/`realloc`; this
+//! file deliberately holds a single `#[test]` so no concurrently running
+//! test can pollute the counter between the reset and the snapshot.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stmatch_core::kernel::WarpKernel;
+use stmatch_core::steal::Board;
+use stmatch_core::EngineConfig;
+use stmatch_gpusim::{Grid, GridConfig};
+use stmatch_graph::gen;
+use stmatch_pattern::catalog;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_run_does_not_allocate() {
+    // Steal-free single-warp geometry: the claim loop is the whole kernel.
+    let mut cfg = EngineConfig::default();
+    cfg.grid = GridConfig {
+        num_blocks: 1,
+        warps_per_block: 1,
+        shared_mem_per_block: 100 * 1024,
+    };
+    cfg.local_steal = false;
+    cfg.global_steal = false;
+    cfg.validate();
+
+    let g = gen::preferential_attachment(120, 6, 11).degree_ordered();
+    let n = g.num_vertices();
+
+    // A pattern whose plan exercises multi-op chains and the unrolled deep
+    // levels (so the ping/pong scratch and every arena set slot are live).
+    let pattern = catalog::paper_query(6);
+    let plan = stmatch_core::Engine::new(cfg.clone()).compile(&pattern);
+
+    let grid = Grid::new(cfg.grid).unwrap();
+    let k = plan.num_levels();
+    let board = Board::new(1, 1, cfg.effective_stop(k), (0, n), cfg.chunk_size);
+
+    // Allocation count observed during the post-warmup run, and the match
+    // count of that run (sanity: the steady-state pass did real work).
+    static STEADY_ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static STEADY_MATCHES: AtomicU64 = AtomicU64::new(0);
+
+    let metrics = grid.launch(|warp| {
+        let mut kernel = WarpKernel::new(&g, &plan, &cfg, &board, warp.id());
+
+        // Warmup pass: sizes every reusable scratch buffer.
+        kernel.install_chunk(0, n);
+        kernel.run(warp);
+        let warm_matches = warp.metrics_mut().matches_found;
+
+        // Steady-state pass over the identical workload: must be heap-free.
+        let before = ALLOCS.load(Ordering::Relaxed);
+        kernel.install_chunk(0, n);
+        kernel.run(warp);
+        let after = ALLOCS.load(Ordering::Relaxed);
+
+        STEADY_ALLOCS.store(after - before, Ordering::Relaxed);
+        STEADY_MATCHES.store(
+            warp.metrics_mut().matches_found - warm_matches,
+            Ordering::Relaxed,
+        );
+    });
+
+    let steady_matches = STEADY_MATCHES.load(Ordering::Relaxed);
+    assert!(steady_matches > 0, "steady-state pass found no matches");
+    assert_eq!(
+        steady_matches * 2,
+        metrics.matches(),
+        "both passes must count the same workload"
+    );
+    assert_eq!(
+        STEADY_ALLOCS.load(Ordering::Relaxed),
+        0,
+        "steady-state run() allocated on the heap"
+    );
+}

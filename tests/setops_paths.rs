@@ -1,0 +1,279 @@
+//! Property tests for the adaptive set-operation kernels: the three
+//! host-side membership algorithms (binary search, linear merge, galloping
+//! search) plus the ratio-driven auto selection must all produce exactly
+//! the output of a scalar reference, with bit-identical simulator metrics,
+//! across slot counts and input/operand size ratios — including the
+//! empty-operand short-circuit and the arena sink's spill fallback.
+
+use std::sync::Mutex;
+
+use stmatch_core::arena::StackArena;
+use stmatch_core::setops::{apply_op_into, choose_algo, SetOpAlgo, SetOpTuning};
+use stmatch_gpusim::{Grid, GridConfig, Warp, WarpMetrics};
+use stmatch_graph::{gen, Graph, VertexId};
+use stmatch_pattern::{LabelMask, OpKind};
+use stmatch_testkit::prop::forall;
+use stmatch_testkit::rng::Rng;
+
+fn with_warp<F: Fn(&mut Warp) + Sync>(f: F) -> WarpMetrics {
+    let grid = Grid::new(GridConfig {
+        num_blocks: 1,
+        warps_per_block: 1,
+        shared_mem_per_block: 0,
+    })
+    .unwrap();
+    grid.launch(|w| f(w)).warps[0]
+}
+
+/// Sorts and dedups a raw (possibly shrunk) vector into a valid set.
+fn normalize(raw: &[VertexId]) -> Vec<VertexId> {
+    let mut v = raw.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Scalar reference: per-slot intersection/difference by `contains`.
+fn reference(input: &[VertexId], ops: &[VertexId], kind: OpKind) -> Vec<VertexId> {
+    input
+        .iter()
+        .copied()
+        .filter(|v| match kind {
+            OpKind::Intersect => ops.contains(v),
+            OpKind::Difference => !ops.contains(v),
+        })
+        .collect()
+}
+
+/// Runs one combined op over `slots` under `tuning` into plain vectors,
+/// returning the outputs and the warp metrics.
+fn run_vec(
+    g: &Graph,
+    slots: &[(Vec<VertexId>, Vec<VertexId>)],
+    kind: OpKind,
+    tuning: SetOpTuning,
+) -> (Vec<Vec<VertexId>>, WarpMetrics) {
+    let out = Mutex::new(Vec::new());
+    let m = with_warp(|w| {
+        let inputs: Vec<&[VertexId]> = slots.iter().map(|(a, _)| a.as_slice()).collect();
+        let operands: Vec<&[VertexId]> = slots.iter().map(|(_, b)| b.as_slice()).collect();
+        let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); slots.len()];
+        apply_op_into(
+            w,
+            g,
+            &inputs,
+            &operands,
+            kind,
+            LabelMask::ALL,
+            tuning,
+            &mut outs[..],
+        );
+        *out.lock().unwrap() = outs;
+    });
+    (out.into_inner().unwrap(), m)
+}
+
+/// Same op streamed into a deliberately tiny-capacity [`StackArena`] so
+/// most outputs take the spill path; returns the slot contents.
+fn run_arena(
+    g: &Graph,
+    slots: &[(Vec<VertexId>, Vec<VertexId>)],
+    kind: OpKind,
+    tuning: SetOpTuning,
+) -> Vec<Vec<VertexId>> {
+    let out = Mutex::new(Vec::new());
+    with_warp(|w| {
+        let inputs: Vec<&[VertexId]> = slots.iter().map(|(a, _)| a.as_slice()).collect();
+        let operands: Vec<&[VertexId]> = slots.iter().map(|(_, b)| b.as_slice()).collect();
+        let mut arena = StackArena::new(1, slots.len(), 2);
+        let (_, mut sink) = arena.split_for_write(0, slots.len());
+        apply_op_into(
+            w,
+            g,
+            &inputs,
+            &operands,
+            kind,
+            LabelMask::ALL,
+            tuning,
+            &mut sink,
+        );
+        *out.lock().unwrap() = (0..slots.len())
+            .map(|u| arena.slot(0, u).to_vec())
+            .collect();
+    });
+    out.into_inner().unwrap()
+}
+
+const TUNINGS: [(&str, SetOpTuning); 4] = [
+    (
+        "auto",
+        SetOpTuning {
+            merge_ratio: 4,
+            gallop_ratio: 64,
+            force: None,
+        },
+    ),
+    (
+        "bsearch",
+        SetOpTuning {
+            merge_ratio: 4,
+            gallop_ratio: 64,
+            force: Some(SetOpAlgo::BinarySearch),
+        },
+    ),
+    (
+        "merge",
+        SetOpTuning {
+            merge_ratio: 4,
+            gallop_ratio: 64,
+            force: Some(SetOpAlgo::Merge),
+        },
+    ),
+    (
+        "gallop",
+        SetOpTuning {
+            merge_ratio: 4,
+            gallop_ratio: 64,
+            force: Some(SetOpAlgo::Gallop),
+        },
+    ),
+];
+
+/// All four tunings agree with the scalar reference — and with each
+/// other's simulated cost — on random multi-slot workloads spanning the
+/// size ratios that trigger each algorithm (empty, ≈1×, ≈8×, ≈200×).
+#[test]
+fn all_paths_match_scalar_reference() {
+    let g = gen::complete(2); // labels unused (mask ALL)
+    forall(
+        "setops_paths_agree",
+        |rng| {
+            let nslots = rng.gen_range(1u64..4) as usize;
+            (0..nslots)
+                .map(|_| {
+                    let a_len = rng.gen_range(0u64..40) as usize;
+                    // Ratio class drives which algorithm `auto` picks.
+                    let b_len = match rng.gen_range(0u64..4) {
+                        0 => 0,
+                        1 => a_len.max(1),
+                        2 => a_len.max(1) * 8,
+                        _ => a_len.max(1) * 200,
+                    };
+                    let a: Vec<VertexId> = (0..a_len)
+                        .map(|_| rng.gen_range(0u64..2000) as VertexId)
+                        .collect();
+                    let b: Vec<VertexId> = (0..b_len)
+                        .map(|_| rng.gen_range(0u64..2000) as VertexId)
+                        .collect();
+                    (a, b)
+                })
+                .collect::<Vec<_>>()
+        },
+        |raw| {
+            let slots: Vec<(Vec<VertexId>, Vec<VertexId>)> = raw
+                .iter()
+                .map(|(a, b)| (normalize(a), normalize(b)))
+                .collect();
+            for kind in [OpKind::Intersect, OpKind::Difference] {
+                let mut metrics: Vec<(u64, u64, u64)> = Vec::new();
+                for (name, tuning) in TUNINGS {
+                    let (outs, m) = run_vec(&g, &slots, kind, tuning);
+                    for (u, (a, b)) in slots.iter().enumerate() {
+                        let want = reference(a, b, kind);
+                        if outs[u] != want {
+                            return Err(format!(
+                                "{name} {kind:?} slot {u}: got {:?}, want {want:?}",
+                                outs[u]
+                            ));
+                        }
+                    }
+                    metrics.push((
+                        m.simt_instructions,
+                        m.issued_lane_slots,
+                        m.active_lane_slots,
+                    ));
+                    let arena_outs = run_arena(&g, &slots, kind, tuning);
+                    for (u, (a, b)) in slots.iter().enumerate() {
+                        let want = reference(a, b, kind);
+                        if arena_outs[u] != want {
+                            return Err(format!(
+                                "{name} {kind:?} slot {u} via arena: got {:?}, want {want:?}",
+                                arena_outs[u]
+                            ));
+                        }
+                    }
+                }
+                if metrics.windows(2).any(|p| p[0] != p[1]) {
+                    return Err(format!(
+                        "{kind:?} metrics diverge across algorithms: {metrics:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Forcing the thresholds (rather than the `force` override) routes slots
+/// through each algorithm, and the routed result still matches.
+#[test]
+fn threshold_extremes_route_every_algorithm() {
+    let g = gen::complete(2);
+    let a: Vec<VertexId> = (0..60).step_by(3).collect();
+    let b: Vec<VertexId> = (0..120).step_by(2).collect();
+    for (tuning, expect) in [
+        // merge_ratio 0 + gallop_ratio 1: everything non-trivial gallops.
+        (
+            SetOpTuning {
+                merge_ratio: 0,
+                gallop_ratio: 1,
+                force: None,
+            },
+            SetOpAlgo::Gallop,
+        ),
+        // Huge merge_ratio: everything merges.
+        (
+            SetOpTuning {
+                merge_ratio: usize::MAX,
+                gallop_ratio: usize::MAX,
+                force: None,
+            },
+            SetOpAlgo::Merge,
+        ),
+        // merge_ratio 0 + huge gallop_ratio: everything binary-searches.
+        (
+            SetOpTuning {
+                merge_ratio: 0,
+                gallop_ratio: usize::MAX,
+                force: None,
+            },
+            SetOpAlgo::BinarySearch,
+        ),
+    ] {
+        assert_eq!(choose_algo(a.len(), b.len(), tuning), expect);
+        for kind in [OpKind::Intersect, OpKind::Difference] {
+            let (outs, _) = run_vec(&g, &[(a.clone(), b.clone())], kind, tuning);
+            assert_eq!(outs[0], reference(&a, &b, kind), "{expect:?} {kind:?}");
+        }
+    }
+}
+
+/// Empty operands short-circuit identically on every path, including when
+/// mixed with non-empty slots in the same combined stream.
+#[test]
+fn empty_operand_mixed_slots_agree() {
+    let g = gen::complete(2);
+    let slots: Vec<(Vec<VertexId>, Vec<VertexId>)> = vec![
+        (vec![1, 4, 9], vec![]),
+        (vec![], vec![2, 3]),
+        (vec![5, 6, 7], vec![6]),
+    ];
+    for kind in [OpKind::Intersect, OpKind::Difference] {
+        for (name, tuning) in TUNINGS {
+            let (outs, _) = run_vec(&g, &slots, kind, tuning);
+            for (u, (a, b)) in slots.iter().enumerate() {
+                assert_eq!(outs[u], reference(a, b, kind), "{name} {kind:?} slot {u}");
+            }
+        }
+    }
+}
