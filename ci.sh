@@ -27,4 +27,9 @@ run "smoke:motif_census" cargo run --release --offline --example motif_census
 # drift in golden counts or simulator metrics (instructions, utilization).
 run "smoke:hotpath" cargo run --release --offline -p stmatch-bench --bin hotpath_check
 
+# Fault-tolerance gate: q1/q6 under a seeded fault plan (one warp panic +
+# one warp stall); counts must stay exactly at the goldens, the death must
+# be contained and recovered, and the run must finish well under its cap.
+run "smoke:faults" cargo run --release --offline -p stmatch-bench --bin faults_check
+
 echo "ci.sh: all phases passed"

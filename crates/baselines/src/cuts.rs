@@ -137,7 +137,7 @@ pub fn run_plan(
             metrics: GridMetrics {
                 warps: Vec::new(),
                 elapsed_nanos: elapsed,
-                kernel_launches: 0,
+                ..GridMetrics::default()
             },
             simulated_cycles: 0,
             peak_memory: 0,

@@ -109,7 +109,7 @@ pub fn run_plan(
             metrics: GridMetrics {
                 warps: Vec::new(),
                 elapsed_nanos: start.elapsed().as_nanos() as u64,
-                kernel_launches: 0,
+                ..GridMetrics::default()
             },
             simulated_cycles: 0,
             peak_memory: 0,

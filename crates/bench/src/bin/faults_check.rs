@@ -1,0 +1,115 @@
+//! CI smoke gate for fault tolerance (`ci.sh` phase `smoke:faults`): runs
+//! q1 and q6 on the 48-vertex hub-skewed fixture under a seeded fault
+//! plan (one warp panic + one warp stall over a 2×4 grid) and fails
+//! (exit 1) if either count drifts from the clean run or from the pinned
+//! goldens, if containment leaks an escaped panic, if requeued work is
+//! left stranded, or if the faulty runs blow a generous wall-clock cap
+//! (a containment bug that deadlocks survivors shows up as a hang; the
+//! cap turns it into a fast failure).
+//!
+//! Reproduce a failure locally with the printed `FAULT_SEED=0x…` line:
+//! the seed fully determines the fault schedule.
+
+use std::time::{Duration, Instant};
+use stmatch_core::{Engine, EngineConfig, FaultPlan};
+use stmatch_gpusim::{GridConfig, SharedBudget};
+use stmatch_graph::gen;
+use stmatch_pattern::catalog;
+
+/// `(query, pinned clean count)` — regenerate only with an intentional
+/// fixture change, and say so in the commit message.
+const GOLDEN: [(usize, u64); 2] = [(1, 119531), (6, 2884)];
+
+/// Per-query wall cap. The clean runs take milliseconds; the injected
+/// stall adds tens of ms; anything near the cap means survivors hung.
+const WALL_CAP: Duration = Duration::from_secs(60);
+
+/// Default seed, chosen (and pinned by CI) because its panic victim
+/// reliably receives work on this fixture: the gate then proves real
+/// containment — death observed, count still exact — on every run. With
+/// an overridden `FAULT_SEED` the victim may race to no work, so the
+/// death expectation only applies to the default seed.
+const DEFAULT_SEED: u64 = 0x1d;
+
+fn main() {
+    let (seed, default_seed) = match std::env::var("FAULT_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x").trim_start_matches("0X");
+            let seed = u64::from_str_radix(t, 16).unwrap_or_else(|e| {
+                eprintln!("faults_check: bad FAULT_SEED {s:?}: {e}");
+                std::process::exit(2);
+            });
+            (seed, false)
+        }
+        Err(_) => (DEFAULT_SEED, true),
+    };
+    let grid = GridConfig {
+        num_blocks: 2,
+        warps_per_block: 4,
+        shared_mem_per_block: SharedBudget::RTX3090_BYTES,
+    };
+    let cfg = EngineConfig::full().with_grid(grid);
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let plan = FaultPlan::seeded(seed, grid.total_warps(), 1, 1);
+    let reproduce = plan.reproduce_line().unwrap_or_default().to_string();
+
+    let mut failed = false;
+    for (qi, golden) in GOLDEN {
+        let q = catalog::paper_query(qi);
+        let clean = Engine::new(cfg).run(&g, &q).expect("clean launch");
+        let t = Instant::now();
+        let faulty = Engine::new(cfg)
+            .with_fault_plan(plan.clone())
+            .run(&g, &q)
+            .expect("faulty launch");
+        let wall = t.elapsed();
+        let mut errs = Vec::new();
+        if clean.count != golden {
+            errs.push(format!("clean count {} != golden {golden}", clean.count));
+        }
+        if faulty.count != clean.count {
+            errs.push(format!(
+                "faulty count {} != clean {}",
+                faulty.count, clean.count
+            ));
+        }
+        if faulty.timed_out {
+            errs.push("faulty run marked timed_out".into());
+        }
+        if wall > WALL_CAP {
+            errs.push(format!("faulty run took {wall:?} (cap {WALL_CAP:?})"));
+        }
+        let (deaths, salvages) = match &faulty.fault {
+            Some(r) => {
+                if !r.fully_recovered() {
+                    errs.push(format!(
+                        "not fully recovered: {} unrecovered, {} escaped",
+                        r.unrecovered, r.escaped_panics
+                    ));
+                }
+                (r.deaths.len(), r.salvage_launches)
+            }
+            None => (0, 0),
+        };
+        if default_seed && deaths == 0 {
+            errs.push("default-seed panic never fired: the gate exercised nothing".into());
+        }
+        if errs.is_empty() {
+            println!(
+                "faults q{qi}: OK (count {}, {deaths} deaths, {salvages} salvages, \
+                 {:.1}ms, {reproduce})",
+                faulty.count,
+                wall.as_secs_f64() * 1e3
+            );
+        } else {
+            for e in errs {
+                eprintln!("faults q{qi} DRIFT: {e}");
+            }
+            eprintln!("faults q{qi}: reproduce with {reproduce}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

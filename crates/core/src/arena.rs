@@ -40,6 +40,10 @@ pub struct StackArena {
     spill: Vec<Vec<VertexId>>,
     cap: usize,
     unroll: usize,
+    /// Slab-overflow migrations since construction (observability: the
+    /// engine surfaces the total as `MatchOutcome::spill_events`, and the
+    /// degradation ladder's slab-shrink rung leans on this path).
+    events: u64,
 }
 
 /// Resolves slot `i`'s live list given the split-out arena parts.
@@ -71,7 +75,15 @@ impl StackArena {
             spill: vec![Vec::new(); slots],
             cap,
             unroll,
+            events: 0,
         }
+    }
+
+    /// Number of slab-overflow migrations (first overflowing push per
+    /// rewrite) since construction.
+    #[inline]
+    pub fn spill_events(&self) -> u64 {
+        self.events
     }
 
     #[inline]
@@ -120,6 +132,7 @@ impl StackArena {
                 len: &mut wl[..m],
                 spill: &mut ws[..m],
                 cap: self.cap,
+                events: &mut self.events,
             },
         )
     }
@@ -158,6 +171,7 @@ pub struct ArenaWriter<'a> {
     len: &'a mut [u32],
     spill: &'a mut [Vec<VertexId>],
     cap: usize,
+    events: &'a mut u64,
 }
 
 impl SetSink for ArenaWriter<'_> {
@@ -181,6 +195,7 @@ impl SetSink for ArenaWriter<'_> {
                 let base = slot * self.cap;
                 let head = &self.data[base..base + self.cap];
                 self.spill[slot].extend_from_slice(head);
+                *self.events += 1;
             }
             self.spill[slot].push(value);
         }
@@ -268,6 +283,7 @@ mod tests {
         }
         assert!(a.spilled(0, 0));
         assert_eq!(a.slot(0, 0), &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.spill_events(), 1);
         // Shrinking back under the cap returns to the slab.
         {
             let (_, mut w) = a.split_for_write(0, 1);

@@ -1,5 +1,6 @@
 //! Engine configuration and the paper's ablation presets.
 
+use crate::recover::RecoveryPolicy;
 use crate::setops::SetOpTuning;
 use stmatch_gpusim::{GridConfig, WARP_SIZE};
 
@@ -49,6 +50,11 @@ pub struct EngineConfig {
     /// (binary search / linear merge / galloping search). Host-side only:
     /// tuning never changes results or simulator metrics.
     pub setops: SetOpTuning,
+    /// Bounds on automatic fault recovery: the degradation ladder taken on
+    /// launch-planning failures and the salvage relaunches draining work
+    /// requeued from dead warps (see `recover` and DESIGN.md §4d).
+    /// [`RecoveryPolicy::disabled`] restores fail-fast launches.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +72,7 @@ impl Default for EngineConfig {
             induced: false,
             max_degree_slab: 4096,
             setops: SetOpTuning::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -170,6 +177,10 @@ mod tests {
         assert_eq!(c.detect_level, 2);
         assert_eq!(c.max_degree_slab, 4096);
         assert!(c.code_motion);
+        // Recovery is on by default, fault injection is not (plans attach
+        // to the Engine, never to the config).
+        assert!(c.recovery.max_downgrades > 0);
+        assert!(c.recovery.salvage_relaunches > 0);
     }
 
     #[test]

@@ -1,9 +1,33 @@
 //! The STMatch engine: launch planning, the per-warp driver loop, and the
 //! public matching API.
+//!
+//! ## Fault-tolerant execution
+//!
+//! The engine survives three failure classes without giving up the run
+//! (see DESIGN.md §4d):
+//!
+//! * **Warp deaths** (injected via [`FaultPlan`] or real panics): every
+//!   warp body runs under its own `catch_unwind`; a dying warp's
+//!   unfinished work is reclaimed from its kernel ([`WarpKernel::
+//!   reclaim_on_death`]) and requeued on the [`Board`] for survivors, so
+//!   counts stay exact. Deaths are recorded in a [`FaultReport`] on the
+//!   outcome.
+//! * **Stranded work** (all warps of a launch died, or naive mode had no
+//!   idle phase left to absorb a late requeue): bounded *salvage
+//!   relaunches* drain leftover payloads and unclaimed chunks with fault
+//!   injection disabled.
+//! * **Launch-planning failures** (shared-memory overflow, global-memory
+//!   OOM): a bounded retry loop walks the count-invariant degradation
+//!   ladder of [`recover::degrade`] and records each rung taken in
+//!   [`MatchOutcome::downgrades`].
 
 use crate::config::EngineConfig;
+use crate::fault::{FaultPlan, FaultReport, WarpDeath};
 use crate::kernel::WarpKernel;
-use crate::steal::Board;
+use crate::recover::{self, DowngradeStep};
+use crate::steal::{Board, StealPayload};
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 use stmatch_gpusim::{Grid, GridMetrics, LaunchError, MemoryBudget, SharedBudget};
@@ -40,6 +64,16 @@ pub struct MatchOutcome {
     /// True when the run was cut short by [`Engine::with_timeout`]; the
     /// count is then a partial lower bound (the paper's '−' cells).
     pub timed_out: bool,
+    /// What the fault-tolerance layer observed: warp deaths, requeued
+    /// work, salvage relaunches. `None` for clean runs; when present and
+    /// [`FaultReport::fully_recovered`], the count is still exact.
+    pub fault: Option<FaultReport>,
+    /// Degradation-ladder rungs taken to make the launch fit its budgets
+    /// (empty for runs that launched at the configured settings).
+    pub downgrades: Vec<DowngradeStep>,
+    /// Candidate-list slab overflows that spilled to the heap (see
+    /// `arena`); nonzero after slab-shrinking downgrades on dense graphs.
+    pub spill_events: u64,
 }
 
 impl MatchOutcome {
@@ -84,6 +118,15 @@ pub struct Engine {
     cfg: EngineConfig,
     memory: MemoryBudget,
     timeout: Option<std::time::Duration>,
+    faults: Option<FaultPlan>,
+}
+
+/// Everything one (possibly multi-pass) launch produced.
+struct LaunchStats {
+    metrics: GridMetrics,
+    timed_out: bool,
+    report: FaultReport,
+    spill_events: u64,
 }
 
 impl Engine {
@@ -94,6 +137,7 @@ impl Engine {
             cfg,
             memory: MemoryBudget::unlimited(),
             timeout: None,
+            faults: None,
         }
     }
 
@@ -103,6 +147,7 @@ impl Engine {
             cfg,
             memory: MemoryBudget::new(bytes),
             timeout: None,
+            faults: None,
         }
     }
 
@@ -111,6 +156,14 @@ impl Engine {
     /// partial count.
     pub fn with_timeout(mut self, timeout: std::time::Duration) -> Engine {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a deterministic [`FaultPlan`] to every subsequent launch
+    /// (testing/chaos engineering; injection is off unless this is
+    /// called). Salvage relaunches always run with injection disabled.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Engine {
+        self.faults = Some(plan);
         self
     }
 
@@ -189,6 +242,10 @@ impl Engine {
         self.run_inner(graph, plan, device, devices, None)
     }
 
+    /// Degradation-ladder driver: attempts the launch at the configured
+    /// settings, and on a planning failure retries (with backoff, bounded
+    /// by the recovery policy) at the next rung of
+    /// [`recover::degrade`]'s count-invariant ladder.
     fn run_inner(
         &self,
         graph: &Graph,
@@ -198,8 +255,45 @@ impl Engine {
         collector: Option<&Mutex<Vec<VertexId>>>,
     ) -> Result<MatchOutcome, LaunchError> {
         assert!(devices >= 1 && device < devices);
-        let cfg = &self.cfg;
-        cfg.validate();
+        self.cfg.validate();
+        let mut cfg = self.cfg;
+        let mut downgrades: Vec<DowngradeStep> = Vec::new();
+        loop {
+            // Planning failures happen before any warp runs, so retrying
+            // here can never double-count (and never touches `collector`).
+            match self.attempt(&cfg, graph, plan, device, devices, collector) {
+                Ok(mut outcome) => {
+                    outcome.downgrades = downgrades;
+                    return Ok(outcome);
+                }
+                Err(err) => {
+                    if downgrades.len() as u32 >= cfg.recovery.max_downgrades {
+                        return Err(err);
+                    }
+                    let Some((next, step)) = recover::degrade(&cfg, &err) else {
+                        return Err(err);
+                    };
+                    downgrades.push(step);
+                    if !cfg.recovery.backoff.is_zero() {
+                        std::thread::sleep(cfg.recovery.backoff);
+                    }
+                    cfg = next;
+                }
+            }
+        }
+    }
+
+    /// One launch attempt at a specific configuration: budget planning,
+    /// then the (containment-wrapped, possibly multi-pass) launch.
+    fn attempt(
+        &self,
+        cfg: &EngineConfig,
+        graph: &Graph,
+        plan: &MatchPlan,
+        device: usize,
+        devices: usize,
+        collector: Option<&Mutex<Vec<VertexId>>>,
+    ) -> Result<MatchOutcome, LaunchError> {
         let grid = Grid::new(cfg.grid)?;
         let k = plan.num_levels();
         let stop = cfg.effective_stop(k);
@@ -221,22 +315,29 @@ impl Engine {
         let num_warps = cfg.grid.total_warps();
         let stack_bytes = plan.num_sets() * cfg.unroll * cfg.max_degree_slab * 4 * num_warps;
         self.memory.try_alloc(stack_bytes)?;
-        let (metrics, timed_out) =
-            self.launch(graph, plan, &grid, stop, device, devices, collector);
+        let stats = self.launch(cfg, graph, plan, &grid, stop, device, devices, collector);
         self.memory.free(stack_bytes);
         Ok(MatchOutcome {
-            count: metrics.matches(),
-            metrics,
+            count: stats.metrics.matches(),
+            metrics: stats.metrics,
             shared_bytes_per_block: shared_bytes,
             stack_bytes,
             num_sets: plan.num_sets(),
-            timed_out,
+            timed_out: stats.timed_out,
+            fault: if stats.report.is_clean() {
+                None
+            } else {
+                Some(stats.report)
+            },
+            downgrades: Vec::new(),
+            spill_events: stats.spill_events,
         })
     }
 
     #[allow(clippy::too_many_arguments)]
     fn launch(
         &self,
+        cfg: &EngineConfig,
         graph: &Graph,
         plan: &MatchPlan,
         grid: &Grid,
@@ -244,8 +345,7 @@ impl Engine {
         device: usize,
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
-    ) -> (GridMetrics, bool) {
-        let cfg = &self.cfg;
+    ) -> LaunchStats {
         let n = graph.num_vertices();
         // Device partitioning is *strided*: device d owns the vertices
         // congruent to d modulo `devices`. With degree-ordered graphs a
@@ -258,23 +358,114 @@ impl Engine {
         } else {
             0
         };
-        let mut board = Board::new(
-            cfg.grid.num_blocks,
-            cfg.grid.warps_per_block,
-            stop,
-            (0, device_count),
-            cfg.chunk_size,
-        );
-        if let Some(t) = self.timeout {
-            board.set_deadline(Instant::now() + t);
-        }
-        let metrics = grid.launch(|warp| {
-            let mut kernel = WarpKernel::new(graph, plan, cfg, &board, warp.id());
-            kernel.set_device_partition(device, devices);
-            if collector.is_some() {
-                kernel.enable_enumeration();
+        let deadline = self.timeout.map(|t| Instant::now() + t);
+        let active_plan = self.faults.as_ref().filter(|p| !p.is_empty());
+        // While a plan can kill warps, swallow the default panic-hook
+        // output for injected payloads (real panics still print).
+        let _quiet = active_plan
+            .filter(|p| p.injects_panics())
+            .map(|_| crate::fault::silence_fault_panics());
+
+        let mut report = FaultReport {
+            reproduce: active_plan.and_then(|p| p.reproduce_line().map(String::from)),
+            ..FaultReport::default()
+        };
+        let mut metrics = GridMetrics::default();
+        let mut spill_events = 0u64;
+        let mut timed_out = false;
+        // Salvage state threaded between passes: where the level-0 range
+        // stops and which reclaimed payloads are still unfinished.
+        let mut cursor = 0usize;
+        let mut preload: Vec<StealPayload> = Vec::new();
+        let mut faults = active_plan;
+        loop {
+            let mut board = Board::new(
+                cfg.grid.num_blocks,
+                cfg.grid.warps_per_block,
+                stop,
+                (cursor, device_count),
+                cfg.chunk_size,
+            );
+            if !preload.is_empty() {
+                board.preload(std::mem::take(&mut preload));
             }
-            let me = warp.id();
+            if let Some(d) = deadline {
+                board.set_deadline(d);
+            }
+            let deaths: Mutex<Vec<WarpDeath>> = Mutex::new(Vec::new());
+            let (pass_metrics, escaped) = grid.launch_contained(|warp| {
+                self.warp_body(
+                    cfg, graph, plan, &board, faults, device, devices, collector, &deaths, warp,
+                );
+            });
+            metrics.merge(&pass_metrics);
+            report.escaped_panics += escaped.len();
+            for d in deaths.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                report.requeued += d.requeued;
+                report.deaths.push(d);
+            }
+            spill_events += board.spill_count();
+            let aborted = board.aborted();
+            timed_out = timed_out || aborted;
+            cursor = board.chunk_cursor();
+            let leftovers = board.take_leftovers();
+            let work_remains = !leftovers.is_empty() || cursor < device_count;
+            if aborted || !work_remains {
+                // Timed-out (or containment-failed) runs are partial by
+                // contract; completed runs have nothing left to salvage.
+                report.unrecovered += leftovers.len();
+                break;
+            }
+            if report.salvage_launches >= cfg.recovery.salvage_relaunches {
+                report.unrecovered += leftovers.len();
+                break;
+            }
+            // Salvage relaunch: drain the stranded work with injection off
+            // (an all-warps-dead grid, or a naive-mode requeue that landed
+            // after every warp had exited, leaves work behind).
+            report.salvage_launches += 1;
+            preload = leftovers;
+            faults = None;
+        }
+        LaunchStats {
+            metrics,
+            timed_out,
+            report,
+            spill_events,
+        }
+    }
+
+    /// One warp's driver loop, wrapped in the containment protocol: on
+    /// panic, the kernel's unfinished work is reclaimed and requeued, the
+    /// board's liveness bookkeeping is repaired, and the death is
+    /// recorded — survivors finish the traversal with exact counts.
+    #[allow(clippy::too_many_arguments)]
+    fn warp_body(
+        &self,
+        cfg: &EngineConfig,
+        graph: &Graph,
+        plan: &MatchPlan,
+        board: &Board,
+        faults: Option<&FaultPlan>,
+        device: usize,
+        devices: usize,
+        collector: Option<&Mutex<Vec<VertexId>>>,
+        deaths: &Mutex<Vec<WarpDeath>>,
+        warp: &mut stmatch_gpusim::Warp,
+    ) {
+        let me = warp.id();
+        // Which side of the idle protocol the warp is on, for death
+        // bookkeeping (a busy death releases the busy count, an idle death
+        // must clear its idle bit instead).
+        let busy = Cell::new(true);
+        let mut kernel: Option<WarpKernel> = None;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut k = WarpKernel::new(graph, plan, cfg, board, me, faults);
+            k.set_device_partition(device, devices);
+            if collector.is_some() {
+                k.enable_enumeration();
+            }
+            let kernel = kernel.insert(k);
             'outer: loop {
                 if board.aborted() {
                     break;
@@ -283,6 +474,17 @@ impl Engine {
                 if let Some((clo, chi)) = board.claim_chunk() {
                     let t = Instant::now();
                     kernel.install_chunk(clo, chi);
+                    kernel.run(warp);
+                    warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
+                    continue;
+                }
+                if let Some(p) = board.claim_requeued_busy() {
+                    warp.metrics_mut().requeue_claims += 1;
+                    // Same fixed cost model as a global-steal receive: the
+                    // payload travels through global memory.
+                    warp.metrics_mut().simt_instructions += 256;
+                    let t = Instant::now();
+                    kernel.install_payload(warp, &p);
                     kernel.run(warp);
                     warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
                     continue;
@@ -305,20 +507,26 @@ impl Engine {
                 }
                 // --- Idle phase: spin for stealable or pushed work. ---
                 board.mark_idle(me);
+                busy.set(false);
                 let idle_start = Instant::now();
                 loop {
-                    if board.finished() || board.aborted() {
+                    // Poll the deadline here too: with every busy warp
+                    // stalled or dead, kernel-side polling alone would
+                    // leave idle spinners waiting out the hang.
+                    if board.finished() || board.check_deadline() {
                         warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
                         break 'outer;
                     }
                     if board.chunks_remain() || (cfg.local_steal && board.any_local_victim(me)) {
                         board.mark_busy(me);
+                        busy.set(true);
                         warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
                         continue 'outer;
                     }
                     if cfg.global_steal {
                         if let Some(p) = board.try_claim_global(me) {
                             // try_claim_global marked us busy already.
+                            busy.set(true);
                             warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
                             warp.metrics_mut().global_steal_receives += 1;
                             warp.metrics_mut().simt_instructions += 256;
@@ -329,25 +537,77 @@ impl Engine {
                             continue 'outer;
                         }
                     }
+                    if let Some(p) = board.try_claim_requeued(me) {
+                        // try_claim_requeued marked us busy already.
+                        busy.set(true);
+                        warp.metrics_mut().idle_nanos += idle_start.elapsed().as_nanos() as u64;
+                        warp.metrics_mut().requeue_claims += 1;
+                        warp.metrics_mut().simt_instructions += 256;
+                        let t = Instant::now();
+                        kernel.install_payload(warp, &p);
+                        kernel.run(warp);
+                        warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
+                        continue 'outer;
+                    }
                     std::thread::yield_now();
                 }
             }
+        }));
+        if let Err(payload) = caught {
+            // Containment: roll the kernel's open transaction back, return
+            // its unfinished work to the board, repair the liveness
+            // bookkeeping — all under a second catch so a failure here
+            // cannot leave survivors spinning on broken counters.
+            let contained = catch_unwind(AssertUnwindSafe(|| {
+                let reclaimed = kernel
+                    .as_mut()
+                    .map(WarpKernel::reclaim_on_death)
+                    .unwrap_or_default();
+                let n = reclaimed.len();
+                board.requeue_dead(reclaimed);
+                board.mark_dead(me, busy.get());
+                n
+            }));
+            match contained {
+                Ok(requeued) => {
+                    deaths
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(WarpDeath {
+                            warp: me,
+                            message: crate::fault::describe_payload(payload.as_ref()),
+                            requeued,
+                        });
+                }
+                Err(_) => {
+                    // Containment itself failed: abort the launch so
+                    // survivors exit, and let the original panic escape to
+                    // the grid's backstop (reported as `escaped_panics`).
+                    board.force_abort();
+                    resume_unwind(payload);
+                }
+            }
+        }
+        if let Some(k) = kernel.as_mut() {
+            board.add_spills(k.spill_events());
             if let Some(c) = collector {
                 // Poison recovery as in steal.rs: embeddings are appended
                 // atomically per warp, so a panicking sibling cannot tear
-                // this vector.
+                // this vector. A dead warp's own uncommitted records were
+                // truncated by `reclaim_on_death`; the committed prefix is
+                // exact and must still be collected.
                 c.lock()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .append(&mut kernel.take_emitted());
+                    .append(&mut k.take_emitted());
             }
-        });
-        (metrics, board.aborted())
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use stmatch_gpusim::GridConfig;
     use stmatch_graph::gen;
     use stmatch_pattern::catalog;
@@ -464,6 +724,9 @@ mod tests {
 
     #[test]
     fn memory_budget_oom_fails_launch() {
+        // 1 KiB cannot hold the stacks even at the bottom of the
+        // degradation ladder (unroll 1, slab at its floor, 1 warp/block),
+        // so the error must eventually surface.
         let g = gen::complete(5);
         let engine = Engine::with_memory_budget(EngineConfig::default(), 1024);
         match engine.run(&g, &catalog::triangle()) {
@@ -479,11 +742,39 @@ mod tests {
         cfg.grid = GridConfig {
             num_blocks: 1,
             warps_per_block: 2,
-            shared_mem_per_block: 64, // absurdly small
+            shared_mem_per_block: 64, // absurdly small, below any rung
         };
         match Engine::new(cfg).run(&g, &catalog::triangle()) {
             Err(LaunchError::SharedMemory(_)) => {}
             other => panic!("expected shared-memory overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degradation_ladder_recovers_tight_shared_budget() {
+        let g = gen::erdos_renyi(60, 240, 5);
+        let p = catalog::paper_query(6); // bowtie
+        let full = Engine::new(EngineConfig::default().with_grid(small_grid()))
+            .run(&g, &p)
+            .unwrap();
+        assert!(full.downgrades.is_empty());
+        // One byte below what the full config needs: the ladder must give
+        // something up, and the first shared-memory rung is the unroll.
+        let mut cfg = EngineConfig::default().with_grid(small_grid());
+        cfg.grid.shared_mem_per_block = full.shared_bytes_per_block - 1;
+        let degraded = Engine::new(cfg).run(&g, &p).unwrap();
+        assert_eq!(degraded.count, full.count, "downgrades are count-invariant");
+        assert!(!degraded.downgrades.is_empty());
+        assert!(matches!(
+            degraded.downgrades[0],
+            DowngradeStep::Unroll { from: 8, .. }
+        ));
+        assert!(degraded.shared_bytes_per_block < full.shared_bytes_per_block);
+        // With recovery disabled the same config fails fast.
+        cfg.recovery = crate::recover::RecoveryPolicy::disabled();
+        match Engine::new(cfg).run(&g, &p) {
+            Err(LaunchError::SharedMemory(_)) => {}
+            other => panic!("expected fail-fast overflow, got {other:?}"),
         }
     }
 
@@ -540,28 +831,28 @@ mod tests {
     fn stealing_happens_under_skew() {
         // One chunk covering the whole graph: a single warp grabs all the
         // work and every other warp can only make progress by stealing.
-        // Host-scheduler timing decides *when* steals land, so allow a few
-        // attempts before declaring failure.
-        // The workload must outlast an OS scheduler quantum, or on a
-        // single-core host the owning warp finishes before any stealer
-        // thread ever runs.
+        // An injected stall holds every warp's second claim long enough
+        // that the chunk owner's block sibling provably sees the full
+        // mirror and steals — deterministic, where the previous version
+        // retried and hoped the host scheduler would cooperate.
         let g = gen::preferential_attachment(4000, 4, 1).degree_ordered();
         let q = catalog::paper_query(8);
-        let expected = {
-            let base = Engine::new(EngineConfig::naive().with_grid(small_grid()));
-            base.run(&g, &q).unwrap().count
-        };
-        let mut steals = 0;
-        for attempt in 0..5 {
-            let mut cfg = EngineConfig::local_steal_only().with_grid(small_grid());
-            cfg.chunk_size = g.num_vertices(); // a single chunk
-            let out = Engine::new(cfg).run(&g, &q).unwrap();
-            assert_eq!(out.count, expected, "attempt {attempt} miscounted");
-            steals += out.metrics.total().local_steals;
-            if steals > 0 {
-                return;
-            }
+        let expected = Engine::new(EngineConfig::naive().with_grid(small_grid()))
+            .run(&g, &q)
+            .unwrap()
+            .count;
+        let mut cfg = EngineConfig::local_steal_only().with_grid(small_grid());
+        cfg.chunk_size = g.num_vertices(); // a single chunk
+        let mut plan = FaultPlan::new();
+        for w in 0..small_grid().total_warps() {
+            plan = plan.stall_at(w, 2, Duration::from_millis(50));
         }
-        panic!("no local steals across 5 skewed runs");
+        let out = Engine::new(cfg).with_fault_plan(plan).run(&g, &q).unwrap();
+        assert_eq!(out.count, expected);
+        assert!(
+            out.metrics.total().local_steals >= 1,
+            "a 50ms stall on the chunk owner must force a local steal"
+        );
+        assert!(out.fault.is_none(), "stalls are not deaths");
     }
 }

@@ -1,0 +1,417 @@
+//! Deterministic fault injection and fault reporting.
+//!
+//! A [`FaultPlan`] attaches to an [`Engine`](crate::Engine) launch and
+//! perturbs chosen warps at precise points of their execution:
+//!
+//! * **panic** at the Nth claim — the warp dies mid-traversal and the
+//!   engine's containment layer must requeue its unfinished work;
+//! * **stall** at the Nth claim — the warp sleeps while holding a full
+//!   steal mirror, forcing siblings onto the stealing paths;
+//! * **poison** at the Nth mirror publish — the warp panics *inside* the
+//!   mirror's critical section, leaving the lock poisoned exactly between
+//!   publish and unlock (the scenario `steal.rs`'s poison-recovery
+//!   contract is written for).
+//!
+//! Plans are deterministic: [`FaultPlan::seeded`] derives every fault from
+//! a single `u64` through the testkit's SplitMix64, and the seed travels
+//! with the plan as a `FAULT_SEED=0x…` reproduce line that failure reports
+//! print verbatim. Injection sites are claim/publish *ordinals*, not
+//! wall-clock times, so a replay under the same seed perturbs the same
+//! logical points of the traversal.
+//!
+//! Injected panics carry a [`FaultPanic`] payload. While a plan with
+//! panic-type faults is live, the engine installs a process-wide panic
+//! hook shim (see [`silence_fault_panics`]) that swallows the default
+//! "thread panicked" stderr noise for `FaultPanic` payloads only; real
+//! panics still reach the previously installed hook.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use stmatch_testkit::rng::SplitMix64;
+
+/// What a fault does to its warp when its trigger point is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic (via [`FaultPanic`]) at the warp's `at_claim`-th claim.
+    Panic {
+        /// 1-based claim ordinal that triggers the panic.
+        at_claim: u64,
+    },
+    /// Sleep for `delay` at the warp's `at_claim`-th claim, with the steal
+    /// mirror published and unlocked — stealable.
+    Stall {
+        /// 1-based claim ordinal that triggers the stall.
+        at_claim: u64,
+        /// How long the warp sleeps.
+        delay: Duration,
+    },
+    /// Panic *inside* the mirror critical section at the warp's
+    /// `at_publish`-th stealable-state publish, poisoning the mirror lock
+    /// between publish and unlock.
+    PoisonPublish {
+        /// 1-based publish ordinal that triggers the poisoned panic.
+        at_publish: u64,
+    },
+}
+
+/// One scheduled fault: a warp plus a trigger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Global warp id the fault targets.
+    pub warp: usize,
+    /// The fault trigger and effect.
+    pub kind: FaultKind,
+}
+
+/// Panic payload of injected faults. Carrying a dedicated type (instead of
+/// a string) lets the containment layer and the panic-hook shim recognize
+/// injected deaths without parsing messages.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPanic {
+    /// The warp that was killed.
+    pub warp: usize,
+    /// The claim/publish ordinal at which it died.
+    pub at: u64,
+    /// True when the panic fired inside the mirror critical section.
+    pub poisoned_publish: bool,
+}
+
+impl FaultPanic {
+    /// Human-readable rendering used in [`WarpDeath`] records.
+    pub fn describe(&self) -> String {
+        if self.poisoned_publish {
+            format!(
+                "injected fault: poisoned mirror publish #{} of warp {}",
+                self.at, self.warp
+            )
+        } else {
+            format!(
+                "injected fault: panic at claim #{} of warp {}",
+                self.at, self.warp
+            )
+        }
+    }
+}
+
+/// A deterministic schedule of warp faults for one launch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    /// Reproduce line (`FAULT_SEED=0x…`) for seeded plans.
+    reproduce: Option<String>,
+}
+
+impl FaultPlan {
+    /// An empty plan; add faults with the builder methods.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules a panic for `warp` at its `at_claim`-th claim (1-based).
+    pub fn panic_at(mut self, warp: usize, at_claim: u64) -> FaultPlan {
+        assert!(at_claim >= 1, "claim ordinals are 1-based");
+        self.faults.push(Fault {
+            warp,
+            kind: FaultKind::Panic { at_claim },
+        });
+        self
+    }
+
+    /// Schedules a stall for `warp` at its `at_claim`-th claim (1-based).
+    pub fn stall_at(mut self, warp: usize, at_claim: u64, delay: Duration) -> FaultPlan {
+        assert!(at_claim >= 1, "claim ordinals are 1-based");
+        self.faults.push(Fault {
+            warp,
+            kind: FaultKind::Stall { at_claim, delay },
+        });
+        self
+    }
+
+    /// Schedules a poisoned-publish panic for `warp` at its
+    /// `at_publish`-th mirror publish (1-based).
+    pub fn poison_publish_at(mut self, warp: usize, at_publish: u64) -> FaultPlan {
+        assert!(at_publish >= 1, "publish ordinals are 1-based");
+        self.faults.push(Fault {
+            warp,
+            kind: FaultKind::PoisonPublish { at_publish },
+        });
+        self
+    }
+
+    /// Derives a plan from a single seed: `panics` warp deaths and
+    /// `stalls` stalls, over distinct warps of a `total_warps`-warp grid.
+    /// Trigger ordinals land in the first few dozen claims so the faults
+    /// fire even on small fixture workloads. The same `(seed, total_warps,
+    /// panics, stalls)` always yields the same plan; the reproduce line
+    /// `FAULT_SEED=0x…` travels in the resulting [`FaultReport`].
+    pub fn seeded(seed: u64, total_warps: usize, panics: usize, stalls: usize) -> FaultPlan {
+        assert!(total_warps >= 1);
+        assert!(
+            panics + stalls <= total_warps,
+            "cannot fault more warps than the grid has"
+        );
+        let mut rng = SplitMix64::new(seed);
+        // Distinct victims via a seeded partial Fisher-Yates draw.
+        let mut warps: Vec<usize> = (0..total_warps).collect();
+        for i in 0..(panics + stalls) {
+            let j = i + (rng.next_u64() as usize) % (total_warps - i);
+            warps.swap(i, j);
+        }
+        let mut plan = FaultPlan::new();
+        for &w in warps.iter().take(panics) {
+            plan = plan.panic_at(w, 1 + rng.next_u64() % 48);
+        }
+        for &w in warps.iter().skip(panics).take(stalls) {
+            let at = 1 + rng.next_u64() % 48;
+            let ms = 5 + rng.next_u64() % 20;
+            plan = plan.stall_at(w, at, Duration::from_millis(ms));
+        }
+        plan.reproduce = Some(format!("FAULT_SEED=0x{seed:x}"));
+        plan
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// True when the plan can kill warps (panics or poisoned publishes) —
+    /// the engine only installs the quiet panic-hook shim for such plans.
+    pub fn injects_panics(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| !matches!(f.kind, FaultKind::Stall { .. }))
+    }
+
+    /// The `FAULT_SEED=0x…` reproduce line of seeded plans.
+    pub fn reproduce_line(&self) -> Option<&str> {
+        self.reproduce.as_deref()
+    }
+
+    /// Claim-path injection hook: called by the kernel once per claim with
+    /// the warp's 1-based claim ordinal. Stalls sleep here; panic faults
+    /// unwind with a [`FaultPanic`] payload. Called *before* an iteration
+    /// index is taken, so a killed warp loses no claimed-but-unprocessed
+    /// index.
+    pub fn at_claim(&self, warp: usize, nth: u64) {
+        for f in &self.faults {
+            if f.warp != warp {
+                continue;
+            }
+            match f.kind {
+                FaultKind::Panic { at_claim } if at_claim == nth => {
+                    std::panic::panic_any(FaultPanic {
+                        warp,
+                        at: nth,
+                        poisoned_publish: false,
+                    });
+                }
+                FaultKind::Stall { at_claim, delay } if at_claim == nth => {
+                    std::thread::sleep(delay);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Publish-path injection hook: called inside the mirror critical
+    /// section with the warp's 1-based publish ordinal; a matching poison
+    /// fault panics while the lock is held.
+    pub fn at_publish(&self, warp: usize, nth: u64) {
+        for f in &self.faults {
+            if f.warp == warp {
+                if let FaultKind::PoisonPublish { at_publish } = f.kind {
+                    if at_publish == nth {
+                        std::panic::panic_any(FaultPanic {
+                            warp,
+                            at: nth,
+                            poisoned_publish: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Record of one contained warp death.
+#[derive(Clone, Debug)]
+pub struct WarpDeath {
+    /// Global warp id that died.
+    pub warp: usize,
+    /// Rendered panic payload ([`FaultPanic::describe`] for injected
+    /// faults, the panic message otherwise).
+    pub message: String,
+    /// Work items (steal payloads) reclaimed from the dead warp's mirror
+    /// and in-flight state back onto the board.
+    pub requeued: usize,
+}
+
+/// What the fault-tolerant execution layer observed during a run; attached
+/// to [`MatchOutcome`](crate::MatchOutcome) whenever anything non-clean
+/// happened (injected or real).
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Contained warp deaths, in order of containment.
+    pub deaths: Vec<WarpDeath>,
+    /// Total work items requeued from dead warps.
+    pub requeued: usize,
+    /// Salvage relaunches performed to drain leftover requeued work (see
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy)).
+    pub salvage_launches: u32,
+    /// Work items abandoned after the salvage budget ran out; when
+    /// nonzero the count is a lower bound.
+    pub unrecovered: usize,
+    /// Panics that escaped the engine's containment layer (caught only by
+    /// the grid backstop); when nonzero the count is a lower bound.
+    pub escaped_panics: usize,
+    /// Reproduce line (`FAULT_SEED=0x…`) when a seeded plan was active.
+    pub reproduce: Option<String>,
+}
+
+impl FaultReport {
+    /// True when nothing fault-related happened (the engine then attaches
+    /// no report at all).
+    pub fn is_clean(&self) -> bool {
+        self.deaths.is_empty()
+            && self.requeued == 0
+            && self.salvage_launches == 0
+            && self.unrecovered == 0
+            && self.escaped_panics == 0
+    }
+
+    /// True when every death was contained and every requeued work item
+    /// was completed — the count is exact despite the deaths.
+    pub fn fully_recovered(&self) -> bool {
+        self.unrecovered == 0 && self.escaped_panics == 0
+    }
+}
+
+/// Renders a caught panic payload, recognizing [`FaultPanic`].
+pub(crate) fn describe_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(fp) = payload.downcast_ref::<FaultPanic>() {
+        fp.describe()
+    } else {
+        stmatch_gpusim::describe_panic(payload)
+    }
+}
+
+/// True when the payload is an injected [`FaultPanic`].
+fn is_fault_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<FaultPanic>().is_some()
+}
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// Refcount of live [`SilenceGuard`]s plus the displaced original hook.
+static SILENCE: Mutex<Option<PanicHook>> = Mutex::new(None);
+static SILENCE_REFS: AtomicUsize = AtomicUsize::new(0);
+
+/// Suppresses the default panic-hook output for [`FaultPanic`] payloads
+/// process-wide until the returned guard drops. Reentrant (refcounted) and
+/// transparent to real panics: non-fault payloads are forwarded to the
+/// hook that was installed before the first guard. The engine wraps every
+/// panic-injecting launch in one of these so deliberate warp deaths do not
+/// spray "thread panicked" noise over test and benchmark output.
+pub fn silence_fault_panics() -> SilenceGuard {
+    let mut prev = SILENCE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if SILENCE_REFS.fetch_add(1, Ordering::SeqCst) == 0 {
+        *prev = Some(std::panic::take_hook());
+        std::panic::set_hook(Box::new(|info| {
+            if is_fault_payload(info.payload()) {
+                return; // injected fault: containment will report it
+            }
+            let prev = SILENCE
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(hook) = prev.as_ref() {
+                hook(info);
+            }
+        }));
+    }
+    SilenceGuard(())
+}
+
+/// RAII guard of [`silence_fault_panics`]; restores the previous hook when
+/// the last live guard drops.
+pub struct SilenceGuard(());
+
+impl Drop for SilenceGuard {
+    fn drop(&mut self) {
+        if SILENCE_REFS.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let hook = SILENCE
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            if let Some(hook) = hook {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_distinct_per_seed() {
+        let a = FaultPlan::seeded(0xfeed, 8, 2, 1);
+        let b = FaultPlan::seeded(0xfeed, 8, 2, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 3);
+        assert_eq!(a.reproduce_line(), Some("FAULT_SEED=0xfeed"));
+        let c = FaultPlan::seeded(0xbeef, 8, 2, 1);
+        assert_ne!(a.faults(), c.faults());
+        // Victims are distinct warps.
+        let mut warps: Vec<usize> = a.faults().iter().map(|f| f.warp).collect();
+        warps.sort_unstable();
+        warps.dedup();
+        assert_eq!(warps.len(), 3);
+    }
+
+    #[test]
+    fn injects_panics_classification() {
+        assert!(!FaultPlan::new().injects_panics());
+        assert!(!FaultPlan::new()
+            .stall_at(0, 1, Duration::from_millis(1))
+            .injects_panics());
+        assert!(FaultPlan::new().panic_at(0, 1).injects_panics());
+        assert!(FaultPlan::new().poison_publish_at(0, 1).injects_panics());
+    }
+
+    #[test]
+    fn at_claim_panics_with_fault_payload_at_the_exact_ordinal() {
+        let plan = FaultPlan::new().panic_at(3, 2);
+        plan.at_claim(3, 1); // not yet
+        plan.at_claim(2, 2); // wrong warp
+        let _quiet = silence_fault_panics();
+        let err = std::panic::catch_unwind(|| plan.at_claim(3, 2)).unwrap_err();
+        let fp = err
+            .downcast_ref::<FaultPanic>()
+            .expect("FaultPanic payload");
+        assert_eq!((fp.warp, fp.at, fp.poisoned_publish), (3, 2, false));
+        assert!(describe_payload(err.as_ref()).contains("claim #2"));
+    }
+
+    #[test]
+    fn silence_guard_restores_previous_hook_and_forwards_real_panics() {
+        {
+            let _g1 = silence_fault_panics();
+            let _g2 = silence_fault_panics(); // reentrant
+            let msg = std::panic::catch_unwind(|| panic!("real panic"))
+                .map_err(|p| describe_payload(p.as_ref()))
+                .unwrap_err();
+            assert_eq!(msg, "real panic");
+        }
+        assert_eq!(SILENCE_REFS.load(Ordering::SeqCst), 0);
+    }
+}

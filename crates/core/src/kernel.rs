@@ -23,8 +23,27 @@
 //! first passes warm the scratch capacities, the steady-state claim loop
 //! performs no heap allocation (see `tests/alloc_free.rs`).
 
+//! ## Fault containment (transactional counting)
+//!
+//! The engine may run this kernel under `catch_unwind` with a
+//! [`FaultPlan`] injecting panics. To keep counts exact across a warp
+//! death, the kernel counts *transactionally*: matches accumulate in a
+//! kernel-local `pending_matches` and only **commit** to the warp's
+//! metrics at claim boundaries of the deepest shallow level — points
+//! where the just-finished subtree is fully explored and the not-yet-
+//! started work is fully described by the steal mirror. Between commits,
+//! the single in-flight shallow iteration is recorded in `inflight`
+//! (written inside the same mirror lock that claims the index, cleared
+//! inside the lock that publishes the child level's range). On death,
+//! [`WarpKernel::reclaim_on_death`] discards the uncommitted tally and
+//! returns the mirror's remaining ranges plus the in-flight iteration as
+//! [`StealPayload`]s — replaying them recounts exactly the dropped
+//! subtree, nothing more. Emitted embeddings follow the same protocol
+//! through a commit watermark (`emit_mark`).
+
 use crate::arena::StackArena;
 use crate::config::{EngineConfig, MAX_UNROLL};
+use crate::fault::FaultPlan;
 use crate::setops;
 use crate::steal::{Board, StealPayload};
 use stmatch_gpusim::Warp;
@@ -70,12 +89,32 @@ pub struct WarpKernel<'a> {
     raw: Vec<VertexId>,
     /// Valid last-level candidates scratch (enumeration only).
     emit_tail: Vec<VertexId>,
-    /// Claims since the last deadline poll.
-    deadline_tick: u32,
+    /// Claims so far (deadline polls every 4096; also the fault-injection
+    /// ordinal — "die at the Nth claim").
+    claims: u64,
+    /// Mirror publishes so far (the fault-injection ordinal for
+    /// poisoned-publish faults).
+    publishes: u64,
     /// When enumerating, completed embeddings are appended here as
     /// `k`-strided records indexed by *pattern vertex* (not matching-order
     /// position).
     emit: Option<Vec<VertexId>>,
+    /// Matches found since the last commit (see module docs on
+    /// transactional counting).
+    pending_matches: u64,
+    /// `emit` length at the last commit; on death everything beyond it is
+    /// discarded along with `pending_matches`.
+    emit_mark: usize,
+    /// The one shallow iteration claimed from the mirror but whose child
+    /// range is not yet published (or, at the deepest shallow level, whose
+    /// subtree is not yet committed): `(level, index)`.
+    inflight: Option<(usize, usize)>,
+    /// Work item being installed; authoritative over the (half-written)
+    /// mirror if the warp dies mid-install.
+    installing: Option<StealPayload>,
+    /// Injected fault plan, if any (testing/chaos only; `None` on every
+    /// production path).
+    faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> WarpKernel<'a> {
@@ -85,6 +124,7 @@ impl<'a> WarpKernel<'a> {
         cfg: &'a EngineConfig,
         board: &'a Board,
         warp_id: usize,
+        faults: Option<&'a FaultPlan>,
     ) -> Self {
         let k = plan.num_levels();
         let unroll = cfg.unroll;
@@ -112,10 +152,16 @@ impl<'a> WarpKernel<'a> {
             pong: vec![Vec::new(); unroll],
             raw: Vec::with_capacity(unroll),
             emit_tail: Vec::new(),
-            deadline_tick: 0,
+            claims: 0,
+            publishes: 0,
             l0_base: 0,
             l0_stride: 1,
             emit: None,
+            pending_matches: 0,
+            emit_mark: 0,
+            inflight: None,
+            installing: None,
+            faults,
         }
     }
 
@@ -129,6 +175,7 @@ impl<'a> WarpKernel<'a> {
     /// Drains the embeddings collected since enumeration was enabled, as a
     /// flat buffer of `k`-strided records.
     pub fn take_emitted(&mut self) -> Vec<VertexId> {
+        self.emit_mark = 0;
         self.emit.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
@@ -156,18 +203,98 @@ impl<'a> WarpKernel<'a> {
 
     /// Periodic cooperative cancellation check on the claim paths: cheap
     /// flag read per claim, a real clock read every few thousand claims.
+    /// Also the claim-ordinal fault-injection point (may panic or stall
+    /// when a plan is attached).
     #[inline]
     fn cancelled(&mut self) -> bool {
-        self.deadline_tick = self.deadline_tick.wrapping_add(1);
-        if self.deadline_tick % 4096 == 0 {
+        self.claims = self.claims.wrapping_add(1);
+        if let Some(f) = self.faults {
+            f.at_claim(self.warp_id, self.claims);
+        }
+        if self.claims % 4096 == 0 {
             self.board.check_deadline()
         } else {
             self.board.aborted()
         }
     }
 
+    /// Commits the open transaction: flushes the pending tally to the
+    /// warp's counters, advances the emit watermark, and clears the
+    /// in-flight marker (its subtree is now fully accounted for). Called
+    /// at shallow claim boundaries and at run exit.
+    fn commit(&mut self, warp: &mut Warp) {
+        if self.pending_matches != 0 {
+            warp.metrics_mut().matches_found += self.pending_matches;
+            self.pending_matches = 0;
+        }
+        if let Some(emb) = self.emit.as_ref() {
+            self.emit_mark = emb.len();
+        }
+        self.inflight = None;
+    }
+
+    /// Candidate-list spill events (slab overflows) observed so far.
+    pub fn spill_events(&self) -> u64 {
+        self.storage.spill_events()
+    }
+
+    /// Death reclaim: rolls the open transaction back (uncommitted tally
+    /// and emitted records are dropped) and returns every work item the
+    /// dead warp still owned — the mirror's remaining shallow ranges, the
+    /// in-flight iteration, or the item being installed — as payloads
+    /// whose replay recounts exactly the dropped work. The mirror is
+    /// zeroed so concurrent stealers see a drained victim.
+    pub fn reclaim_on_death(&mut self) -> Vec<StealPayload> {
+        self.pending_matches = 0;
+        if let Some(emb) = self.emit.as_mut() {
+            emb.truncate(self.emit_mark);
+        }
+        let mut out = Vec::new();
+        let mut m = self.board.mirror(self.warp_id).lock();
+        if let Some(p) = self.installing.take() {
+            // Died mid-install: the mirror is half-written and the payload
+            // itself is still the authoritative description of the work.
+            for l in 0..crate::steal::MAX_STOP {
+                m.iter[l] = 0;
+                m.size[l] = 0;
+            }
+            self.inflight = None;
+            out.push(p);
+            return out;
+        }
+        for l in 0..self.stop {
+            if m.iter[l] < m.size[l] {
+                out.push(StealPayload {
+                    target: l,
+                    matched: m.matched[..l].to_vec(),
+                    lo: m.iter[l],
+                    hi: m.size[l],
+                });
+            }
+            m.iter[l] = 0;
+            m.size[l] = 0;
+        }
+        if let Some((l, idx)) = self.inflight.take() {
+            out.push(StealPayload {
+                target: l,
+                matched: m.matched[..l].to_vec(),
+                lo: idx,
+                hi: idx + 1,
+            });
+        }
+        out
+    }
+
     /// Installs a fresh level-0 chunk `[lo, hi)` of the vertex universe.
     pub fn install_chunk(&mut self, lo: usize, hi: usize) {
+        // `Vec::new()` does not allocate, so the marker is free on the
+        // chunk path.
+        self.installing = Some(StealPayload {
+            target: 0,
+            matched: Vec::new(),
+            lo,
+            hi,
+        });
         let mut m = self.board.mirror(self.warp_id).lock();
         for l in 0..crate::steal::MAX_STOP {
             m.iter[l] = 0;
@@ -176,6 +303,7 @@ impl<'a> WarpKernel<'a> {
         m.iter[0] = lo;
         m.size[0] = hi;
         self.entry = 0;
+        self.installing = None;
     }
 
     /// Installs stolen work: restores the matched prefix, recomputes the
@@ -184,6 +312,7 @@ impl<'a> WarpKernel<'a> {
     /// stolen iteration range.
     pub fn install_payload(&mut self, warp: &mut Warp, p: &StealPayload) {
         debug_assert_eq!(p.matched.len(), p.target);
+        self.installing = Some(p.clone());
         self.matched[..p.target].copy_from_slice(&p.matched);
         for l in 1..=p.target {
             self.batch[l].clear();
@@ -203,6 +332,7 @@ impl<'a> WarpKernel<'a> {
         m.iter[p.target] = p.lo;
         m.size[p.target] = p.hi;
         self.entry = p.target;
+        self.installing = None;
     }
 
     /// Runs the installed work item to exhaustion, adding matches to the
@@ -212,17 +342,19 @@ impl<'a> WarpKernel<'a> {
             // Degenerate single-vertex pattern: count valid level-0
             // candidates directly.
             while let Some(v) = self.claim_shallow(warp, 0) {
-                warp.metrics_mut().matches_found += 1;
+                self.pending_matches += 1;
                 if let Some(emb) = self.emit.as_mut() {
                     emb.push(v);
                 }
             }
+            self.commit(warp);
             return;
         }
         let mut l = self.entry;
         loop {
             if !self.claim(warp, l) {
                 if l == self.entry {
+                    self.commit(warp);
                     return;
                 }
                 l -= 1;
@@ -259,6 +391,10 @@ impl<'a> WarpKernel<'a> {
 
     /// Shallow claim: one validity-checked candidate through the mirror.
     fn claim_shallow(&mut self, warp: &mut Warp, l: usize) -> Option<VertexId> {
+        // Claim boundary: the previously claimed iteration's subtree (if
+        // any) is fully explored, and everything not yet started lives in
+        // the mirror — commit the open transaction.
+        self.commit(warp);
         loop {
             if self.cancelled() {
                 return None;
@@ -268,6 +404,11 @@ impl<'a> WarpKernel<'a> {
                 if m.iter[l] < m.size[l] {
                     let i = m.iter[l];
                     m.iter[l] += 1;
+                    // Record the in-flight iteration under the same lock
+                    // that claims it: from here until the child range is
+                    // published (or the subtree commits), this index exists
+                    // nowhere else — on death it is requeued verbatim.
+                    self.inflight = Some((l, i));
                     Some(i)
                 } else {
                     None
@@ -382,6 +523,20 @@ impl<'a> WarpKernel<'a> {
             if let Some(size) = size {
                 m.iter[l] = 0;
                 m.size[l] = size;
+                // The published range now describes the in-flight claim's
+                // entire subtree; requeueing both on death would double
+                // count, so the marker dies with the publish. (When `l ==
+                // stop` no range is published and the marker survives until
+                // the subtree commits.)
+                self.inflight = None;
+            }
+            self.publishes = self.publishes.wrapping_add(1);
+            if let Some(f) = self.faults {
+                // Publish-ordinal injection point: a panic here unwinds
+                // while holding the mirror lock, poisoning it — exactly the
+                // torn-publish failure `Mirror::lock`'s recovery contract
+                // covers.
+                f.at_publish(self.warp_id, self.publishes);
             }
         }
     }
@@ -601,7 +756,7 @@ impl<'a> WarpKernel<'a> {
                 total += n;
             }
         }
-        warp.metrics_mut().matches_found += total;
+        self.pending_matches += total;
     }
 
     /// Validity of candidate `v` at position `l`: label (level 0 only —

@@ -20,6 +20,12 @@
 //!   dependence encoding compiled by [`stmatch_pattern::MatchPlan`],
 //!   including merged multi-label intermediate sets.
 //!
+//! On top of the paper's design the engine is **fault tolerant**: warp
+//! panics are contained per warp and the dead warp's unfinished work is
+//! requeued for survivors ([`fault`]), launch-planning failures walk a
+//! count-invariant degradation ladder ([`recover`]), and a deterministic
+//! fault-injection plan ([`FaultPlan`]) makes all of it testable.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -36,11 +42,16 @@
 pub mod arena;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod multi;
+pub mod recover;
 pub mod setops;
 pub mod steal;
 
 pub use config::EngineConfig;
 pub use engine::{Engine, Enumeration, MatchOutcome};
+pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
 pub use multi::{run_multi_device, MultiDeviceOutcome};
+pub use recover::{DowngradeStep, RecoveryPolicy};
+pub use stmatch_gpusim::LaunchError;

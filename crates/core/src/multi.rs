@@ -17,10 +17,24 @@ use stmatch_pattern::Pattern;
 /// Aggregated result of a multi-device run.
 #[derive(Clone, Debug)]
 pub struct MultiDeviceOutcome {
-    /// Per-device outcomes, in device order.
+    /// Per-device outcomes, in device order. May be shorter than the
+    /// requested device count when the run aborted partway (see
+    /// [`MultiDeviceOutcome::aborted`]).
     pub devices: Vec<MatchOutcome>,
-    /// Total matches across devices.
+    /// Total matches across the *completed* devices.
     pub count: u64,
+    /// True when the run stopped before every device finished — either a
+    /// device timed out or a later device's launch failed. The count is
+    /// then a partial lower bound over `devices`.
+    pub aborted: bool,
+    /// The device whose launch failed, if any. Devices before it completed
+    /// and their outcomes are retained; devices after it never ran.
+    pub failed_device: Option<usize>,
+    /// The launch error that stopped the run at [`failed_device`]
+    /// (`failed_device`/`error` are always set together).
+    ///
+    /// [`failed_device`]: MultiDeviceOutcome::failed_device
+    pub error: Option<LaunchError>,
 }
 
 impl MultiDeviceOutcome {
@@ -45,6 +59,13 @@ impl MultiDeviceOutcome {
 
 /// Runs `pattern` over `graph` partitioned across `devices` simulated
 /// devices with `engine`'s configuration.
+///
+/// Fault tolerance across devices: if a device times out or a later
+/// device's launch fails, the outcomes of the devices that already
+/// completed are *returned* (with `aborted`/`failed_device` set) rather
+/// than discarded — hours of completed partitions survive one bad device.
+/// Only a failure on the very first device returns `Err`, since there is
+/// nothing to salvage.
 pub fn run_multi_device(
     engine: &Engine,
     graph: &Graph,
@@ -54,13 +75,37 @@ pub fn run_multi_device(
     assert!(devices >= 1);
     let plan = engine.compile(pattern);
     let mut outcomes = Vec::with_capacity(devices);
+    let mut aborted = false;
+    let mut failed_device = None;
+    let mut error = None;
     for d in 0..devices {
-        outcomes.push(engine.run_partition(graph, &plan, d, devices)?);
+        match engine.run_partition(graph, &plan, d, devices) {
+            Ok(out) => {
+                let timed_out = out.timed_out;
+                outcomes.push(out);
+                if timed_out {
+                    // The wall-clock budget is for the whole run; don't
+                    // start the remaining devices after blowing it.
+                    aborted = true;
+                    break;
+                }
+            }
+            Err(err) if outcomes.is_empty() => return Err(err),
+            Err(err) => {
+                aborted = true;
+                failed_device = Some(d);
+                error = Some(err);
+                break;
+            }
+        }
     }
     let count = outcomes.iter().map(|o| o.count).sum();
     Ok(MultiDeviceOutcome {
         devices: outcomes,
         count,
+        aborted,
+        failed_device,
+        error,
     })
 }
 
@@ -80,6 +125,44 @@ mod tests {
             let multi = run_multi_device(&engine, &g, &catalog::paper_query(6), devices).unwrap();
             assert_eq!(multi.count, single, "devices={devices}");
             assert_eq!(multi.devices.len(), devices);
+        }
+    }
+
+    #[test]
+    fn multi_device_clean_run_is_not_aborted() {
+        let g = gen::erdos_renyi(40, 120, 7);
+        let engine = Engine::new(EngineConfig::default());
+        let multi = run_multi_device(&engine, &g, &catalog::triangle(), 2).unwrap();
+        assert!(!multi.aborted);
+        assert_eq!(multi.failed_device, None);
+        assert!(multi.error.is_none());
+    }
+
+    #[test]
+    fn timed_out_device_keeps_partial_outcomes() {
+        use std::time::Duration;
+        let g = gen::erdos_renyi(90, 360, 21);
+        let engine = Engine::new(EngineConfig::default()).with_timeout(Duration::ZERO);
+        // The first device blows the (zero) budget immediately; its partial
+        // outcome must be returned instead of dropped, and the remaining
+        // devices must not be started.
+        let multi = run_multi_device(&engine, &g, &catalog::paper_query(6), 4).unwrap();
+        assert!(multi.aborted);
+        assert_eq!(multi.devices.len(), 1);
+        assert!(multi.devices[0].timed_out);
+        assert_eq!(multi.failed_device, None, "timeout is not a launch error");
+    }
+
+    #[test]
+    fn first_device_failure_is_an_error() {
+        let g = gen::erdos_renyi(40, 120, 7);
+        let mut cfg = EngineConfig::default();
+        cfg.grid.shared_mem_per_block = 64;
+        cfg.recovery = crate::recover::RecoveryPolicy::disabled();
+        // Device 0 fails before anything completes: nothing to salvage.
+        match run_multi_device(&Engine::new(cfg), &g, &catalog::triangle(), 2) {
+            Err(LaunchError::SharedMemory(_)) => {}
+            other => panic!("expected shared-memory failure, got {other:?}"),
         }
     }
 

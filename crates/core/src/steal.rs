@@ -110,8 +110,20 @@ pub struct Board {
     slots: Vec<Mutex<Option<StealPayload>>>,
     /// Number of warps currently busy (grid starts all-busy).
     busy: AtomicUsize,
-    /// Number of pushed-but-unclaimed global payloads.
+    /// Number of pushed-but-unclaimed payloads (global slots + requeue).
     pending: AtomicUsize,
+    /// Live warps per block; a block whose count hits zero can never claim
+    /// its global slot again, so [`Board::mark_dead`] drains it.
+    alive: Vec<AtomicUsize>,
+    /// Total contained warp deaths this launch.
+    deaths: AtomicUsize,
+    /// Work reclaimed from dead warps (and salvage preloads), claimable by
+    /// any warp. Counted in `pending` so `finished()` cannot fire while a
+    /// dead warp's work sits unclaimed.
+    requeue: Mutex<Vec<StealPayload>>,
+    /// Candidate-list spill events reported by the kernels at exit
+    /// (arena slabs outgrown; see `arena`).
+    spills: AtomicUsize,
     /// Level-0 chunk dispenser: next unclaimed vertex id.
     chunk_next: AtomicUsize,
     num_vertices: usize,
@@ -147,6 +159,12 @@ impl Board {
             slots: (0..num_blocks).map(|_| Mutex::new(None)).collect(),
             busy: AtomicUsize::new(total),
             pending: AtomicUsize::new(0),
+            alive: (0..num_blocks)
+                .map(|_| AtomicUsize::new(warps_per_block))
+                .collect(),
+            deaths: AtomicUsize::new(0),
+            requeue: Mutex::new(Vec::new()),
+            spills: AtomicUsize::new(0),
             chunk_next: AtomicUsize::new(start),
             num_vertices: end,
             chunk_size,
@@ -317,6 +335,13 @@ impl Board {
             if slot.is_some() {
                 continue;
             }
+            // Re-check liveness under the slot lock: a payload pushed to a
+            // block whose last warp died would be stranded forever
+            // (`mark_dead` drains the slot in the same lock order, so one
+            // of the two always sees the other's effect).
+            if self.alive[b].load(Ordering::SeqCst) == 0 {
+                continue;
+            }
             // Split our own mirror. Mirror lock nests inside the slot lock;
             // no other path acquires them in the opposite order.
             let payload = {
@@ -346,6 +371,130 @@ impl Board {
         self.mark_busy(me);
         self.pending.fetch_sub(1, Ordering::SeqCst);
         Some(payload)
+    }
+
+    // --- Fault containment and recovery ------------------------------
+
+    /// Returns work reclaimed from a dead warp to the board. Called by the
+    /// containment layer *before* [`Board::mark_dead`], while the dying
+    /// warp still counts as busy — so `finished()` cannot fire between the
+    /// requeue and the death bookkeeping.
+    pub fn requeue_dead(&self, payloads: Vec<StealPayload>) {
+        if payloads.is_empty() {
+            return;
+        }
+        self.pending.fetch_add(payloads.len(), Ordering::SeqCst);
+        self.requeue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(payloads);
+    }
+
+    /// Records the death of warp `me`. `was_busy` says which side of the
+    /// idle protocol the warp died on: busy warps release their busy count,
+    /// idle warps release their idle bit (a dead warp must never read as
+    /// idle, or its block could receive global pushes no one will claim).
+    /// When the block's last live warp dies, any payload stranded in the
+    /// block's global slot is moved to the requeue.
+    pub fn mark_dead(&self, me: usize, was_busy: bool) {
+        let block = me / self.warps_per_block;
+        let bit = 1u32 << (me % self.warps_per_block);
+        self.deaths.fetch_add(1, Ordering::SeqCst);
+        self.alive[block].fetch_sub(1, Ordering::SeqCst);
+        if was_busy {
+            self.busy.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.is_idle[block].fetch_and(!bit, Ordering::SeqCst);
+        if self.alive[block].load(Ordering::SeqCst) == 0 {
+            // Last live warp of the block: drain the global slot (pushers
+            // re-check `alive` under this same lock, so no new payload can
+            // land after the drain).
+            let stranded = self.slots[block]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(p) = stranded {
+                // Already counted in `pending`; moving it keeps the count.
+                self.requeue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(p);
+            }
+        }
+    }
+
+    /// Contained warp deaths so far.
+    pub fn death_count(&self) -> usize {
+        self.deaths.load(Ordering::SeqCst)
+    }
+
+    /// Claims a requeued work item from the busy phase (the caller already
+    /// counts as busy).
+    pub fn claim_requeued_busy(&self) -> Option<StealPayload> {
+        let p = self
+            .requeue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()?;
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        Some(p)
+    }
+
+    /// Claims a requeued work item from the idle phase, transitioning the
+    /// caller busy before releasing the pending count (same ordering as
+    /// [`Board::try_claim_global`]).
+    pub fn try_claim_requeued(&self, me: usize) -> Option<StealPayload> {
+        let p = self
+            .requeue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()?;
+        self.mark_busy(me);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        Some(p)
+    }
+
+    /// Latches the abort flag unconditionally (containment failure path:
+    /// survivors must exit rather than spin on broken counters).
+    pub fn force_abort(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Post-launch drain: any work still requeued (every warp has
+    /// returned, so no claim can race this). The engine hands leftovers to
+    /// a salvage relaunch or reports them unrecovered.
+    pub fn take_leftovers(&self) -> Vec<StealPayload> {
+        let mut q = self.requeue.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = std::mem::take(&mut *q);
+        self.pending.fetch_sub(out.len(), Ordering::SeqCst);
+        out
+    }
+
+    /// Post-launch chunk cursor: where a salvage relaunch must resume the
+    /// level-0 range (an all-warps-dead grid leaves chunks unclaimed).
+    pub fn chunk_cursor(&self) -> usize {
+        self.chunk_next
+            .load(Ordering::SeqCst)
+            .min(self.num_vertices)
+    }
+
+    /// Seeds the requeue with leftover work from a previous launch of the
+    /// same logical run (salvage relaunch).
+    pub fn preload(&mut self, payloads: Vec<StealPayload>) {
+        self.pending.fetch_add(payloads.len(), Ordering::SeqCst);
+        *self.requeue.lock().unwrap_or_else(PoisonError::into_inner) = payloads;
+    }
+
+    /// Accumulates candidate-list spill events observed by a kernel.
+    pub fn add_spills(&self, n: u64) {
+        if n > 0 {
+            self.spills.fetch_add(n as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// Total spill events reported so far.
+    pub fn spill_count(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed) as u64
     }
 }
 
@@ -485,6 +634,107 @@ mod tests {
         assert!(!b.finished(), "claimer is busy now");
         b.mark_idle(2);
         assert!(b.finished());
+    }
+
+    #[test]
+    fn requeue_blocks_termination_until_claimed() {
+        let b = board();
+        while b.claim_chunk().is_some() {}
+        for w in 0..4 {
+            b.mark_idle(w);
+        }
+        assert!(b.finished());
+        b.mark_busy(0);
+        b.requeue_dead(vec![StealPayload {
+            target: 0,
+            matched: vec![],
+            lo: 3,
+            hi: 7,
+        }]);
+        b.mark_dead(0, true);
+        assert_eq!(b.death_count(), 1);
+        assert!(!b.finished(), "requeued work must block termination");
+        let p = b.try_claim_requeued(1).expect("claimable");
+        assert_eq!((p.lo, p.hi), (3, 7));
+        assert!(!b.finished(), "claimer is busy");
+        b.mark_idle(1);
+        assert!(b.finished());
+    }
+
+    #[test]
+    fn death_of_last_block_warp_drains_global_slot() {
+        let b = board();
+        {
+            let mut m = b.mirror(0).lock();
+            m.size[0] = 40;
+        }
+        // Block 1 goes fully idle, receives a push...
+        b.mark_idle(2);
+        b.mark_idle(3);
+        assert!(b.try_push_global(0));
+        // ...then both of its warps die before claiming it.
+        b.mark_dead(2, false);
+        b.mark_dead(3, false);
+        let p = b.try_claim_requeued(1).expect("stranded payload reclaimed");
+        assert_eq!((p.lo, p.hi), (20, 40));
+        assert!(b.try_claim_global(2).is_none(), "slot was drained");
+    }
+
+    #[test]
+    fn push_skips_dead_blocks() {
+        let b = board();
+        {
+            let mut m = b.mirror(0).lock();
+            m.size[0] = 40;
+        }
+        b.mark_idle(2);
+        b.mark_idle(3);
+        b.mark_dead(2, false);
+        b.mark_dead(3, false);
+        assert!(!b.try_push_global(0), "dead block must not receive pushes");
+    }
+
+    #[test]
+    fn dead_idle_warp_never_reads_idle() {
+        let b = board();
+        b.mark_idle(2);
+        b.mark_dead(2, false);
+        b.mark_idle(3);
+        {
+            let mut m = b.mirror(0).lock();
+            m.size[0] = 40;
+        }
+        // Block 1 has one idle live warp and one dead warp: not fully
+        // idle, so no push lands.
+        assert!(!b.try_push_global(0));
+    }
+
+    #[test]
+    fn leftovers_drain_and_preload_roundtrip() {
+        let b = board();
+        b.requeue_dead(vec![
+            StealPayload {
+                target: 1,
+                matched: vec![9],
+                lo: 0,
+                hi: 2,
+            },
+            StealPayload {
+                target: 0,
+                matched: vec![],
+                lo: 5,
+                hi: 6,
+            },
+        ]);
+        let left = b.take_leftovers();
+        assert_eq!(left.len(), 2);
+        assert!(b.take_leftovers().is_empty());
+        let mut b2 = Board::new(2, 2, 2, (b.chunk_cursor(), 100), 10);
+        b2.preload(left);
+        assert!(!b2.finished());
+        assert!(b2.claim_requeued_busy().is_some());
+        assert!(b2.claim_requeued_busy().is_some());
+        assert!(b2.claim_requeued_busy().is_none());
     }
 
     #[test]

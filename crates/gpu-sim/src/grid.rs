@@ -37,7 +37,7 @@ impl GridConfig {
 }
 
 /// Errors failing a launch before any warp runs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum LaunchError {
     /// A per-block shared-memory budget was exceeded (CUDA:
     /// `cudaErrorLaunchOutOfResources`).
@@ -105,34 +105,99 @@ impl Grid {
     /// Launches `kernel` on every warp concurrently and waits for all warps
     /// to finish (one "kernel launch" in CUDA terms — the `kernel_launches`
     /// counter in the returned metrics is 1).
+    ///
+    /// A panicking warp propagates: the launch itself panics once every
+    /// warp thread has been joined. Fault-tolerant callers should use
+    /// [`Grid::launch_contained`] instead.
     pub fn launch<F>(&self, kernel: F) -> GridMetrics
+    where
+        F: Fn(&mut Warp) + Sync,
+    {
+        let (metrics, panics) = self.launch_contained(kernel);
+        if let Some(p) = panics.first() {
+            panic!("warp thread panicked: warp {}: {}", p.warp, p.message);
+        }
+        metrics
+    }
+
+    /// [`Grid::launch`] with per-warp panic containment: each warp body
+    /// runs under `catch_unwind`, a panicking warp's counters survive (it
+    /// stops contributing work but its metrics up to the panic are kept),
+    /// and the launch always returns — the hardware analogue of one SM
+    /// faulting without resetting the device. The returned [`WarpPanic`]
+    /// records (one per dead warp, in warp-id order) carry the panic
+    /// payload rendered as a string; `GridMetrics::contained_panics`
+    /// counts them.
+    ///
+    /// Containment is a backstop, not a recovery protocol: any cross-warp
+    /// state the closure shares (queues, counters, locks) is the caller's
+    /// responsibility to repair — see `stmatch-core`'s engine, which
+    /// performs its own containment with work requeue *inside* the
+    /// closure and uses this layer only against escaped panics.
+    pub fn launch_contained<F>(&self, kernel: F) -> (GridMetrics, Vec<WarpPanic>)
     where
         F: Fn(&mut Warp) + Sync,
     {
         let start = Instant::now();
         let total = self.config.total_warps();
         let wpb = self.config.warps_per_block;
-        let warps = std::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..total)
                 .map(|id| {
                     let kernel = &kernel;
                     scope.spawn(move || {
                         let mut warp = Warp::new(id, id / wpb, id % wpb);
-                        kernel(&mut warp);
-                        warp.into_metrics()
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            kernel(&mut warp)
+                        }));
+                        let panic = caught.err().map(|payload| WarpPanic {
+                            warp: id,
+                            message: describe_panic(payload.as_ref()),
+                        });
+                        (warp.into_metrics(), panic)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("warp thread panicked"))
+                .map(|h| h.join().expect("warp thread died outside catch_unwind"))
                 .collect::<Vec<_>>()
         });
-        GridMetrics {
+        let mut warps = Vec::with_capacity(total);
+        let mut panics = Vec::new();
+        for (m, p) in results {
+            warps.push(m);
+            panics.extend(p);
+        }
+        let metrics = GridMetrics {
             warps,
             elapsed_nanos: start.elapsed().as_nanos() as u64,
             kernel_launches: 1,
-        }
+            contained_panics: panics.len() as u64,
+        };
+        (metrics, panics)
+    }
+}
+
+/// Record of one warp whose kernel closure panicked during a
+/// [`Grid::launch_contained`] run.
+#[derive(Clone, Debug)]
+pub struct WarpPanic {
+    /// Global warp id of the dead warp.
+    pub warp: usize,
+    /// The panic payload, rendered (`&str` / `String` payloads verbatim;
+    /// anything else as an opaque marker).
+    pub message: String,
+}
+
+/// Renders a caught panic payload for reporting.
+pub fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -182,6 +247,47 @@ mod tests {
             assert_eq!(warp.block(), warp.id() / 3);
             assert_eq!(warp.index_in_block(), warp.id() % 3);
         });
+    }
+
+    #[test]
+    fn contained_launch_survives_warp_panics_and_keeps_metrics() {
+        let grid = Grid::new(GridConfig {
+            num_blocks: 2,
+            warps_per_block: 2,
+            shared_mem_per_block: 0,
+        })
+        .unwrap();
+        let (metrics, panics) = grid.launch_contained(|warp| {
+            warp.metrics_mut().matches_found = 10 + warp.id() as u64;
+            if warp.id() == 2 {
+                panic!("injected: warp {} down", warp.id());
+            }
+        });
+        // The dead warp's pre-panic counters survive.
+        assert_eq!(metrics.warps.len(), 4);
+        assert_eq!(metrics.matches(), 10 + 11 + 12 + 13);
+        assert_eq!(metrics.contained_panics, 1);
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].warp, 2);
+        assert!(panics[0].message.contains("warp 2 down"), "{panics:?}");
+    }
+
+    #[test]
+    fn plain_launch_propagates_warp_panics() {
+        let grid = Grid::new(GridConfig {
+            num_blocks: 1,
+            warps_per_block: 2,
+            shared_mem_per_block: 0,
+        })
+        .unwrap();
+        let res = std::panic::catch_unwind(|| {
+            grid.launch(|warp| {
+                if warp.id() == 1 {
+                    panic!("boom");
+                }
+            })
+        });
+        assert!(res.is_err(), "launch must re-raise contained panics");
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub struct WarpMetrics {
     pub global_steal_pushes: u64,
     /// Tasks received from other blocks (global stealing, stealer side).
     pub global_steal_receives: u64,
+    /// Work items reclaimed from dead warps (fault recovery path).
+    pub requeue_claims: u64,
     /// Matches emitted by this warp.
     pub matches_found: u64,
     /// Nanoseconds spent doing useful matching work.
@@ -48,6 +50,7 @@ impl WarpMetrics {
         self.local_steals += other.local_steals;
         self.global_steal_pushes += other.global_steal_pushes;
         self.global_steal_receives += other.global_steal_receives;
+        self.requeue_claims += other.requeue_claims;
         self.matches_found += other.matches_found;
         self.busy_nanos += other.busy_nanos;
         self.idle_nanos += other.idle_nanos;
@@ -64,6 +67,9 @@ pub struct GridMetrics {
     /// Number of kernel launches this metrics object covers (subgraph-
     /// centric baselines launch once per extension step).
     pub kernel_launches: u64,
+    /// Warp panics contained by [`crate::Grid::launch_contained`] (0 for
+    /// healthy runs and for plain [`crate::Grid::launch`]).
+    pub contained_panics: u64,
 }
 
 impl GridMetrics {
@@ -123,6 +129,7 @@ impl GridMetrics {
         }
         self.elapsed_nanos += other.elapsed_nanos;
         self.kernel_launches += other.kernel_launches;
+        self.contained_panics += other.contained_panics;
     }
 }
 
@@ -152,6 +159,7 @@ mod tests {
             warps: vec![warp_with(0, 0, 8, 32), warp_with(0, 0, 24, 32)],
             elapsed_nanos: 1,
             kernel_launches: 1,
+            ..Default::default()
         };
         assert_eq!(g.total().active_lane_slots, 32);
         assert!((g.lane_utilization() - 0.5).abs() < 1e-12);
@@ -186,16 +194,19 @@ mod tests {
             warps: vec![warp_with(1, 0, 1, 32)],
             elapsed_nanos: 10,
             kernel_launches: 1,
+            ..Default::default()
         };
         let b = GridMetrics {
             warps: vec![warp_with(2, 0, 3, 32), warp_with(5, 0, 0, 0)],
             elapsed_nanos: 20,
             kernel_launches: 2,
+            contained_panics: 1,
         };
         a.merge(&b);
         assert_eq!(a.warps.len(), 2);
         assert_eq!(a.warps[0].busy_nanos, 3);
         assert_eq!(a.elapsed_nanos, 30);
         assert_eq!(a.kernel_launches, 3);
+        assert_eq!(a.contained_panics, 1);
     }
 }

@@ -71,7 +71,7 @@ fn steady_state_run_does_not_allocate() {
     static STEADY_MATCHES: AtomicU64 = AtomicU64::new(0);
 
     let metrics = grid.launch(|warp| {
-        let mut kernel = WarpKernel::new(&g, &plan, &cfg, &board, warp.id());
+        let mut kernel = WarpKernel::new(&g, &plan, &cfg, &board, warp.id(), None);
 
         // Warmup pass: sizes every reusable scratch buffer.
         kernel.install_chunk(0, n);

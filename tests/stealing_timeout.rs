@@ -1,9 +1,12 @@
 //! Deadline / cancellation tests for the work-stealing scheduler under
 //! the std::sync locks: a deliberately oversized enumeration with
-//! [`Engine::with_timeout`] must come back within 2× the deadline, with
+//! [`Engine::with_timeout`] must come back within 1.5× the deadline, with
 //! the abort flag latched (`MatchOutcome::timed_out`, which mirrors
 //! `Board::aborted()`), and without panicking or deadlocking any warp in
-//! the idle-spin loops of `steal.rs`.
+//! the idle-spin loops of `steal.rs`. The tightened bound (previously 2×)
+//! holds because the engine's idle-spin loop now polls
+//! `Board::check_deadline` directly instead of relying solely on the
+//! kernel's every-4096-claims poll.
 
 use std::time::{Duration, Instant};
 use stmatch_core::steal::Board;
@@ -23,7 +26,7 @@ fn grid() -> GridConfig {
 /// A workload that takes far longer than the deadline: a hub-heavy graph
 /// large enough that q9 (size 6, dense) enumerates for many seconds.
 #[test]
-fn oversized_run_returns_within_twice_the_deadline() {
+fn oversized_run_returns_within_1p5x_the_deadline() {
     let g = gen::preferential_attachment(2000, 6, 1).degree_ordered();
     let q = catalog::paper_query(9);
     let deadline = Duration::from_millis(500);
@@ -36,8 +39,8 @@ fn oversized_run_returns_within_twice_the_deadline() {
         "workload finished before the deadline ({elapsed:?}) — enlarge the graph"
     );
     assert!(
-        elapsed < deadline * 2,
-        "cancellation took {elapsed:?}, more than 2x the {deadline:?} deadline"
+        elapsed < deadline * 3 / 2,
+        "cancellation took {elapsed:?}, more than 1.5x the {deadline:?} deadline"
     );
 }
 
