@@ -16,6 +16,7 @@ run() {
 
 run "fmt"   cargo fmt --all --check
 run "build" cargo build --release --offline
+run "lint"  cargo clippy --workspace --all-targets --offline -- -D warnings
 run "test"  cargo test -q --workspace --offline
 
 # Example smoke runs: the two cheapest examples, release profile (already
@@ -31,5 +32,32 @@ run "smoke:hotpath" cargo run --release --offline -p stmatch-bench --bin hotpath
 # one warp stall); counts must stay exactly at the goldens, the death must
 # be contained and recovered, and the run must finish well under its cap.
 run "smoke:faults" cargo run --release --offline -p stmatch-bench --bin faults_check
+
+# Concurrency-analysis gate: q1/q6 clean + seeded-fault runs with every
+# simt-check checker enabled must stay free of error diagnostics (zero
+# false positives), and the two seeded mutations must be CAUGHT — the bin
+# exits 1 on findings, so the mutation legs invert its exit code and then
+# grep for the expected diagnostic (a timeout kill must not pass as a
+# catch).
+run "smoke:check" cargo run --release --offline -p stmatch-bench --bin simt_check
+for mut in lock-drop:"data race" lock-invert:"cycle"; do
+    name=${mut%%:*}; expect=${mut#*:}
+    echo "==> smoke:check(mutate=${name}): expecting a caught mutation"
+    log=$(mktemp)
+    if timeout --signal=KILL "${CAP}" \
+        cargo run --release --offline -p stmatch-bench --bin simt_check -- \
+        "--mutate=${name}" >"${log}" 2>&1; then
+        cat "${log}"
+        echo "==> smoke:check(mutate=${name}): FAILED — mutation escaped"
+        exit 1
+    fi
+    if ! grep -q "${expect}" "${log}"; then
+        cat "${log}"
+        echo "==> smoke:check(mutate=${name}): FAILED — no '${expect}' diagnostic"
+        exit 1
+    fi
+    rm -f "${log}"
+    echo "==> smoke:check(mutate=${name}): OK"
+done
 
 echo "ci.sh: all phases passed"

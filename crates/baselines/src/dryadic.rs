@@ -159,14 +159,14 @@ impl<'a> Worker<'a> {
     #[inline]
     fn cancelled(&mut self) -> bool {
         self.tick = self.tick.wrapping_add(1);
-        if self.tick % 4096 == 0 {
+        if self.tick.is_multiple_of(4096) {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.abort.store(true, Ordering::Relaxed);
                 }
             }
             self.abort.load(Ordering::Relaxed)
-        } else if self.tick % 64 == 0 {
+        } else if self.tick.is_multiple_of(64) {
             self.abort.load(Ordering::Relaxed)
         } else {
             false

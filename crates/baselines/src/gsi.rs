@@ -101,7 +101,7 @@ pub fn run_plan(
     // Level-0 table: label-filtered roots, one row each.
     let roots: Vec<VertexId> = graph
         .vertices()
-        .filter(|&v| plan.level_label(0).map_or(true, |l| graph.label(v) == l))
+        .filter(|&v| plan.level_label(0).is_none_or(|l| graph.label(v) == l))
         .collect();
     if k == 1 {
         return Ok(GsiOutcome {
@@ -116,8 +116,7 @@ pub fn run_plan(
             timed_out: false,
         });
     }
-    // table: row-major `width` vertices per embedding.
-    let mut width = 1usize;
+    // table: row-major `width` (= level) vertices per embedding.
     let mut table: Vec<VertexId> = roots;
     memory.try_alloc(table.len() * 4)?;
     let mut table_bytes = table.len() * 4;
@@ -128,6 +127,7 @@ pub fn run_plan(
             timed_out = true;
             break;
         }
+        let width = l;
         let rows = table.len() / width;
         if rows == 0 {
             break;
@@ -241,7 +241,6 @@ pub fn run_plan(
         }
         memory.free(table_bytes);
         table_bytes = produced;
-        width += 1;
         table = next;
     }
     memory.free(table_bytes);

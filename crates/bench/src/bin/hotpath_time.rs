@@ -28,14 +28,16 @@ fn main() {
     let g = gen::preferential_attachment(420, 8, 7).degree_ordered();
     let q = catalog::paper_query(query);
 
-    let mut cfg = EngineConfig::default();
-    cfg.grid = GridConfig {
-        num_blocks: 1,
-        warps_per_block: 2,
-        shared_mem_per_block: 100 * 1024,
+    let cfg = EngineConfig {
+        grid: GridConfig {
+            num_blocks: 1,
+            warps_per_block: 2,
+            shared_mem_per_block: 100 * 1024,
+        },
+        local_steal: false,
+        global_steal: false,
+        ..EngineConfig::default()
     };
-    cfg.local_steal = false;
-    cfg.global_steal = false;
 
     let engine = Engine::new(cfg);
     let plan = engine.compile(&q);

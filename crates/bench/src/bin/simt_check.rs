@@ -1,0 +1,178 @@
+//! CI gate for the `simt-check` concurrency analysis layer (`ci.sh` phase
+//! `smoke:check`).
+//!
+//! Default mode runs q1 and q6 on the golden fixture — clean and under the
+//! seeded fault plan — with every checker enabled, prints any diagnostics,
+//! and exits 1 if an error-severity finding fires or a count drifts: the
+//! zero-false-positive contract, enforced on every CI run.
+//!
+//! `--mutate=lock-drop` / `--mutate=lock-invert` replay the seeded
+//! concurrency bugs of `stmatch_core::steal::mutation` and exit **1 when
+//! the checker catches the bug** (printing the diagnostics and their
+//! reproduce lines) and 0 if the mutation escaped. CI inverts the exit
+//! code: a silent checker fails the build.
+//!
+//! `SIMT_CHECK=races,deadlock,divergence` (also `all` / `none`) selects
+//! which checkers run; the reproduce line printed with every diagnostic
+//! uses the same syntax.
+
+use std::time::{Duration, Instant};
+
+use simt_check::{CheckConfig, Diagnostic, Severity};
+use stmatch_core::steal::{mutation, Board};
+use stmatch_core::{Engine, EngineConfig, FaultPlan};
+use stmatch_gpusim::{GridConfig, SharedBudget};
+use stmatch_graph::gen;
+use stmatch_pattern::catalog;
+
+/// `(query, pinned clean count)` — same fixture and goldens as
+/// `faults_check`.
+const GOLDEN: [(usize, u64); 2] = [(1, 119531), (6, 2884)];
+
+/// Per-run wall cap: the instrumented runs take tens of milliseconds;
+/// anything near the cap means the instrumentation deadlocked the engine.
+const WALL_CAP: Duration = Duration::from_secs(60);
+
+const FAULT_SEED: u64 = 0x1d;
+
+fn main() {
+    let mut mutate: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.strip_prefix("--mutate=") {
+            Some(m @ ("lock-drop" | "lock-invert")) => mutate = Some(m.to_string()),
+            _ => {
+                eprintln!(
+                    "simt_check: unknown argument {arg:?} \
+                     (usage: simt_check [--mutate=lock-drop|--mutate=lock-invert])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = match CheckConfig::from_env("SIMT_CHECK") {
+        Some(Ok(c)) => c,
+        Some(Err(e)) => {
+            eprintln!("simt_check: {e}");
+            std::process::exit(2);
+        }
+        None => CheckConfig::all(),
+    };
+    match mutate {
+        Some(m) => run_mutation(&m, cfg),
+        None => run_clean_gate(cfg),
+    }
+}
+
+fn print_diags(diags: &[Diagnostic]) {
+    for d in diags {
+        println!("{}", d.render());
+    }
+}
+
+/// Clean + seeded-fault runs must produce zero error diagnostics.
+fn run_clean_gate(cfg: CheckConfig) {
+    simt_check::enable(cfg);
+    simt_check::set_reproduce(format!(
+        "SIMT_CHECK={} cargo run --release -p stmatch-bench --bin simt_check",
+        cfg.spec()
+    ));
+    let grid = GridConfig {
+        num_blocks: 2,
+        warps_per_block: 4,
+        shared_mem_per_block: SharedBudget::RTX3090_BYTES,
+    };
+    let ecfg = EngineConfig::full().with_grid(grid);
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let plan = FaultPlan::seeded(FAULT_SEED, grid.total_warps(), 1, 1);
+
+    let mut failed = false;
+    for (qi, golden) in GOLDEN {
+        let q = catalog::paper_query(qi);
+        for (label, fault) in [("clean", None), ("faulty", Some(plan.clone()))] {
+            let mut engine = Engine::new(ecfg);
+            if let Some(p) = fault {
+                engine = engine.with_fault_plan(p);
+            }
+            let t = Instant::now();
+            let out = engine.run(&g, &q).expect("launch");
+            let wall = t.elapsed();
+            if out.count != golden {
+                eprintln!(
+                    "check q{qi} {label}: count {} != golden {golden}",
+                    out.count
+                );
+                failed = true;
+            }
+            if wall > WALL_CAP {
+                eprintln!("check q{qi} {label}: took {wall:?} (cap {WALL_CAP:?})");
+                failed = true;
+            }
+        }
+    }
+    let diags = simt_check::drain();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    print_diags(&diags);
+    if errors > 0 {
+        eprintln!("check: {errors} error diagnostic(s) on clean/faulty runs (false positives)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "check: OK (q1/q6 clean+faulty under SIMT_CHECK={}, {} warning(s), 0 errors)",
+        cfg.spec(),
+        diags.len() - errors
+    );
+}
+
+/// Replays one seeded mutation; exit 1 = caught (CI inverts), 0 = escaped.
+fn run_mutation(which: &str, cfg: CheckConfig) {
+    simt_check::enable(cfg);
+    simt_check::set_reproduce(format!(
+        "SIMT_CHECK={} cargo run --release -p stmatch-bench --bin simt_check -- --mutate={which}",
+        cfg.spec()
+    ));
+    match which {
+        "lock-drop" => {
+            // A worker seeds the mirror under the tracked lock; the host
+            // thread then claims with the acquisition deleted. Thread
+            // spawn/join is invisible to the checker, so only the lock
+            // could have ordered the two accesses — and the mutation
+            // dropped it.
+            let board = Board::new(1, 2, 2, (0, 100), 10);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    board.mirror(0).lock().size[0] = 4;
+                });
+            });
+            let _ = mutation::claim_shallow_without_lock(&board, 0, 0);
+        }
+        "lock-invert" => {
+            // One legitimate push records slot → mirror; the inverted
+            // push then closes the cycle.
+            let board = Board::new(2, 1, 2, (0, 100), 10);
+            board.mark_idle(1);
+            board.mirror(0).lock().size[0] = 4;
+            assert!(board.try_push_global(0), "legitimate push must land");
+            assert!(board.try_claim_global(1).is_some());
+            board.mark_idle(1);
+            let _ = mutation::push_global_inverted(&board, 0);
+        }
+        _ => unreachable!("argument parser bounds the mutation names"),
+    }
+    let diags = simt_check::drain();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    print_diags(&diags);
+    if errors > 0 {
+        println!("mutation {which}: caught ({errors} error diagnostic(s))");
+        std::process::exit(1);
+    }
+    println!("mutation {which}: ESCAPED — the checker stayed silent");
+}

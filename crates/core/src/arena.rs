@@ -44,6 +44,12 @@ pub struct StackArena {
     /// engine surfaces the total as `MatchOutcome::spill_events`, and the
     /// degradation ladder's slab-shrink rung leans on this path).
     events: u64,
+    /// Process-unique arena identity for the race checker's shadow cells
+    /// (`arena[id].set[s]`). Arenas are warp-private by design; the
+    /// instrumentation *proves* that — any cross-thread access without a
+    /// happens-before edge (e.g. a future shared-slab refactor gone wrong)
+    /// is reported, not assumed away.
+    check_id: u32,
 }
 
 /// Resolves slot `i`'s live list given the split-out arena parts.
@@ -76,6 +82,7 @@ impl StackArena {
             cap,
             unroll,
             events: 0,
+            check_id: simt_check::next_object_id(),
         }
     }
 
@@ -94,7 +101,9 @@ impl StackArena {
 
     /// The live candidate list of slot `(set, u)`.
     #[inline]
+    #[track_caller]
     pub fn slot(&self, set: usize, u: usize) -> &[VertexId] {
+        simt_check::note_read(simt_check::Cell::arena(self.check_id, set));
         view(
             &self.data,
             &self.len,
@@ -113,8 +122,12 @@ impl StackArena {
     /// Splits the arena at `set`: a read view over every slot of sets
     /// `< set` (the only sets a plan allows as operands) and a write sink
     /// over slots `(set, 0..m)`.
+    #[track_caller]
     pub fn split_for_write(&mut self, set: usize, m: usize) -> (ArenaRead<'_>, ArenaWriter<'_>) {
         debug_assert!(m >= 1 && m <= self.unroll);
+        // One shadow write event covers the whole rewrite of `set`'s slots
+        // (the writer half streams into them exclusively until dropped).
+        simt_check::note_write(simt_check::Cell::arena(self.check_id, set));
         let at = set * self.unroll;
         let (rd, wd) = self.data.split_at_mut(at * self.cap);
         let (rl, wl) = self.len.split_at_mut(at);
@@ -270,7 +283,6 @@ mod tests {
         assert_eq!(r.slot(0, 0), &[2, 4, 6]);
         w.begin(0, 2);
         w.push(0, r.slot(0, 0)[1]);
-        drop((r, w));
         assert_eq!(a.slot(1, 0), &[4]);
     }
 

@@ -130,7 +130,7 @@ impl EngineConfig {
     /// Returns a copy with the given unroll size.
     pub fn with_unroll(mut self, unroll: usize) -> Self {
         assert!(
-            unroll >= 1 && unroll <= MAX_UNROLL,
+            (1..=MAX_UNROLL).contains(&unroll),
             "unroll must be in 1..={MAX_UNROLL}"
         );
         self.unroll = unroll;
@@ -219,8 +219,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "warp lane")]
     fn validate_rejects_unroll_beyond_warp_width() {
-        let mut c = EngineConfig::default();
-        c.unroll = MAX_UNROLL + 1;
+        let c = EngineConfig {
+            unroll: MAX_UNROLL + 1,
+            ..EngineConfig::default()
+        };
         c.validate();
     }
 

@@ -570,14 +570,16 @@ impl Engine {
             }));
             match contained {
                 Ok(requeued) => {
-                    deaths
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push(WarpDeath {
+                    // Tracked as class DeathLog (rank 40): a recovery-path
+                    // leaf lock, acquired with nothing else held (requeue
+                    // and mark_dead above have already released theirs).
+                    simt_check::tracked_lock(deaths, simt_check::LockClass::DeathLog, 0).push(
+                        WarpDeath {
                             warp: me,
                             message: crate::fault::describe_payload(payload.as_ref()),
                             requeued,
-                        });
+                        },
+                    );
                 }
                 Err(_) => {
                     // Containment itself failed: abort the launch so
@@ -591,13 +593,14 @@ impl Engine {
         if let Some(k) = kernel.as_mut() {
             board.add_spills(k.spill_events());
             if let Some(c) = collector {
-                // Poison recovery as in steal.rs: embeddings are appended
-                // atomically per warp, so a panicking sibling cannot tear
-                // this vector. A dead warp's own uncommitted records were
-                // truncated by `reclaim_on_death`; the committed prefix is
-                // exact and must still be collected.
-                c.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
+                // Poison recovery as in steal.rs (tracked_lock applies it):
+                // embeddings are appended atomically per warp, so a
+                // panicking sibling cannot tear this vector. A dead warp's
+                // own uncommitted records were truncated by
+                // `reclaim_on_death`; the committed prefix is exact and
+                // must still be collected. Tracked as class Collector
+                // (rank 50), a leaf lock acquired with nothing held.
+                simt_check::tracked_lock(c, simt_check::LockClass::Collector, 0)
                     .append(&mut k.take_emitted());
             }
         }
@@ -639,8 +642,10 @@ mod tests {
     #[test]
     fn triangle_embeddings_without_symmetry() {
         let g = gen::complete(6);
-        let mut cfg = EngineConfig::default();
-        cfg.symmetry_breaking = false;
+        let cfg = EngineConfig {
+            symmetry_breaking: false,
+            ..EngineConfig::default()
+        };
         assert_eq!(run_cfg(cfg, &g, &catalog::triangle()), 120);
     }
 
@@ -676,10 +681,14 @@ mod tests {
     fn code_motion_does_not_change_counts() {
         let g = gen::erdos_renyi(50, 200, 9);
         for q in [catalog::paper_query(3), catalog::paper_query(7)] {
-            let mut with = EngineConfig::default();
-            with.code_motion = true;
-            let mut without = EngineConfig::default();
-            without.code_motion = false;
+            let with = EngineConfig {
+                code_motion: true,
+                ..EngineConfig::default()
+            };
+            let without = EngineConfig {
+                code_motion: false,
+                ..EngineConfig::default()
+            };
             assert_eq!(
                 run_cfg(with, &g, &q),
                 run_cfg(without, &g, &q),
@@ -738,11 +747,13 @@ mod tests {
     #[test]
     fn shared_memory_overflow_fails_launch() {
         let g = gen::complete(5);
-        let mut cfg = EngineConfig::default();
-        cfg.grid = GridConfig {
-            num_blocks: 1,
-            warps_per_block: 2,
-            shared_mem_per_block: 64, // absurdly small, below any rung
+        let cfg = EngineConfig {
+            grid: GridConfig {
+                num_blocks: 1,
+                warps_per_block: 2,
+                shared_mem_per_block: 64, // absurdly small, below any rung
+            },
+            ..EngineConfig::default()
         };
         match Engine::new(cfg).run(&g, &catalog::triangle()) {
             Err(LaunchError::SharedMemory(_)) => {}

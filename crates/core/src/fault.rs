@@ -199,6 +199,14 @@ impl FaultPlan {
     /// unwind with a [`FaultPanic`] payload. Called *before* an iteration
     /// index is taken, so a killed warp loses no claimed-but-unprocessed
     /// index.
+    ///
+    /// simt-check interaction: this hook fires *outside* every board lock,
+    /// so the injected unwind holds nothing. The dying warp's vector clock
+    /// is still published at the grid's join hook (which runs after
+    /// `catch_unwind`), so the recovery path's reads of the dead warp's
+    /// mirror are happens-before-ordered and the race checker stays silent
+    /// across every fault-injection test — by construction, not by
+    /// suppression.
     pub fn at_claim(&self, warp: usize, nth: u64) {
         for f in &self.faults {
             if f.warp != warp {
@@ -223,6 +231,16 @@ impl FaultPlan {
     /// Publish-path injection hook: called inside the mirror critical
     /// section with the warp's 1-based publish ordinal; a matching poison
     /// fault panics while the lock is held.
+    ///
+    /// simt-check interaction: the panic unwinds through the tracked
+    /// mirror guard, whose release token drops *before* the mutex unlocks
+    /// (declaration order in `simt_check::Tracked`). The checker therefore
+    /// observes a well-formed release even for a poisoned lock, and the
+    /// containment path's subsequent `Mirror::lock` (poison-recovering)
+    /// inherits the dead warp's clock through the lock clock — a poisoned
+    /// publish is indistinguishable from a clean release to the race
+    /// detector, which is exactly the guarantee the recovery protocol
+    /// needs.
     pub fn at_publish(&self, warp: usize, nth: u64) {
         for f in &self.faults {
             if f.warp == warp {
@@ -323,6 +341,9 @@ pub fn silence_fault_panics() -> SilenceGuard {
     let mut prev = SILENCE
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // SeqCst: the refcount transition 0->1 / 1->0 decides who swaps the
+    // process-wide hook; both sides also hold the SILENCE mutex, so SeqCst
+    // is belt-and-braces ordering the count against the hook swap.
     if SILENCE_REFS.fetch_add(1, Ordering::SeqCst) == 0 {
         *prev = Some(std::panic::take_hook());
         std::panic::set_hook(Box::new(|info| {

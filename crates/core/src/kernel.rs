@@ -211,7 +211,7 @@ impl<'a> WarpKernel<'a> {
         if let Some(f) = self.faults {
             f.at_claim(self.warp_id, self.claims);
         }
-        if self.claims % 4096 == 0 {
+        if self.claims.is_multiple_of(4096) {
             self.board.check_deadline()
         } else {
             self.board.aborted()
@@ -400,6 +400,11 @@ impl<'a> WarpKernel<'a> {
                 return None;
             }
             let idx = {
+                // This acquisition is the race checker's canonical "locked
+                // access" to mirror[warp_id]: the simt_check kill gate
+                // deletes exactly this kind of acquisition (see
+                // `steal::mutation::claim_shallow_without_lock`) and the
+                // detector must name this site as the racing partner.
                 let mut m = self.board.mirror(self.warp_id).lock();
                 if m.iter[l] < m.size[l] {
                     let i = m.iter[l];
@@ -535,7 +540,10 @@ impl<'a> WarpKernel<'a> {
                 // Publish-ordinal injection point: a panic here unwinds
                 // while holding the mirror lock, poisoning it — exactly the
                 // torn-publish failure `Mirror::lock`'s recovery contract
-                // covers.
+                // covers. The tracked guard's release token still fires
+                // during the unwind (before the mutex unlocks), so the
+                // race checker sees a clean release even on this path —
+                // see `FaultPlan::at_publish`.
                 f.at_publish(self.warp_id, self.publishes);
             }
         }

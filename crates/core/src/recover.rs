@@ -206,14 +206,9 @@ mod tests {
         let mut cfg = EngineConfig::default();
         cfg.grid.warps_per_block = 4;
         let mut steps = Vec::new();
-        loop {
-            match degrade(&cfg, &shared_err()) {
-                Some((next, step)) => {
-                    steps.push(step);
-                    cfg = next;
-                }
-                None => break,
-            }
+        while let Some((next, step)) = degrade(&cfg, &shared_err()) {
+            steps.push(step);
+            cfg = next;
         }
         assert_eq!(cfg.unroll, 1);
         assert_eq!(cfg.grid.warps_per_block, 1);
@@ -228,8 +223,10 @@ mod tests {
 
     #[test]
     fn global_ladder_includes_slab_spill_with_floor() {
-        let mut cfg = EngineConfig::default();
-        cfg.unroll = 1;
+        let mut cfg = EngineConfig {
+            unroll: 1,
+            ..EngineConfig::default()
+        };
         cfg.grid.warps_per_block = 1;
         let (next, step) = degrade(&cfg, &global_err()).unwrap();
         assert_eq!(next.max_degree_slab, 1024);

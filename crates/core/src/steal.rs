@@ -18,9 +18,31 @@
 //!   blocks when claiming work at a level below `DetectLevel` and push half
 //!   of their shallowest remaining range into the target block's
 //!   `global_stks` slot (Fig. 6).
+//!
+//! # Lock hierarchy (declared, checked by simt-check)
+//!
+//! Every lock in the stealing/containment machinery has a class and a
+//! rank; a thread only ever acquires locks in strictly increasing rank.
+//! This is the authoritative table — `simt_check::LockClass` mirrors it and
+//! the deadlock analyzer enforces it at runtime:
+//!
+//! | rank | class        | lock                                       | nests inside        |
+//! |------|--------------|--------------------------------------------|---------------------|
+//! | 10   | `GlobalSlot` | `Board::slots[b]` (per-block steal slot)   | — (outermost)       |
+//! | 20   | `Requeue`    | `Board::requeue` (reclaimed-work queue)    | `GlobalSlot`        |
+//! | 30   | `Mirror`     | `Mirror::state` (per-warp stealable stack) | `GlobalSlot`        |
+//! | 40   | `DeathLog`   | engine death records (recovery path)       | — (leaf)            |
+//! | 50   | `Collector`  | engine enumeration collector               | — (leaf)            |
+//!
+//! Observed nestings: [`Board::try_push_global`] holds a slot lock while
+//! splitting its own mirror (10 → 30); [`Board::mark_dead`] drains a dead
+//! block's slot into the requeue (10 → 20). Mirrors never nest in each
+//! other (the steal scans drop each guard before locking the next), and the
+//! engine's recovery/collection locks are leaves acquired with nothing
+//! held.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 use stmatch_graph::VertexId;
 
@@ -60,12 +82,16 @@ impl MirrorState {
 /// are locked a handful of times per shallow iteration, far off any hot
 /// path.
 pub struct Mirror {
+    /// Global warp id this mirror belongs to (shadow-cell identity for the
+    /// race checker).
+    id: usize,
     state: Mutex<MirrorState>,
 }
 
 impl Mirror {
-    fn new() -> Self {
+    fn new(id: usize) -> Self {
         Mirror {
+            id,
             state: Mutex::new(MirrorState::new()),
         }
     }
@@ -79,8 +105,22 @@ impl Mirror {
     /// already-claimed iterations, which the claim paths re-validate under
     /// the lock. So we recover the guard instead of propagating the
     /// poison; the original panic still unwinds through the grid launch.
-    pub fn lock(&self) -> MutexGuard<'_, MirrorState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// (`simt_check::tracked_lock` applies the same recovery.)
+    ///
+    /// Checker instrumentation: the acquisition is tracked (class
+    /// `Mirror`, rank 30) and counts as a write access to the
+    /// `mirror[id]` shadow cell at the *caller's* source line — locked
+    /// accesses to the same mirror are serialized through the lock's
+    /// clock, so the race checker only fires when some access bypasses
+    /// this method (the seeded "lock-drop" mutation, or a future bug).
+    #[track_caller]
+    pub fn lock(&self) -> simt_check::Tracked<'_, MirrorState> {
+        let guard = simt_check::tracked_lock(&self.state, simt_check::LockClass::Mirror, self.id);
+        simt_check::note_write_at(
+            simt_check::Cell::mirror(self.id),
+            std::panic::Location::caller(),
+        );
+        guard
     }
 }
 
@@ -146,13 +186,13 @@ impl Board {
         (start, end): (usize, usize),
         chunk_size: usize,
     ) -> Board {
-        assert!(stop >= 1 && stop <= MAX_STOP, "stop level out of range");
+        assert!((1..=MAX_STOP).contains(&stop), "stop level out of range");
         assert!(chunk_size >= 1);
         assert!(start <= end);
         let total = num_blocks * warps_per_block;
         assert!(warps_per_block <= 32, "is_idle bitmap holds 32 warps");
         Board {
-            mirrors: (0..total).map(|_| Mirror::new()).collect(),
+            mirrors: (0..total).map(Mirror::new).collect(),
             warps_per_block,
             stop,
             is_idle: (0..num_blocks).map(|_| AtomicU32::new(0)).collect(),
@@ -182,6 +222,9 @@ impl Board {
     /// True once the launch was cancelled (deadline passed).
     #[inline]
     pub fn aborted(&self) -> bool {
+        // Relaxed: `abort` is a one-way advisory latch polled on claim
+        // paths; observing it a few claims late only delays cancellation,
+        // and no data is published under the flag.
         self.abort.load(Ordering::Relaxed)
     }
 
@@ -190,6 +233,7 @@ impl Board {
     pub fn check_deadline(&self) -> bool {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
+                // Relaxed: same advisory-latch argument as `aborted`.
                 self.abort.store(true, Ordering::Relaxed);
                 return true;
             }
@@ -202,6 +246,28 @@ impl Board {
         &self.mirrors[id]
     }
 
+    /// Locks block `b`'s global-steal slot (class `GlobalSlot`, rank 10 —
+    /// the outermost lock of the hierarchy; see the module docs). Counts as
+    /// a write access to the `slot[b]` shadow cell at the caller's line.
+    #[track_caller]
+    fn lock_slot(&self, b: usize) -> simt_check::Tracked<'_, Option<StealPayload>> {
+        let guard = simt_check::tracked_lock(&self.slots[b], simt_check::LockClass::GlobalSlot, b);
+        simt_check::note_write_at(
+            simt_check::Cell::global_slot(b),
+            std::panic::Location::caller(),
+        );
+        guard
+    }
+
+    /// Locks the reclaimed-work queue (class `Requeue`, rank 20). Counts as
+    /// a write access to the `requeue` shadow cell at the caller's line.
+    #[track_caller]
+    fn lock_requeue(&self) -> simt_check::Tracked<'_, Vec<StealPayload>> {
+        let guard = simt_check::tracked_lock(&self.requeue, simt_check::LockClass::Requeue, 0);
+        simt_check::note_write_at(simt_check::Cell::requeue(), std::panic::Location::caller());
+        guard
+    }
+
     /// The configured stop level.
     pub fn stop(&self) -> usize {
         self.stop
@@ -211,6 +277,10 @@ impl Board {
     /// (Fig. 4's `getCandidates` at level 0).
     pub fn claim_chunk(&self) -> Option<(usize, usize)> {
         loop {
+            // Relaxed CAS loop: the dispenser is a pure counter — chunk
+            // ownership is established by the CAS itself and the claimed
+            // range is derived from the exchanged values, not from data
+            // published alongside the atomic.
             let lo = self.chunk_next.load(Ordering::Relaxed);
             if lo >= self.num_vertices {
                 return None;
@@ -228,6 +298,10 @@ impl Board {
 
     /// True while unclaimed level-0 chunks remain.
     pub fn chunks_remain(&self) -> bool {
+        // Relaxed: the cursor is monotone, so a stale read can only claim
+        // "chunks remain" when they are already gone — the caller then
+        // issues a real `claim_chunk` (CAS) and learns the truth; spurious
+        // non-termination for one spin iteration, never missed work.
         self.chunk_next.load(Ordering::Relaxed) < self.num_vertices
     }
 
@@ -236,6 +310,12 @@ impl Board {
     pub fn mark_idle(&self, id: usize) {
         let block = id / self.warps_per_block;
         let bit = 1u32 << (id % self.warps_per_block);
+        // SeqCst on the idle bitmap and the busy/pending counters: the
+        // termination protocol (`finished`) and the global-push detector
+        // reason about a single global order of these updates across
+        // *different* atomics (idle-bit set vs busy decrement vs pending
+        // increment). Acquire/release alone does not order independent
+        // variables; SeqCst buys the total order the proofs below rely on.
         self.is_idle[block].fetch_or(bit, Ordering::SeqCst);
         self.busy.fetch_sub(1, Ordering::SeqCst);
     }
@@ -244,6 +324,9 @@ impl Board {
     pub fn mark_busy(&self, id: usize) {
         let block = id / self.warps_per_block;
         let bit = 1u32 << (id % self.warps_per_block);
+        // SeqCst, and busy rises *before* the idle bit clears: a warp in
+        // transition must look busy to `finished()` (fail-safe direction —
+        // see the claim-ordering comments in try_claim_global).
         self.busy.fetch_add(1, Ordering::SeqCst);
         self.is_idle[block].fetch_and(!bit, Ordering::SeqCst);
     }
@@ -251,6 +334,10 @@ impl Board {
     /// Termination test for idle warps: nothing busy, nothing pending,
     /// no chunks left.
     pub fn finished(&self) -> bool {
+        // SeqCst loads: both counters participate in the single total
+        // order established by the SeqCst updates above, so once this
+        // conjunction is observed true it is globally true (claims bump
+        // busy before releasing pending, never the reverse).
         self.busy.load(Ordering::SeqCst) == 0
             && self.pending.load(Ordering::SeqCst) == 0
             && !self.chunks_remain()
@@ -328,22 +415,28 @@ impl Board {
         let my_block = me / self.warps_per_block;
         let full = (1u32 << self.warps_per_block) - 1;
         for b in 0..self.is_idle.len() {
+            // SeqCst: the idle-bitmap read must sit in the same total
+            // order as mark_idle/mark_busy so a block observed fully idle
+            // really had all warps past their busy decrement.
             if b == my_block || self.is_idle[b].load(Ordering::SeqCst) != full {
                 continue;
             }
-            let mut slot = self.slots[b].lock().unwrap_or_else(PoisonError::into_inner);
+            let mut slot = self.lock_slot(b);
             if slot.is_some() {
                 continue;
             }
             // Re-check liveness under the slot lock: a payload pushed to a
             // block whose last warp died would be stranded forever
             // (`mark_dead` drains the slot in the same lock order, so one
-            // of the two always sees the other's effect).
+            // of the two always sees the other's effect). SeqCst: ordered
+            // against mark_dead's alive decrement.
             if self.alive[b].load(Ordering::SeqCst) == 0 {
                 continue;
             }
-            // Split our own mirror. Mirror lock nests inside the slot lock;
-            // no other path acquires them in the opposite order.
+            // Split our own mirror. Mirror lock (rank 30) nests inside the
+            // slot lock (rank 10) per the declared hierarchy; no other
+            // path acquires them in the opposite order (the deadlock
+            // checker enforces this).
             let payload = {
                 let mut m = self.mirrors[me].lock();
                 match (0..self.stop).find(|&l| m.remaining(l) >= 2) {
@@ -351,6 +444,9 @@ impl Board {
                     None => return false,
                 }
             };
+            // SeqCst, and pending rises *before* the payload lands: a
+            // `finished()` that observes the slot full also observes
+            // pending > 0 (fail-safe: work in flight blocks termination).
             self.pending.fetch_add(1, Ordering::SeqCst);
             *slot = Some(payload);
             return true;
@@ -362,12 +458,11 @@ impl Board {
     /// busy in the same critical section.
     pub fn try_claim_global(&self, me: usize) -> Option<StealPayload> {
         let block = me / self.warps_per_block;
-        let mut slot = self.slots[block]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut slot = self.lock_slot(block);
         let payload = slot.take()?;
-        // Become busy *before* decrementing pending so `finished()` can
-        // never observe both counters at zero while work is in flight.
+        // Become busy *before* decrementing pending (SeqCst both) so
+        // `finished()` can never observe both counters at zero while work
+        // is in flight.
         self.mark_busy(me);
         self.pending.fetch_sub(1, Ordering::SeqCst);
         Some(payload)
@@ -383,11 +478,10 @@ impl Board {
         if payloads.is_empty() {
             return;
         }
+        // SeqCst, pending before the queue grows: `finished()` observing
+        // the requeued work also observes pending > 0.
         self.pending.fetch_add(payloads.len(), Ordering::SeqCst);
-        self.requeue
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .extend(payloads);
+        self.lock_requeue().extend(payloads);
     }
 
     /// Records the death of warp `me`. `was_busy` says which side of the
@@ -399,6 +493,9 @@ impl Board {
     pub fn mark_dead(&self, me: usize, was_busy: bool) {
         let block = me / self.warps_per_block;
         let bit = 1u32 << (me % self.warps_per_block);
+        // SeqCst throughout: death bookkeeping joins the same total order
+        // as the idle/busy/pending protocol (a dead warp must never read
+        // as idle or busy to the termination test or the push detector).
         self.deaths.fetch_add(1, Ordering::SeqCst);
         self.alive[block].fetch_sub(1, Ordering::SeqCst);
         if was_busy {
@@ -408,34 +505,30 @@ impl Board {
         if self.alive[block].load(Ordering::SeqCst) == 0 {
             // Last live warp of the block: drain the global slot (pushers
             // re-check `alive` under this same lock, so no new payload can
-            // land after the drain).
-            let stranded = self.slots[block]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .take();
+            // land after the drain). Slot (rank 10) then requeue (rank 20)
+            // — increasing rank per the declared hierarchy.
+            let stranded = self.lock_slot(block).take();
             if let Some(p) = stranded {
                 // Already counted in `pending`; moving it keeps the count.
-                self.requeue
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(p);
+                self.lock_requeue().push(p);
             }
         }
     }
 
     /// Contained warp deaths so far.
     pub fn death_count(&self) -> usize {
+        // SeqCst: read by post-launch reporting; cheap and consistent with
+        // the writer side.
         self.deaths.load(Ordering::SeqCst)
     }
 
     /// Claims a requeued work item from the busy phase (the caller already
     /// counts as busy).
     pub fn claim_requeued_busy(&self) -> Option<StealPayload> {
-        let p = self
-            .requeue
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pop()?;
+        let p = self.lock_requeue().pop()?;
+        // SeqCst: the claimer is already busy, so pending may drop without
+        // a busy handoff — `finished()` still cannot pass while this warp
+        // works the payload.
         self.pending.fetch_sub(1, Ordering::SeqCst);
         Some(p)
     }
@@ -444,11 +537,7 @@ impl Board {
     /// caller busy before releasing the pending count (same ordering as
     /// [`Board::try_claim_global`]).
     pub fn try_claim_requeued(&self, me: usize) -> Option<StealPayload> {
-        let p = self
-            .requeue
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pop()?;
+        let p = self.lock_requeue().pop()?;
         self.mark_busy(me);
         self.pending.fetch_sub(1, Ordering::SeqCst);
         Some(p)
@@ -457,6 +546,9 @@ impl Board {
     /// Latches the abort flag unconditionally (containment failure path:
     /// survivors must exit rather than spin on broken counters).
     pub fn force_abort(&self) {
+        // SeqCst (unlike the deadline latch): the containment-failure path
+        // must be visible to survivors before the failing thread resumes
+        // its unwind; cheap, and this path is cold by definition.
         self.abort.store(true, Ordering::SeqCst);
     }
 
@@ -464,8 +556,11 @@ impl Board {
     /// returned, so no claim can race this). The engine hands leftovers to
     /// a salvage relaunch or reports them unrecovered.
     pub fn take_leftovers(&self) -> Vec<StealPayload> {
-        let mut q = self.requeue.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut q = self.lock_requeue();
         let out = std::mem::take(&mut *q);
+        // SeqCst: post-join bookkeeping; the thread join already ordered
+        // everything, the strong ordering just keeps the counter protocol
+        // uniform.
         self.pending.fetch_sub(out.len(), Ordering::SeqCst);
         out
     }
@@ -473,6 +568,8 @@ impl Board {
     /// Post-launch chunk cursor: where a salvage relaunch must resume the
     /// level-0 range (an all-warps-dead grid leaves chunks unclaimed).
     pub fn chunk_cursor(&self) -> usize {
+        // SeqCst: read after the launch joined; strong ordering is free
+        // here and makes the salvage handoff unconditional.
         self.chunk_next
             .load(Ordering::SeqCst)
             .min(self.num_vertices)
@@ -481,20 +578,90 @@ impl Board {
     /// Seeds the requeue with leftover work from a previous launch of the
     /// same logical run (salvage relaunch).
     pub fn preload(&mut self, payloads: Vec<StealPayload>) {
+        // SeqCst: runs before the relaunch spawns warps (exclusive &mut
+        // access); uniform with the rest of the pending protocol.
         self.pending.fetch_add(payloads.len(), Ordering::SeqCst);
-        *self.requeue.lock().unwrap_or_else(PoisonError::into_inner) = payloads;
+        *self.lock_requeue() = payloads;
     }
 
     /// Accumulates candidate-list spill events observed by a kernel.
     pub fn add_spills(&self, n: u64) {
         if n > 0 {
+            // Relaxed: pure statistic, read after join for reporting.
             self.spills.fetch_add(n as usize, Ordering::Relaxed);
         }
     }
 
     /// Total spill events reported so far.
     pub fn spill_count(&self) -> u64 {
+        // Relaxed: see add_spills.
         self.spills.load(Ordering::Relaxed) as u64
+    }
+}
+
+/// Seeded concurrency-bug mutations for the `simt_check` kill gate.
+///
+/// Each function deterministically replays the *checker-visible event
+/// stream* of a classic synchronization bug without making the board
+/// memory-unsafe: the raw mutex still serializes memory (safe Rust cannot
+/// tear the state), but the acquire/release events the checker would need
+/// to establish happens-before are missing or inverted — exactly what the
+/// analyzer would observe if the real bug were introduced. The `simt_check`
+/// bin's `--mutate=...` modes and `tests/simt_check.rs` assert these are
+/// caught; CI fails if either ever goes silent.
+#[doc(hidden)]
+pub mod mutation {
+    use super::*;
+
+    /// Mutation **lock-drop**: a shallow-claim read-modify-write of a
+    /// mirror with the `Mirror::lock` acquisition deleted. No acquire
+    /// event reaches the checker, so the access carries no happens-before
+    /// edge to any locked access of the same mirror — the race detector
+    /// must report it, naming this site and the racing locked site.
+    pub fn claim_shallow_without_lock(board: &Board, victim: usize, level: usize) -> Option<usize> {
+        let mut m = board.mirrors[victim]
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // The access event fires at *this* line (the mutation site).
+        simt_check::note_write(simt_check::Cell::mirror(victim));
+        if m.iter[level] < m.size[level] {
+            let i = m.iter[level];
+            m.iter[level] += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Mutation **lock-invert**: [`Board::try_push_global`] with the
+    /// declared slot → mirror nesting inverted to mirror → slot. Once the
+    /// legitimate order has been observed (any real global push), this
+    /// closes a cycle in the acquisition graph and the deadlock analyzer
+    /// must report it.
+    pub fn push_global_inverted(board: &Board, me: usize) -> bool {
+        let my_block = me / board.warps_per_block;
+        let full = (1u32 << board.warps_per_block) - 1;
+        // WRONG: mirror lock (rank 30) taken first and held across the
+        // slot acquisition (rank 10).
+        let mut m = board.mirrors[me].lock();
+        for b in 0..board.is_idle.len() {
+            if b == my_block || board.is_idle[b].load(Ordering::SeqCst) != full {
+                continue;
+            }
+            let mut slot = board.lock_slot(b);
+            if slot.is_some() || board.alive[b].load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let payload = match (0..board.stop).find(|&l| m.remaining(l) >= 2) {
+                Some(level) => Board::split(&mut m, level),
+                None => return false,
+            };
+            board.pending.fetch_add(1, Ordering::SeqCst);
+            *slot = Some(payload);
+            return true;
+        }
+        false
     }
 }
 
@@ -760,9 +927,9 @@ mod tests {
         });
         let mut covered = vec![false; 10_000];
         for (lo, hi) in ranges {
-            for v in lo..hi {
-                assert!(!covered[v], "vertex {v} claimed twice");
-                covered[v] = true;
+            for (v, c) in covered.iter_mut().enumerate().take(hi).skip(lo) {
+                assert!(!*c, "vertex {v} claimed twice");
+                *c = true;
             }
         }
         assert!(covered.iter().all(|&c| c));

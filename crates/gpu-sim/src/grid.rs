@@ -141,15 +141,24 @@ impl Grid {
         let start = Instant::now();
         let total = self.config.total_warps();
         let wpb = self.config.warps_per_block;
+        // Launch fork point for the race checker: everything the launching
+        // thread did so far happens-before every warp body.
+        simt_check::launch_begin();
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..total)
                 .map(|id| {
                     let kernel = &kernel;
                     scope.spawn(move || {
+                        simt_check::register_warp(id);
                         let mut warp = Warp::new(id, id / wpb, id % wpb);
                         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             kernel(&mut warp)
                         }));
+                        // The exit hook runs after catch_unwind, so even a
+                        // contained (e.g. fault-injected) warp publishes its
+                        // clock to the join point — dead warps must not look
+                        // racy to salvage relaunches.
+                        simt_check::warp_exit();
                         let panic = caught.err().map(|payload| WarpPanic {
                             warp: id,
                             message: describe_panic(payload.as_ref()),
@@ -163,6 +172,9 @@ impl Grid {
                 .map(|h| h.join().expect("warp thread died outside catch_unwind"))
                 .collect::<Vec<_>>()
         });
+        // Join point: every warp's history happens-before whatever the
+        // launching thread does next (leftover preload, metrics, goldens).
+        simt_check::launch_end();
         let mut warps = Vec::with_capacity(total);
         let mut panics = Vec::new();
         for (m, p) in results {

@@ -58,6 +58,10 @@ impl MemoryBudget {
 
     /// Attempts to allocate `bytes`; fails when the limit would be crossed.
     pub fn try_alloc(&self, bytes: usize) -> Result<(), OutOfMemory> {
+        // Relaxed everywhere: `used` is a pure quota counter — no data is
+        // published under it, the CAS itself guarantees the limit is never
+        // crossed, and callers that need their allocation visible to other
+        // threads hand it over through a lock or thread join.
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
             let next = cur.checked_add(bytes).ok_or(OutOfMemory {
@@ -77,6 +81,12 @@ impl MemoryBudget {
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => {
+                    // Relaxed is legitimate for `peak` because fetch_max is
+                    // monotone and atomic per update: concurrent maxima
+                    // cannot lose the true high-water mark, only observe it
+                    // late, and `peak()` is read for reporting after the
+                    // launch has joined (a real happens-before edge) — a
+                    // momentarily stale read mid-run is advisory only.
                     self.peak.fetch_max(next, Ordering::Relaxed);
                     return Ok(());
                 }
@@ -86,18 +96,53 @@ impl MemoryBudget {
     }
 
     /// Releases `bytes` previously allocated.
+    ///
+    /// Hardened against unpaired releases: a plain `fetch_sub` would wrap
+    /// `used` past zero and every later `try_alloc` would spuriously OOM
+    /// (or worse, succeed against a wrapped count). The decrement is
+    /// checked: an underflow panics in debug builds, and in release builds
+    /// saturates to zero and files a `budget-underflow` diagnostic with
+    /// simt-check when any checker is enabled.
     pub fn free(&self, bytes: usize) {
-        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
-        debug_assert!(prev >= bytes, "freeing more than allocated");
+        // Relaxed for the same reason as `try_alloc`: the counter is a
+        // quota, not a publication point.
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = cur.checked_sub(bytes) else {
+                if simt_check::any_on() {
+                    simt_check::report_misuse(
+                        "budget-underflow",
+                        format!(
+                            "MemoryBudget::free({bytes}) underflows the usage counter \
+                             (only {cur} B in use) — unpaired or double free"
+                        ),
+                    );
+                }
+                debug_assert!(false, "freeing more than allocated: {bytes} > {cur}");
+                self.used.store(0, Ordering::Relaxed);
+                return;
+            };
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Bytes currently in use.
     pub fn in_use(&self) -> usize {
+        // Relaxed: advisory snapshot; exactness is only needed after a
+        // join, which already orders it.
         self.used.load(Ordering::Relaxed)
     }
 
     /// Highest usage observed.
     pub fn peak(&self) -> usize {
+        // Relaxed: see the fetch_max in `try_alloc` — monotone statistic,
+        // read after join.
         self.peak.load(Ordering::Relaxed)
     }
 }
@@ -219,6 +264,30 @@ mod tests {
         });
         assert_eq!(successes, 100); // exactly 1000/10 allocations succeed
         assert_eq!(b.in_use(), 1000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "freeing more than allocated")]
+    fn unpaired_free_panics_in_debug() {
+        let b = MemoryBudget::new(100);
+        b.try_alloc(10).unwrap();
+        b.free(11);
+    }
+
+    #[test]
+    fn free_saturates_instead_of_wrapping() {
+        // In release builds (no debug_assert) an unpaired free must clamp
+        // to zero rather than wrap `used` to huge values that would make
+        // every later allocation spuriously OOM. Exercise the saturation
+        // arithmetic through the same checked_sub the hardened free() uses.
+        assert_eq!(5usize.checked_sub(7), None);
+        let b = MemoryBudget::new(100);
+        b.try_alloc(60).unwrap();
+        b.free(60);
+        assert_eq!(b.in_use(), 0);
+        b.try_alloc(100).unwrap();
+        assert_eq!(b.in_use(), 100);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct Warp {
     /// Index of this warp within its block.
     lane_in_block: usize,
     metrics: WarpMetrics,
+    /// Current active-lane mask for the simt-check divergence lints: a
+    /// [`Warp::wave`] narrows it, the [`Warp::ballot`] closing the wave
+    /// reconverges it to all lanes. Only maintained while the divergence
+    /// checker is enabled; never read by metrics (checker-off runs stay
+    /// bit-identical).
+    div_mask: u32,
 }
 
 impl Warp {
@@ -31,6 +37,7 @@ impl Warp {
             block,
             lane_in_block,
             metrics: WarpMetrics::default(),
+            div_mask: u32::MAX,
         }
     }
 
@@ -91,11 +98,21 @@ impl Warp {
     /// Executes one wave with an explicit active-lane mask; `f` is called
     /// only for active lanes. Returns nothing — combine with [`Warp::ballot`]
     /// for predicate waves.
+    ///
+    /// Divergence lint: the wave narrows the warp's current mask to
+    /// `active` and records per-call-site occupancy; the closing `ballot`
+    /// reconverges. Sustained sub-warp occupancy at one site is reported by
+    /// `simt_check::drain`.
     #[inline]
+    #[track_caller]
     pub fn wave<F: FnMut(usize)>(&mut self, active: u32, mut f: F) {
         self.metrics.simt_instructions += 1;
         self.metrics.issued_lane_slots += WARP_SIZE as u64;
         self.metrics.active_lane_slots += u64::from(active.count_ones());
+        if simt_check::divergence_on() {
+            simt_check::diverge::on_wave(std::panic::Location::caller(), active, self.id);
+            self.div_mask = active;
+        }
         let mut m = active;
         while m != 0 {
             let lane = m.trailing_zeros() as usize;
@@ -107,9 +124,28 @@ impl Warp {
     /// `__ballot_sync`: collects one predicate bit per lane. The caller
     /// supplies the bits (lanes are simulated in-thread); the warp accounts
     /// one SIMT instruction.
+    ///
+    /// Divergence lint: predicate bits naming lanes inactive under a
+    /// divergent mask are the software analogue of `__ballot_sync` with
+    /// non-participating lanes — undefined behavior on hardware, a hard
+    /// diagnostic here. The ballot reconverges the warp (all lanes active)
+    /// and, when race checking is on, advances the warp's epoch clock — a
+    /// ballot is the warp-synchronous point the paper's Fig. 8 waves pivot
+    /// on.
     #[inline]
+    #[track_caller]
     pub fn ballot(&mut self, bits: u32) -> u32 {
         self.metrics.simt_instructions += 1;
+        if simt_check::divergence_on() {
+            simt_check::diverge::on_ballot(
+                std::panic::Location::caller(),
+                bits,
+                self.div_mask,
+                self.id,
+            );
+            self.div_mask = u32::MAX;
+        }
+        simt_check::epoch_advance();
         bits
     }
 
@@ -123,7 +159,14 @@ impl Warp {
     /// Exclusive prefix sum over one value per lane, as a warp-level scan
     /// (`log2(32)` shuffle instructions on hardware). `vals` is replaced by
     /// its exclusive prefix sums; the total is returned.
+    ///
+    /// Divergence lint: the scan is a full-warp cooperative primitive;
+    /// issuing it while diverged is a hard diagnostic.
+    #[track_caller]
     pub fn exclusive_scan(&mut self, vals: &mut [u32; WARP_SIZE]) -> u32 {
+        if simt_check::divergence_on() {
+            simt_check::diverge::on_scan(std::panic::Location::caller(), self.div_mask, self.id);
+        }
         self.metrics.simt_instructions += 5; // log2(32) shuffle steps
         self.metrics.issued_lane_slots += (5 * WARP_SIZE) as u64;
         self.metrics.active_lane_slots += (5 * WARP_SIZE) as u64;
@@ -138,10 +181,22 @@ impl Warp {
 
     /// `__shfl_sync`: every lane reads `values[src_lane]`. Returns the
     /// broadcast value; accounts one SIMT instruction.
+    ///
+    /// Divergence lint: reading from a lane inactive under a divergent mask
+    /// yields garbage on hardware — a hard diagnostic here.
     #[inline]
+    #[track_caller]
     pub fn shfl<T: Copy>(&mut self, values: &[T; WARP_SIZE], src_lane: usize) -> T {
         debug_assert!(src_lane < WARP_SIZE);
         self.metrics.simt_instructions += 1;
+        if simt_check::divergence_on() {
+            simt_check::diverge::on_shfl(
+                std::panic::Location::caller(),
+                src_lane,
+                self.div_mask,
+                self.id,
+            );
+        }
         values[src_lane]
     }
 

@@ -190,7 +190,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
 /// short paths — a useful counterpoint to RMAT's hub-dominated skew in
 /// tests.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -88,9 +88,9 @@ pub fn canonical_form(p: &Pattern) -> (Vec<u32>, Vec<u8>) {
             let new = inverse[old];
             labels[new] = p.label(old);
             let mut mask = 0u8;
-            for other in 0..n {
+            for (other, &inv) in inverse.iter().enumerate() {
                 if p.has_edge(old, other) {
-                    mask |= 1 << inverse[other];
+                    mask |= 1 << inv;
                 }
             }
             adj[new] = mask;

@@ -1,0 +1,88 @@
+//! Vector clocks.
+//!
+//! A [`VClock`] maps thread slots (process-unique, never reused) to epoch
+//! counters. Thread `t`'s own component `clock[t]` is its current epoch;
+//! joining another clock imports everything that clock has observed. The
+//! race detector's happens-before question is always "does the accessor's
+//! clock dominate the recorded access epoch?" — [`VClock::dominates`].
+
+/// A grow-on-demand vector clock. Missing components read as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    epochs: Vec<u32>,
+}
+
+impl VClock {
+    /// The empty clock (all components 0).
+    pub const fn new() -> VClock {
+        VClock { epochs: Vec::new() }
+    }
+
+    /// The epoch of `slot` as observed by this clock.
+    pub fn get(&self, slot: u32) -> u32 {
+        self.epochs.get(slot as usize).copied().unwrap_or(0)
+    }
+
+    /// Advances `slot`'s component by one.
+    pub fn tick(&mut self, slot: u32) {
+        let i = slot as usize;
+        if i >= self.epochs.len() {
+            self.epochs.resize(i + 1, 0);
+        }
+        self.epochs[i] += 1;
+    }
+
+    /// Component-wise maximum: after `a.join(b)`, `a` has observed
+    /// everything `a` or `b` had observed.
+    pub fn join(&mut self, other: &VClock) {
+        if other.epochs.len() > self.epochs.len() {
+            self.epochs.resize(other.epochs.len(), 0);
+        }
+        for (mine, theirs) in self.epochs.iter_mut().zip(&other.epochs) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether this clock has observed `(slot, epoch)` — i.e. the recorded
+    /// access happens-before the accessor holding this clock.
+    pub fn dominates(&self, slot: u32, epoch: u32) -> bool {
+        self.get(slot) >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn dominates_is_per_component() {
+        let mut a = VClock::new();
+        a.tick(0);
+        assert!(a.dominates(0, 1));
+        assert!(!a.dominates(0, 2));
+        assert!(!a.dominates(5, 1));
+        assert!(a.dominates(5, 0));
+    }
+}

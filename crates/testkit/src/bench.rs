@@ -197,7 +197,7 @@ impl Bencher {
         }
         samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = samples_ns.len();
-        let median = if n % 2 == 0 {
+        let median = if n.is_multiple_of(2) {
             (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
         } else {
             samples_ns[n / 2]

@@ -32,9 +32,8 @@ fn main() {
         catalog::k4(),
     ];
 
-    let mut cfg = EngineConfig::default();
-    cfg.induced = true; // a census partitions the k-subsets: induced counts
-    let engine = Engine::new(cfg);
+    // A census partitions the k-subsets: induced counts.
+    let engine = Engine::new(EngineConfig::default().induced(true));
 
     let mut results = Vec::new();
     for m in &motifs {

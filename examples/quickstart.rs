@@ -40,9 +40,11 @@ fn main() {
 
     // Matching is configurable: vertex-induced mode, no symmetry breaking
     // (count embeddings instead of subgraphs), different unroll size...
-    let mut cfg = EngineConfig::default();
-    cfg.induced = true;
-    cfg.symmetry_breaking = false;
+    let cfg = EngineConfig {
+        induced: true,
+        symmetry_breaking: false,
+        ..EngineConfig::default()
+    };
     let squares = Engine::new(cfg)
         .run(&graph, &catalog::square())
         .expect("launch");

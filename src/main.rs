@@ -170,9 +170,11 @@ fn load_pattern(opts: &Opts) -> Pattern {
 }
 
 fn engine_config(opts: &Opts) -> EngineConfig {
-    let mut cfg = EngineConfig::default();
-    cfg.induced = opts.induced;
-    cfg.symmetry_breaking = !opts.no_symmetry;
+    let mut cfg = EngineConfig {
+        induced: opts.induced,
+        symmetry_breaking: !opts.no_symmetry,
+        ..EngineConfig::default()
+    };
     if let Some(u) = opts.unroll {
         cfg = cfg.with_unroll(u);
     }

@@ -43,14 +43,16 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 #[test]
 fn steady_state_run_does_not_allocate() {
     // Steal-free single-warp geometry: the claim loop is the whole kernel.
-    let mut cfg = EngineConfig::default();
-    cfg.grid = GridConfig {
-        num_blocks: 1,
-        warps_per_block: 1,
-        shared_mem_per_block: 100 * 1024,
+    let cfg = EngineConfig {
+        grid: GridConfig {
+            num_blocks: 1,
+            warps_per_block: 1,
+            shared_mem_per_block: 100 * 1024,
+        },
+        local_steal: false,
+        global_steal: false,
+        ..EngineConfig::default()
     };
-    cfg.local_steal = false;
-    cfg.global_steal = false;
     cfg.validate();
 
     let g = gen::preferential_attachment(120, 6, 11).degree_ordered();
@@ -59,7 +61,7 @@ fn steady_state_run_does_not_allocate() {
     // A pattern whose plan exercises multi-op chains and the unrolled deep
     // levels (so the ping/pong scratch and every arena set slot are live).
     let pattern = catalog::paper_query(6);
-    let plan = stmatch_core::Engine::new(cfg.clone()).compile(&pattern);
+    let plan = stmatch_core::Engine::new(cfg).compile(&pattern);
 
     let grid = Grid::new(cfg.grid).unwrap();
     let k = plan.num_levels();
