@@ -28,6 +28,19 @@ run "smoke:motif_census" cargo run --release --offline --example motif_census
 # drift in golden counts or simulator metrics (instructions, utilization).
 run "smoke:hotpath" cargo run --release --offline -p stmatch-bench --bin hotpath_check
 
+# Hub-bitmap routing gate: every workload off-leg must stay bit-identical
+# to the classic engine (GOLDEN rows / pinned counts, zero bitmap
+# counters), the on legs must reproduce the exact counts, and the bitmap
+# paths must actually fire where the plans have hub-operand set ops (the
+# grep guards against a silently-dead phase: the binary must report
+# nonzero merged words).
+run "smoke:bitmap" cargo run --release --offline -p stmatch-bench --bin bitmap_check
+echo "==> smoke:bitmap(grep): expecting nonzero bitmap traffic"
+cargo run --release --offline -p stmatch-bench --bin bitmap_check 2>/dev/null \
+    | grep -Eq "bitmap_check totals: probe_words=[0-9]*[1-9][0-9]* merge_words=[0-9]*[1-9][0-9]*" \
+    || { echo "==> smoke:bitmap(grep): FAILED — totals line missing or zero"; exit 1; }
+echo "==> smoke:bitmap(grep): OK"
+
 # Fault-tolerance gate: q1/q6 under a seeded fault plan (one warp panic +
 # one warp stall); counts must stay exactly at the goldens, the death must
 # be contained and recovered, and the run must finish well under its cap.

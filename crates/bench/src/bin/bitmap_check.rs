@@ -1,0 +1,108 @@
+//! CI smoke gate for hub-bitmap routing: runs q1/q6 on the hotpath
+//! graph, the 5-clique query on the dense ER clique workload, and the
+//! same query on `K_32` (whose `C(32, 5)` count is closed-form), once
+//! with bitmap routing **off** and once **on**, and fails (exit 1)
+//! unless
+//!
+//! * the off legs reproduce the pinned behaviour exactly — for q1/q6 the
+//!   full [`stmatch_bench::hotpath::GOLDEN`] row (count, instructions,
+//!   utilization: the attached-but-disabled index must be invisible), for
+//!   the clique legs their pinned/analytic counts — with zero bitmap
+//!   counters;
+//! * the on legs produce the identical match counts;
+//! * the on legs route through the bitmap paths exactly where expected:
+//!   nonzero probe or merge counters on every workload with
+//!   hub-operand set ops (a silent fallback to the classic ladder would
+//!   pass the count checks while benchmarking nothing), and zero on q1,
+//!   whose 5-path plan is pure neighbor materializations with no
+//!   intersect/difference ops for a bitmap to serve.
+//!
+//! The final `bitmap_check totals:` line is grepped by `ci.sh`'s
+//! `smoke:bitmap` phase.
+
+use stmatch_bench::hotpath;
+use stmatch_core::Engine;
+use stmatch_graph::gen;
+
+fn main() {
+    let pa = hotpath::graph().with_hub_bitmap(hotpath::BITMAP_THRESHOLD);
+    let er = hotpath::clique_graph().with_hub_bitmap(hotpath::BITMAP_THRESHOLD);
+    let k32 = gen::complete(32).with_hub_bitmap(hotpath::BITMAP_THRESHOLD);
+    // (name, graph, query, pinned count (None = GOLDEN row), bitmap
+    // activity expected on the on leg)
+    let suite: [(&str, &stmatch_graph::Graph, usize, Option<u64>, bool); 4] = [
+        ("q1", &pa, 1, None, false),
+        ("q6", &pa, 6, None, true),
+        ("clique", &er, 8, Some(hotpath::CLIQUE_COUNT), true),
+        ("k32", &k32, 8, Some(201_376), true), // C(32, 5)
+    ];
+
+    let mut failed = false;
+    let mut fail = |msg: String| {
+        eprintln!("bitmap_check DRIFT: {msg}");
+        failed = true;
+    };
+    let (mut probe_words, mut merge_words, mut merge_waves) = (0u64, 0u64, 0u64);
+    for (name, g, qi, pinned, expect_bitmap) in suite {
+        let q = hotpath::query(qi);
+
+        let off = Engine::new(hotpath::config()).run(g, &q).unwrap();
+        match pinned {
+            // PA workloads: the disabled leg must be bit-identical to the
+            // pre-bitmap GOLDEN row, index attached or not.
+            None => {
+                if let Err(e) = hotpath::check(qi, &off) {
+                    fail(format!("{name} off-leg: {e}"));
+                }
+            }
+            Some(want) if off.count != want => {
+                fail(format!("{name} off-leg count {} != {want}", off.count));
+            }
+            Some(_) => {}
+        }
+        let t = off.metrics.total();
+        if t.bitmap_probe_words + t.bitmap_merge_words + t.bitmap_merge_waves != 0 {
+            fail(format!("{name} off-leg moved bitmap counters"));
+        }
+
+        let on = Engine::new(hotpath::config().with_hub_bitmap(true))
+            .run(g, &q)
+            .unwrap();
+        if on.count != off.count {
+            fail(format!(
+                "{name} on-leg count {} != off-leg {}",
+                on.count, off.count
+            ));
+        }
+        let t = on.metrics.total();
+        let routed = t.bitmap_probe_words + t.bitmap_merge_words > 0;
+        if expect_bitmap && !routed {
+            fail(format!("{name} on-leg never took a bitmap path"));
+        }
+        if !expect_bitmap && routed {
+            fail(format!(
+                "{name} on-leg took a bitmap path (plan has no set ops)"
+            ));
+        }
+        probe_words += t.bitmap_probe_words;
+        merge_words += t.bitmap_merge_words;
+        merge_waves += t.bitmap_merge_waves;
+        println!(
+            "bitmap {name}: count={} off_instr={} on_instr={} probe_words={} \
+             merge_words={} merge_waves={}",
+            on.count,
+            off.total_instructions(),
+            on.total_instructions(),
+            t.bitmap_probe_words,
+            t.bitmap_merge_words,
+            t.bitmap_merge_waves
+        );
+    }
+    println!(
+        "bitmap_check totals: probe_words={probe_words} merge_words={merge_words} \
+         merge_waves={merge_waves}"
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

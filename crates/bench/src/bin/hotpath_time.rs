@@ -1,50 +1,61 @@
 //! Wall-time probe for the hotpath workloads, one measurement per line.
 //!
-//! `hotpath_time <query> <reps>` runs paper query `<query>` on the pinned
-//! hotpath graph `<reps>` times and prints each run's wall time in
-//! milliseconds. Deliberately restricted to APIs that exist on every
-//! revision of the engine, so the identical source builds in a baseline
-//! worktree — `tools/bench_pr2.sh` interleaves the two binaries to cancel
-//! host noise when producing `BENCH_PR2.json`.
+//! `hotpath_time <query|clique> <reps> [--bitmap] [--ab]` runs the given
+//! workload — a paper-query index on the pinned hotpath graph, or
+//! `clique` for the 5-clique query on the dense K64 graph — `<reps>`
+//! times and prints each run's wall time in milliseconds followed by the
+//! match count:
+//!
+//! * bare: `<ms> <count>` per line, hub-bitmap routing off (the exact
+//!   output shape `tools/bench_pr2.sh` consumed, so old baselines stay
+//!   comparable);
+//! * `--bitmap`: same lines with bitmap routing enabled;
+//! * `--ab`: interleaves one routing-off and one routing-on run per rep
+//!   (`off <ms> <count>` / `on <ms> <count>` lines), cancelling host
+//!   noise the way the PR 2 protocol interleaved baseline/post binaries.
+//!   Both legs share one graph with the index attached — the disabled
+//!   engine ignores it, so the off leg measures the pre-bitmap path.
 
-use stmatch_core::{Engine, EngineConfig};
-use stmatch_gpusim::GridConfig;
-use stmatch_graph::gen;
-use stmatch_pattern::catalog;
+use stmatch_bench::hotpath;
+use stmatch_core::Engine;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let query: usize = args
-        .next()
-        .expect("usage: hotpath_time <query> <reps>")
-        .parse()
-        .unwrap();
-    let reps: usize = args
-        .next()
-        .expect("usage: hotpath_time <query> <reps>")
-        .parse()
-        .unwrap();
+    let usage = "usage: hotpath_time <query|clique> <reps> [--bitmap] [--ab]";
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pos = args.iter().filter(|a| !a.starts_with("--"));
+    let workload = pos.next().expect(usage).as_str();
+    let reps: usize = pos.next().expect(usage).parse().unwrap();
+    let bitmap = args.iter().any(|a| a == "--bitmap");
+    let ab = args.iter().any(|a| a == "--ab");
 
-    let g = gen::preferential_attachment(420, 8, 7).degree_ordered();
-    let q = catalog::paper_query(query);
-
-    let cfg = EngineConfig {
-        grid: GridConfig {
-            num_blocks: 1,
-            warps_per_block: 2,
-            shared_mem_per_block: 100 * 1024,
-        },
-        local_steal: false,
-        global_steal: false,
-        ..EngineConfig::default()
+    let (mut g, qi) = if workload == "clique" {
+        (hotpath::clique_graph(), 8)
+    } else {
+        (hotpath::graph(), workload.parse().unwrap())
     };
+    if bitmap || ab {
+        g = g.with_hub_bitmap(hotpath::BITMAP_THRESHOLD);
+    }
+    let q = hotpath::query(qi);
 
-    let engine = Engine::new(cfg);
-    let plan = engine.compile(&q);
-    for _ in 0..reps {
+    let off = Engine::new(hotpath::config());
+    let on = Engine::new(hotpath::config().with_hub_bitmap(true));
+    let plan = off.compile(&q);
+
+    let timed = |engine: &Engine, prefix: &str| {
         let t = std::time::Instant::now();
         let out = engine.run_plan(&g, &plan).unwrap();
         let ms = t.elapsed().as_secs_f64() * 1e3;
-        println!("{ms:.3} {}", out.count);
+        println!("{prefix}{ms:.3} {}", out.count);
+    };
+    for _ in 0..reps {
+        if ab {
+            timed(&off, "off ");
+            timed(&on, "on ");
+        } else if bitmap {
+            timed(&on, "");
+        } else {
+            timed(&off, "");
+        }
     }
 }

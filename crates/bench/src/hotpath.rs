@@ -24,9 +24,39 @@ use stmatch_pattern::{catalog, Pattern};
 /// Queries of the hotpath suite (paper indices).
 pub const QUERIES: [usize; 3] = [1, 6, 8];
 
+/// Vertices of the dense clique workload graph (PR 5's bitmap stressor).
+pub const CLIQUE_N: usize = 256;
+
+/// Edges of the clique workload graph: average degree 100, so every
+/// vertex clears [`BITMAP_THRESHOLD`] and every intersection pits two
+/// ~100-element hub lists against each other while survivors shrink
+/// geometrically per level — the regime where one 4-word bitmap merge
+/// replaces a ~200-step element merge.
+pub const CLIQUE_M: usize = CLIQUE_N * 50;
+
+/// 5-clique count on [`clique_graph`], pinned from the classic
+/// (bitmap-off) engine and cross-checked against the bitmap paths by
+/// `--bin bitmap_check` (which also keeps an analytic `C(32, 5)` leg on
+/// `K_32` so the pin itself is anchored to closed-form ground truth).
+pub const CLIQUE_COUNT: u64 = 766_243;
+
+/// Hub threshold the bitmap bench legs attach to their graphs. Low enough
+/// that the PA fixture's hub tail and every K64 vertex get bitmap rows;
+/// the disabled-engine legs ignore the attached index entirely.
+pub const BITMAP_THRESHOLD: usize = 16;
+
 /// The seeded hub-skewed data graph all three workloads run on.
 pub fn graph() -> Graph {
     gen::preferential_attachment(420, 8, 7).degree_ordered()
+}
+
+/// The dense clique workload graph: a seeded dense Erdős–Rényi instance
+/// where every vertex is a hub, so the 5-clique query (`q8`) runs its
+/// whole intersection cascade in bitmap word waves when routing is
+/// enabled (the level-2 sets merge hub rows, and sealed arena result
+/// rows keep levels 3+ in the bitmap domain).
+pub fn clique_graph() -> Graph {
+    gen::erdos_renyi(CLIQUE_N, CLIQUE_M, 7).degree_ordered()
 }
 
 /// Steal-free full-hot-path engine config (see module docs).

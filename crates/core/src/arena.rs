@@ -44,6 +44,25 @@ pub struct StackArena {
     /// engine surfaces the total as `MatchOutcome::spill_events`, and the
     /// degradation ladder's slab-shrink rung leans on this path).
     events: u64,
+    /// Word-aligned ping/pong scratch rows for fused bitmap op chains
+    /// (`setops::apply_chain_bits_into`). Grown to the graph's row stride
+    /// on first use (warmup), then reused: steady-state lends never
+    /// allocate.
+    bits_ping: Vec<u64>,
+    bits_pong: Vec<u64>,
+    /// Per-slot result bitmap rows (`words_stride` words each), filled by
+    /// the bitmap set-op paths through [`SetSink::put_word`] /
+    /// [`SetSink::seal_bits`] so dependent sets can run in the bitmap
+    /// domain without re-deriving rows from elements. Empty until
+    /// [`StackArena::enable_set_bits`] sizes it (once, at kernel
+    /// construction): element-only configs pay nothing.
+    words: Vec<u64>,
+    /// Whether slot `i`'s row in `words` denotes exactly its element list.
+    /// Cleared on every rewrite ([`SetSink::begin`]); set only by
+    /// [`SetSink::seal_bits`].
+    words_valid: Vec<bool>,
+    /// Row stride of `words` in u64s; 0 while set-bits storage is off.
+    words_stride: usize,
     /// Process-unique arena identity for the race checker's shadow cells
     /// (`arena[id].set[s]`). Arenas are warp-private by design; the
     /// instrumentation *proves* that — any cross-thread access without a
@@ -82,8 +101,31 @@ impl StackArena {
             cap,
             unroll,
             events: 0,
+            bits_ping: Vec::new(),
+            bits_pong: Vec::new(),
+            words: Vec::new(),
+            words_valid: vec![false; slots],
+            words_stride: 0,
             check_id: simt_check::next_object_id(),
         }
+    }
+
+    /// Sizes the per-slot result bitmap storage for rows of `stride` u64
+    /// words. Called once at kernel construction when hub-bitmap routing
+    /// is on; like [`StackArena::new`] this is a construction-time
+    /// allocation, so the steady-state claim path stays allocation-free.
+    pub fn enable_set_bits(&mut self, stride: usize) {
+        self.words = vec![0; self.words_valid.len() * stride];
+        self.words_stride = stride;
+    }
+
+    /// The sealed result bitmap row of slot `(set, u)`, if its last
+    /// rewrite went through a bitmap path with an unfiltered extraction.
+    #[inline]
+    pub fn set_bits(&self, set: usize, u: usize) -> Option<&[u64]> {
+        let i = self.idx(set, u);
+        (self.words_stride > 0 && self.words_valid[i])
+            .then(|| &self.words[i * self.words_stride..(i + 1) * self.words_stride])
     }
 
     /// Number of slab-overflow migrations (first overflowing push per
@@ -124,14 +166,38 @@ impl StackArena {
     /// over slots `(set, 0..m)`.
     #[track_caller]
     pub fn split_for_write(&mut self, set: usize, m: usize) -> (ArenaRead<'_>, ArenaWriter<'_>) {
+        let (r, w, _, _) = self.split_for_write_bits(set, m, 0);
+        (r, w)
+    }
+
+    /// [`StackArena::split_for_write`] plus the word-aligned ping/pong
+    /// bitmap scratch (`stride` words each) that fused bitmap chains
+    /// ping/pong intermediate rows through
+    /// (`setops::apply_chain_bits_into`). The scratch is grown on first
+    /// use and reused afterwards, so steady-state calls never allocate;
+    /// all four views come from disjoint field borrows and coexist.
+    #[track_caller]
+    pub fn split_for_write_bits(
+        &mut self,
+        set: usize,
+        m: usize,
+        stride: usize,
+    ) -> (ArenaRead<'_>, ArenaWriter<'_>, &mut [u64], &mut [u64]) {
         debug_assert!(m >= 1 && m <= self.unroll);
+        if self.bits_ping.len() < stride {
+            self.bits_ping.resize(stride, 0);
+            self.bits_pong.resize(stride, 0);
+        }
         // One shadow write event covers the whole rewrite of `set`'s slots
         // (the writer half streams into them exclusively until dropped).
         simt_check::note_write(simt_check::Cell::arena(self.check_id, set));
         let at = set * self.unroll;
+        let ws_stride = self.words_stride;
         let (rd, wd) = self.data.split_at_mut(at * self.cap);
         let (rl, wl) = self.len.split_at_mut(at);
         let (rs, ws) = self.spill.split_at_mut(at);
+        let (rw, ww) = self.words.split_at_mut(at * ws_stride);
+        let (rv, wv) = self.words_valid.split_at_mut(at);
         (
             ArenaRead {
                 data: rd,
@@ -139,6 +205,9 @@ impl StackArena {
                 spill: rs,
                 cap: self.cap,
                 unroll: self.unroll,
+                words: rw,
+                words_valid: rv,
+                words_stride: ws_stride,
             },
             ArenaWriter {
                 data: &mut wd[..m * self.cap],
@@ -146,7 +215,12 @@ impl StackArena {
                 spill: &mut ws[..m],
                 cap: self.cap,
                 events: &mut self.events,
+                words: &mut ww[..m * ws_stride],
+                words_valid: &mut wv[..m],
+                words_stride: ws_stride,
             },
+            &mut self.bits_ping[..stride],
+            &mut self.bits_pong[..stride],
         )
     }
 }
@@ -158,6 +232,9 @@ pub struct ArenaRead<'a> {
     spill: &'a [Vec<VertexId>],
     cap: usize,
     unroll: usize,
+    words: &'a [u64],
+    words_valid: &'a [bool],
+    words_stride: usize,
 }
 
 impl ArenaRead<'_> {
@@ -174,6 +251,18 @@ impl ArenaRead<'_> {
             set * self.unroll + u,
         )
     }
+
+    /// The sealed result bitmap row of slot `(set, u)`, if its last
+    /// rewrite went through a bitmap path with an unfiltered extraction
+    /// — `Some` means the row denotes exactly [`ArenaRead::slot`]'s list,
+    /// so dependents may intersect against it word-parallel.
+    #[inline]
+    pub fn slot_bits(&self, set: usize, u: usize) -> Option<&[u64]> {
+        debug_assert!(u < self.unroll);
+        let i = set * self.unroll + u;
+        (self.words_stride > 0 && self.words_valid[i])
+            .then(|| &self.words[i * self.words_stride..(i + 1) * self.words_stride])
+    }
 }
 
 /// Write sink over the `m` unroll slots of one set: implements
@@ -185,12 +274,18 @@ pub struct ArenaWriter<'a> {
     spill: &'a mut [Vec<VertexId>],
     cap: usize,
     events: &'a mut u64,
+    words: &'a mut [u64],
+    words_valid: &'a mut [bool],
+    words_stride: usize,
 }
 
 impl SetSink for ArenaWriter<'_> {
     #[inline]
     fn begin(&mut self, slot: usize, _capacity_hint: usize) {
         self.len[slot] = 0;
+        // Any rewrite — bitmap path or not — obsoletes the slot's stored
+        // row until a fresh seal lands.
+        self.words_valid[slot] = false;
         if !self.spill[slot].is_empty() {
             self.spill[slot].clear();
         }
@@ -229,6 +324,21 @@ impl SetSink for ArenaWriter<'_> {
             for &v in values {
                 self.push(slot, v);
             }
+        }
+    }
+
+    #[inline]
+    fn put_word(&mut self, slot: usize, word_index: usize, word: u64) {
+        if self.words_stride > 0 {
+            debug_assert!(word_index < self.words_stride);
+            self.words[slot * self.words_stride + word_index] = word;
+        }
+    }
+
+    #[inline]
+    fn seal_bits(&mut self, slot: usize) {
+        if self.words_stride > 0 {
+            self.words_valid[slot] = true;
         }
     }
 }
@@ -303,6 +413,71 @@ mod tests {
         }
         assert!(!a.spilled(0, 0));
         assert_eq!(a.slot(0, 0), &[7, 8]);
+    }
+
+    #[test]
+    fn bits_scratch_is_lent_alongside_the_split() {
+        let mut a = StackArena::new(2, 1, 4);
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[1, 2]);
+        }
+        {
+            let (r, mut w, ping, pong) = a.split_for_write_bits(1, 1, 3);
+            assert_eq!(ping.len(), 3);
+            assert_eq!(pong.len(), 3);
+            ping[2] = 0xdead;
+            pong[0] = 0xbeef;
+            // Slots and scratch coexist: the read view still resolves.
+            assert_eq!(r.slot(0, 0), &[1, 2]);
+            fill(&mut w, 0, &[9]);
+        }
+        assert_eq!(a.slot(1, 0), &[9]);
+        // Scratch persists (it is reusable state, not per-call).
+        let (_, _, ping, _) = a.split_for_write_bits(1, 1, 3);
+        assert_eq!(ping[2], 0xdead);
+    }
+
+    #[test]
+    fn bits_scratch_grows_monotonically_and_never_shrinks() {
+        let mut a = StackArena::new(1, 1, 2);
+        {
+            let (_, _, ping, pong) = a.split_for_write_bits(0, 1, 5);
+            assert_eq!((ping.len(), pong.len()), (5, 5));
+        }
+        // A smaller stride lends a prefix of the existing buffer.
+        {
+            let (_, _, ping, _) = a.split_for_write_bits(0, 1, 2);
+            assert_eq!(ping.len(), 2);
+        }
+        assert_eq!(a.bits_ping.len(), 5);
+        assert_eq!(a.bits_pong.len(), 5);
+    }
+
+    #[test]
+    fn sealed_set_bits_survive_until_the_next_rewrite() {
+        let mut a = StackArena::new(2, 1, 4);
+        assert_eq!(a.set_bits(0, 0), None); // storage off by default
+        a.enable_set_bits(2);
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[1, 65]);
+            w.put_word(0, 0, 0b10);
+            w.put_word(0, 1, 0b10);
+            w.seal_bits(0);
+        }
+        assert_eq!(a.set_bits(0, 0), Some(&[0b10u64, 0b10][..]));
+        // The read view of a higher split sees the sealed row.
+        {
+            let (r, _) = a.split_for_write(1, 1);
+            assert_eq!(r.slot_bits(0, 0), Some(&[0b10u64, 0b10][..]));
+        }
+        // An unsealed rewrite (classic element path) invalidates it.
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[3]);
+        }
+        assert_eq!(a.set_bits(0, 0), None);
     }
 
     #[test]

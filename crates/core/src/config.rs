@@ -47,9 +47,17 @@ pub struct EngineConfig {
     /// overflow for hubs (see `arena`).
     pub max_degree_slab: usize,
     /// Size-ratio thresholds steering the adaptive set-operation kernels
-    /// (binary search / linear merge / galloping search). Host-side only:
-    /// tuning never changes results or simulator metrics.
+    /// (binary search / linear merge / galloping search, plus the
+    /// hub-bitmap probe/merge paths when [`EngineConfig::hub_bitmap`] is
+    /// enabled). Host-side only for the element-stream algorithms: tuning
+    /// never changes results, and only the bitmap-merge paths change
+    /// simulator metrics.
     pub setops: SetOpTuning,
+    /// Hub-bitmap index routing (see `stmatch_graph::bitmap` and
+    /// DESIGN.md §4f). Disabled by default: the engine then ignores any
+    /// index attached to the graph and behaves bit-identically to
+    /// pre-bitmap revisions.
+    pub hub_bitmap: HubBitmapTuning,
     /// Bounds on automatic fault recovery: the degradation ladder taken on
     /// launch-planning failures and the salvage relaunches draining work
     /// requeued from dead warps (see `recover` and DESIGN.md §4d).
@@ -72,7 +80,34 @@ impl Default for EngineConfig {
             induced: false,
             max_degree_slab: 4096,
             setops: SetOpTuning::default(),
+            hub_bitmap: HubBitmapTuning::default(),
             recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// Hub-bitmap index knob: whether the kernel routes set operations through
+/// bitmap rows, and which degree makes a vertex a hub.
+///
+/// When `enabled`, the engine uses the graph's attached
+/// [`HubBitmapIndex`](stmatch_graph::HubBitmapIndex) or builds one at
+/// `hub_threshold` per run. Bitmap routing never changes match results —
+/// only host algorithms and the wave structure of bitmap merges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HubBitmapTuning {
+    /// Route set operations through hub-bitmap paths (default `false`).
+    pub enabled: bool,
+    /// Vertices with `degree > hub_threshold` (strict) get bitmap rows
+    /// when the engine builds the index itself (default 32). Ignored when
+    /// the graph already carries an index.
+    pub hub_threshold: usize,
+}
+
+impl Default for HubBitmapTuning {
+    fn default() -> Self {
+        HubBitmapTuning {
+            enabled: false,
+            hub_threshold: 32,
         }
     }
 }
@@ -143,6 +178,12 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with hub-bitmap routing switched on or off.
+    pub fn with_hub_bitmap(mut self, enabled: bool) -> Self {
+        self.hub_bitmap.enabled = enabled;
+        self
+    }
+
     /// Validates internal consistency; every launch entry point calls this
     /// before building warp state, so a malformed config fails loudly at
     /// the API boundary instead of corrupting a lane mapping deep in the
@@ -181,6 +222,10 @@ mod tests {
         // to the Engine, never to the config).
         assert!(c.recovery.max_downgrades > 0);
         assert!(c.recovery.salvage_relaunches > 0);
+        // Bitmap routing defaults off so baselines stay bit-identical.
+        assert!(!c.hub_bitmap.enabled);
+        assert_eq!(c.hub_bitmap.hub_threshold, 32);
+        assert!(c.with_hub_bitmap(true).hub_bitmap.enabled);
     }
 
     #[test]

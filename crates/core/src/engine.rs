@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 use stmatch_gpusim::{Grid, GridMetrics, LaunchError, MemoryBudget, SharedBudget};
-use stmatch_graph::{Graph, VertexId};
+use stmatch_graph::{Graph, HubBitmapIndex, VertexId};
 use stmatch_pattern::{MatchPlan, Pattern, PlanOptions};
 
 /// Result of an enumeration run: the embeddings plus the usual outcome.
@@ -257,11 +257,21 @@ impl Engine {
         assert!(devices >= 1 && device < devices);
         self.cfg.validate();
         let mut cfg = self.cfg;
+        // Resolve the hub-bitmap index once, outside the degradation loop:
+        // the ladder only shrinks launch geometry, never the graph, so
+        // rebuilding per rung would waste the (host-side) build.
+        let owned_hubs = (cfg.hub_bitmap.enabled && graph.hub_bitmap().is_none())
+            .then(|| HubBitmapIndex::build(graph, cfg.hub_bitmap.hub_threshold));
+        let hubs = if cfg.hub_bitmap.enabled {
+            owned_hubs.as_ref().or_else(|| graph.hub_bitmap())
+        } else {
+            None
+        };
         let mut downgrades: Vec<DowngradeStep> = Vec::new();
         loop {
             // Planning failures happen before any warp runs, so retrying
             // here can never double-count (and never touches `collector`).
-            match self.attempt(&cfg, graph, plan, device, devices, collector) {
+            match self.attempt(&cfg, graph, plan, hubs, device, devices, collector) {
                 Ok(mut outcome) => {
                     outcome.downgrades = downgrades;
                     return Ok(outcome);
@@ -285,11 +295,13 @@ impl Engine {
 
     /// One launch attempt at a specific configuration: budget planning,
     /// then the (containment-wrapped, possibly multi-pass) launch.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         cfg: &EngineConfig,
         graph: &Graph,
         plan: &MatchPlan,
+        hubs: Option<&HubBitmapIndex>,
         device: usize,
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
@@ -315,7 +327,9 @@ impl Engine {
         let num_warps = cfg.grid.total_warps();
         let stack_bytes = plan.num_sets() * cfg.unroll * cfg.max_degree_slab * 4 * num_warps;
         self.memory.try_alloc(stack_bytes)?;
-        let stats = self.launch(cfg, graph, plan, &grid, stop, device, devices, collector);
+        let stats = self.launch(
+            cfg, graph, plan, hubs, &grid, stop, device, devices, collector,
+        );
         self.memory.free(stack_bytes);
         Ok(MatchOutcome {
             count: stats.metrics.matches(),
@@ -340,6 +354,7 @@ impl Engine {
         cfg: &EngineConfig,
         graph: &Graph,
         plan: &MatchPlan,
+        hubs: Option<&HubBitmapIndex>,
         grid: &Grid,
         stop: usize,
         device: usize,
@@ -395,7 +410,8 @@ impl Engine {
             let deaths: Mutex<Vec<WarpDeath>> = Mutex::new(Vec::new());
             let (pass_metrics, escaped) = grid.launch_contained(|warp| {
                 self.warp_body(
-                    cfg, graph, plan, &board, faults, device, devices, collector, &deaths, warp,
+                    cfg, graph, plan, hubs, &board, faults, device, devices, collector, &deaths,
+                    warp,
                 );
             });
             metrics.merge(&pass_metrics);
@@ -445,6 +461,7 @@ impl Engine {
         cfg: &EngineConfig,
         graph: &Graph,
         plan: &MatchPlan,
+        hubs: Option<&HubBitmapIndex>,
         board: &Board,
         faults: Option<&FaultPlan>,
         device: usize,
@@ -460,7 +477,7 @@ impl Engine {
         let busy = Cell::new(true);
         let mut kernel: Option<WarpKernel> = None;
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            let mut k = WarpKernel::new(graph, plan, cfg, board, me, faults);
+            let mut k = WarpKernel::new(graph, plan, cfg, board, me, faults, hubs);
             k.set_device_partition(device, devices);
             if collector.is_some() {
                 k.enable_enumeration();

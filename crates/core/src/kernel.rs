@@ -47,10 +47,10 @@ use crate::fault::FaultPlan;
 use crate::setops;
 use crate::steal::{Board, StealPayload};
 use stmatch_gpusim::Warp;
-use stmatch_graph::{Graph, VertexId};
+use stmatch_graph::{Graph, HubBitmapIndex, VertexId};
 use stmatch_pattern::plan::{Base, ChainOp};
 use stmatch_pattern::symmetry::Bound;
-use stmatch_pattern::{LabelMask, MatchPlan};
+use stmatch_pattern::{LabelMask, MatchPlan, OpKind};
 
 /// Per-warp kernel state.
 pub struct WarpKernel<'a> {
@@ -115,9 +115,15 @@ pub struct WarpKernel<'a> {
     /// Injected fault plan, if any (testing/chaos only; `None` on every
     /// production path).
     faults: Option<&'a FaultPlan>,
+    /// Hub-bitmap index, present iff `cfg.hub_bitmap.enabled` (the engine
+    /// resolves the graph's attached index or builds one per run). `None`
+    /// keeps every set operation on the classic element paths,
+    /// bit-identical to pre-bitmap revisions.
+    hubs: Option<&'a HubBitmapIndex>,
 }
 
 impl<'a> WarpKernel<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         g: &'a Graph,
         plan: &'a MatchPlan,
@@ -125,6 +131,7 @@ impl<'a> WarpKernel<'a> {
         board: &'a Board,
         warp_id: usize,
         faults: Option<&'a FaultPlan>,
+        hubs: Option<&'a HubBitmapIndex>,
     ) -> Self {
         let k = plan.num_levels();
         let unroll = cfg.unroll;
@@ -134,6 +141,13 @@ impl<'a> WarpKernel<'a> {
         // fixed `max_degree_slab` per slot (see `run_inner`); allocating
         // tighter just packs the slabs densely for the cache.
         let cap = cfg.max_degree_slab.min(g.max_degree().max(1));
+        let mut storage = StackArena::new(plan.num_sets(), unroll, cap);
+        if let Some(hx) = hubs {
+            // Result-row storage so bitmap-domain results cascade to
+            // dependent sets; sized here (construction) to keep the claim
+            // path allocation-free.
+            storage.enable_set_bits(hx.stride());
+        }
         WarpKernel {
             g,
             plan,
@@ -142,7 +156,7 @@ impl<'a> WarpKernel<'a> {
             warp_id,
             k,
             stop: board.stop(),
-            storage: StackArena::new(plan.num_sets(), unroll, cap),
+            storage,
             batch: vec![Vec::with_capacity(unroll); k + 1],
             uiter: vec![0; k + 1],
             iter: vec![0; k + 1],
@@ -162,6 +176,7 @@ impl<'a> WarpKernel<'a> {
             inflight: None,
             installing: None,
             faults,
+            hubs,
         }
     }
 
@@ -600,18 +615,41 @@ impl<'a> WarpKernel<'a> {
             }
         };
         const EMPTY: &[VertexId] = &[];
+        const NO_BITS: Option<&[u64]> = None;
+        let hubs = self.hubs;
         for sid in plan.sets_at_level(level) {
             let def = &plan.sets()[sid];
             let nops = def.ops.len();
+            // Slots whose whole op chain runs fused in the bitmap domain
+            // (base vertex and every chain operand are hubs); they skip
+            // the element-stream legs and are filled after the chain tail.
+            let mut fused = [false; MAX_UNROLL];
+            let mut fused_any = false;
+            let mut fused_pos = 0usize;
             // `rest` = chain ops still to apply after the base step; the
             // base step writes to the arena and short-circuits when it is
             // also the final step.
             let rest: &[ChainOp];
             match def.base {
                 Base::Neighbors(pos) => {
+                    if nops > 0 {
+                        if let Some(hx) = hubs {
+                            fused_pos = pos as usize;
+                            for (u, f) in fused.iter_mut().enumerate().take(m) {
+                                *f = hx.is_hub(vertex_at(fused_pos, u))
+                                    && def
+                                        .ops
+                                        .iter()
+                                        .all(|op| hx.is_hub(vertex_at(op.pos as usize, u)));
+                                fused_any |= *f;
+                            }
+                        }
+                    }
                     let mut sources = [EMPTY; MAX_UNROLL];
                     for (u, s) in sources.iter_mut().enumerate().take(m) {
-                        *s = g.neighbors(vertex_at(pos as usize, u));
+                        if !fused[u] {
+                            *s = g.neighbors(vertex_at(pos as usize, u));
+                        }
                     }
                     if nops == 0 {
                         let (_, mut sink) = self.storage.split_for_write(sid, m);
@@ -629,12 +667,29 @@ impl<'a> WarpKernel<'a> {
                 }
                 Base::Set(dep) => {
                     let dep = dep as usize;
-                    let dep_level = plan.sets()[dep].level as usize;
+                    let dep_def = &plan.sets()[dep];
+                    let dep_level = dep_def.level as usize;
                     let op = def.ops.first().expect("set deps carry an op");
                     let mask = if nops == 1 { def.mask } else { LabelMask::ALL };
                     let mut operands = [EMPTY; MAX_UNROLL];
+                    let mut operand_bits = [NO_BITS; MAX_UNROLL];
                     for (u, o) in operands.iter_mut().enumerate().take(m) {
-                        *o = g.neighbors(vertex_at(op.pos as usize, u));
+                        let ov = vertex_at(op.pos as usize, u);
+                        *o = g.neighbors(ov);
+                        if let Some(hx) = hubs {
+                            operand_bits[u] = hx.row(ov);
+                        }
+                    }
+                    // Input rows exist only when the dependency set is a
+                    // pure, unmasked neighbor materialization of a hub —
+                    // then slot contents equal that hub's row verbatim.
+                    let mut input_bits = [NO_BITS; MAX_UNROLL];
+                    if let (Some(hx), Base::Neighbors(dp)) = (hubs, dep_def.base) {
+                        if dep_def.ops.is_empty() && dep_def.mask.is_all() {
+                            for (u, ib) in input_bits.iter_mut().enumerate().take(m) {
+                                *ib = hx.row(vertex_at(dp as usize, u));
+                            }
+                        }
                     }
                     // Split the arena below `sid`: dependency sets are
                     // readable while `sid`'s slots are written.
@@ -647,13 +702,42 @@ impl<'a> WarpKernel<'a> {
                             self.uiter[dep_level]
                         };
                         *inp = read.slot(dep, slot);
+                        debug_assert!(
+                            input_bits[u].is_none()
+                                || *inp
+                                    == g.neighbors(vertex_at(
+                                        match dep_def.base {
+                                            Base::Neighbors(dp) => dp as usize,
+                                            Base::Set(_) => unreachable!(),
+                                        },
+                                        u
+                                    )),
+                            "input row attached to a slot that is not its hub's neighborhood"
+                        );
+                        // No purity row? A sealed arena row (the slot was
+                        // itself produced by a bitmap merge) serves the
+                        // same role, cascading word-parallel ops down
+                        // whole dependency chains — the deep levels of
+                        // clique-like queries.
+                        if input_bits[u].is_none() {
+                            if let Some(bits) = read.slot_bits(dep, slot) {
+                                debug_assert_eq!(
+                                    bits.iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+                                    inp.len(),
+                                    "sealed slot row disagrees with its element list"
+                                );
+                                input_bits[u] = Some(bits);
+                            }
+                        }
                     }
                     if nops == 1 {
-                        setops::apply_op_into(
+                        setops::apply_op_hub_into(
                             warp,
                             g,
                             &inputs[..m],
+                            &input_bits[..m],
                             &operands[..m],
+                            &operand_bits[..m],
                             op.kind,
                             mask,
                             tuning,
@@ -661,11 +745,13 @@ impl<'a> WarpKernel<'a> {
                         );
                         continue;
                     }
-                    setops::apply_op_into(
+                    setops::apply_op_hub_into(
                         warp,
                         g,
                         &inputs[..m],
+                        &input_bits[..m],
                         &operands[..m],
+                        &operand_bits[..m],
                         op.kind,
                         mask,
                         tuning,
@@ -675,42 +761,90 @@ impl<'a> WarpKernel<'a> {
                 }
             }
             // Multi-op chain tail: intermediates ping→pong, the final op
-            // straight into the arena.
+            // straight into the arena. Operand hub rows still upgrade the
+            // membership probes; inputs are scratch lists, so never rows.
             let last = rest.len() - 1;
             for (i, op) in rest.iter().enumerate() {
                 let mask = if i == last { def.mask } else { LabelMask::ALL };
                 let mut operands = [EMPTY; MAX_UNROLL];
+                let mut operand_bits = [NO_BITS; MAX_UNROLL];
                 for (u, o) in operands.iter_mut().enumerate().take(m) {
-                    *o = g.neighbors(vertex_at(op.pos as usize, u));
+                    let ov = vertex_at(op.pos as usize, u);
+                    *o = g.neighbors(ov);
+                    if let Some(hx) = hubs {
+                        operand_bits[u] = hx.row(ov);
+                    }
                 }
                 let mut inputs = [EMPTY; MAX_UNROLL];
                 for (u, inp) in inputs.iter_mut().enumerate().take(m) {
                     *inp = self.ping[u].as_slice();
                 }
+                let input_bits = [NO_BITS; MAX_UNROLL];
                 if i == last {
                     let (_, mut sink) = self.storage.split_for_write(sid, m);
-                    setops::apply_op_into(
+                    setops::apply_op_hub_into(
                         warp,
                         g,
                         &inputs[..m],
+                        &input_bits[..m],
                         &operands[..m],
+                        &operand_bits[..m],
                         op.kind,
                         mask,
                         tuning,
                         &mut sink,
                     );
                 } else {
-                    setops::apply_op_into(
+                    setops::apply_op_hub_into(
                         warp,
                         g,
                         &inputs[..m],
+                        &input_bits[..m],
                         &operands[..m],
+                        &operand_bits[..m],
                         op.kind,
                         mask,
                         tuning,
                         &mut self.pong[..m],
                     );
                     std::mem::swap(&mut self.ping, &mut self.pong);
+                }
+            }
+            // Fused slots: the whole chain in the bitmap domain, ping/pong
+            // word scratch lent by the arena, final op extracted straight
+            // into the slot (re-`begin`s it after the empty classic leg).
+            if fused_any {
+                let hx = hubs.expect("fused slots imply an index");
+                let stride = hx.stride();
+                const NO_ROW: &[u64] = &[];
+                let mut chain = [(OpKind::Intersect, NO_ROW); stmatch_pattern::MAX_PATTERN_SIZE];
+                let (_, mut sink, bits_ping, bits_pong) =
+                    self.storage.split_for_write_bits(sid, m, stride);
+                for (u, &is_fused) in fused.iter().enumerate().take(m) {
+                    if !is_fused {
+                        continue;
+                    }
+                    let base_row = hx
+                        .row(vertex_at(fused_pos, u))
+                        .expect("fused base is a hub");
+                    for (ci, op) in def.ops.iter().enumerate() {
+                        chain[ci] = (
+                            op.kind,
+                            hx.row(vertex_at(op.pos as usize, u))
+                                .expect("fused operand is a hub"),
+                        );
+                    }
+                    setops::apply_chain_bits_into(
+                        warp,
+                        g,
+                        u,
+                        base_row,
+                        &chain[..nops],
+                        def.mask,
+                        bits_ping,
+                        bits_pong,
+                        &mut sink,
+                    );
                 }
             }
         }

@@ -49,7 +49,7 @@ pub mod recover;
 pub mod setops;
 pub mod steal;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, HubBitmapTuning};
 pub use engine::{Engine, Enumeration, MatchOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
 pub use multi::{run_multi_device, MultiDeviceOutcome};

@@ -29,6 +29,28 @@
 //! knob). An empty operand short-circuits the probe entirely: intersection
 //! drops every element, difference keeps every element.
 //!
+//! **Hub-bitmap paths.** When the graph carries a
+//! [`HubBitmapIndex`](stmatch_graph::HubBitmapIndex), two further
+//! algorithms become available through [`choose_algo_hub`]:
+//!
+//! * [`SetOpAlgo::BitmapProbe`] — the operand is a hub row; each streamed
+//!   element resolves membership with one O(1) word probe. This is still
+//!   an element stream, so wave/scan/ballot accounting stays **identical**
+//!   to the classic paths (only the host cost and the
+//!   `bitmap_probe_words` counter change).
+//! * [`SetOpAlgo::BitmapMerge`] — both sides are bitmap rows; the op is a
+//!   stream of word ANDs, 32 words per wave, survivors extracted from the
+//!   result words. This path deliberately changes the simulated wave
+//!   structure (`ceil(stride/32)` waves instead of `ceil(|A|/32)`), which
+//!   is the Fig. 8 win it models; `bitmap_merge_words`/`_waves` account
+//!   for it.
+//!
+//! [`apply_chain_bits_into`] fuses a whole op chain in the bitmap domain
+//! when every operand of a slot is a hub, ping/ponging intermediate rows
+//! through word-aligned arena scratch (see
+//! [`StackArena::split_for_write_bits`](crate::arena::StackArena::split_for_write_bits)).
+//! See DESIGN.md §4f for the encoding and the accounting contract.
+//!
 //! **Sinks.** Outputs stream through the [`SetSink`] trait so callers
 //! choose where survivors land: plain `[Vec<VertexId>]` buffers (the
 //! baselines, tests) or the flat stack arena's
@@ -36,6 +58,7 @@
 //! allocation-free hot path).
 
 use stmatch_gpusim::{Warp, WARP_SIZE};
+use stmatch_graph::bitmap::word_probe;
 use stmatch_graph::{Graph, VertexId};
 use stmatch_pattern::{LabelMask, OpKind};
 
@@ -53,6 +76,19 @@ pub trait SetSink {
             self.push(slot, v);
         }
     }
+
+    /// Accepts one result word of a bitmap-domain op for `slot`. The
+    /// bitmap paths call this for every word index of the result row (in
+    /// ascending order) before [`SetSink::seal_bits`]; sinks that keep
+    /// per-slot bitmap rows (the arena) store the word so dependents can
+    /// run in the bitmap domain too. The default discards it.
+    fn put_word(&mut self, _slot: usize, _word_index: usize, _word: u64) {}
+
+    /// Marks `slot`'s stored bitmap row complete: every result word was
+    /// delivered and the extraction mask filtered nothing, so the row
+    /// denotes exactly the slot's element list. Never called for masked
+    /// extractions (the row would be a superset of the elements).
+    fn seal_bits(&mut self, _slot: usize) {}
 }
 
 /// Plain heap-vector sink; reuses each vector's capacity across calls.
@@ -83,16 +119,29 @@ pub enum SetOpAlgo {
     Merge,
     /// Galloping (exponential) search from the monotone cursor.
     Gallop,
+    /// O(1) word probe of each streamed element against the operand's
+    /// hub-bitmap row. Requires operand bits; chosen by
+    /// [`choose_algo_hub`] only.
+    BitmapProbe,
+    /// Word-parallel bitmap ∩/∖ bitmap, 32 words per wave. Requires bits
+    /// on both sides; chosen by [`choose_algo_hub`] only.
+    BitmapMerge,
 }
 
-/// Size-ratio thresholds for [`choose_algo`]. With `|A|` the input length
-/// and `|B|` the operand length: merge when `|B| ≤ merge_ratio·|A|`,
-/// gallop when `|B| ≥ gallop_ratio·|A|`, binary search between. `force`
-/// pins one algorithm for every slot (tests, ablations).
+/// Size-ratio thresholds for [`choose_algo`] / [`choose_algo_hub`]. With
+/// `|A|` the input length and `|B|` the operand length: merge when
+/// `|B| ≤ merge_ratio·|A|`, gallop when `|B| ≥ gallop_ratio·|A|`, binary
+/// search between; a hub operand row upgrades to a bitmap probe when
+/// `|B| ≥ bitmap_ratio·|A|`. `force` pins one algorithm for every slot
+/// (tests, ablations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SetOpTuning {
     pub merge_ratio: usize,
     pub gallop_ratio: usize,
+    /// Minimum `|B| / |A|` ratio for [`SetOpAlgo::BitmapProbe`] when the
+    /// operand has a hub-bitmap row (default 1: probe whenever the
+    /// operand is at least as long as the input).
+    pub bitmap_ratio: usize,
     pub force: Option<SetOpAlgo>,
 }
 
@@ -101,6 +150,7 @@ impl Default for SetOpTuning {
         SetOpTuning {
             merge_ratio: 4,
             gallop_ratio: 64,
+            bitmap_ratio: 1,
             force: None,
         }
     }
@@ -117,7 +167,25 @@ impl SetOpTuning {
 }
 
 /// Picks the membership algorithm for one slot from the input/operand
-/// size ratio (see [`SetOpTuning`]).
+/// size ratio. The exact crossovers, with `|A| = input_len` and
+/// `|B| = operand_len` (asserted verbatim by the table-driven test
+/// `choose_algo_crossovers_match_docs`):
+///
+/// * `force` set: that algorithm, unconditionally. Prefer
+///   [`choose_algo_hub`] for the bitmap variants — it degrades a forced
+///   bitmap choice to what the available rows actually support.
+/// * `|B| ≤ merge_ratio · |A|` → [`SetOpAlgo::Merge`]. The bound is
+///   **inclusive**: with the default `merge_ratio = 4`, `(100, 400)`
+///   merges and `(100, 401)` binary-searches.
+/// * `|B| ≥ gallop_ratio · |A|` → [`SetOpAlgo::Gallop`], also inclusive:
+///   with the default `gallop_ratio = 64`, `(100, 6399)` binary-searches
+///   and `(100, 6400)` gallops.
+/// * otherwise → [`SetOpAlgo::BinarySearch`].
+///
+/// Products saturate, so a ratio of `usize::MAX` disables its rule for
+/// any `|A| ≥ 1`. An empty input (`|A| = 0`) classifies as `Merge` when
+/// `|B| = 0` and `Gallop` otherwise — vacuous either way, since nothing
+/// streams.
 #[inline]
 pub fn choose_algo(input_len: usize, operand_len: usize, t: SetOpTuning) -> SetOpAlgo {
     if let Some(f) = t.force {
@@ -129,6 +197,52 @@ pub fn choose_algo(input_len: usize, operand_len: usize, t: SetOpTuning) -> SetO
         SetOpAlgo::Gallop
     } else {
         SetOpAlgo::BinarySearch
+    }
+}
+
+/// [`choose_algo`] extended with the hub-bitmap paths. `stride_words` is
+/// the bitmap row length in words; `has_input_bits` / `has_operand_bits`
+/// say which side of the op has a row available. Exact rules (asserted by
+/// `choose_algo_hub_crossovers_match_docs`):
+///
+/// * A forced bitmap algorithm degrades to what the rows support:
+///   [`SetOpAlgo::BitmapMerge`] needs both rows, falling back to
+///   [`SetOpAlgo::BitmapProbe`] with only an operand row and to the
+///   classic ladder (force cleared) with neither; a forced `BitmapProbe`
+///   needs an operand row. Forced classic algorithms pass through.
+/// * Both rows present and `stride_words ≤ |A| + |B|` → `BitmapMerge`:
+///   word-ANDing the rows touches no more words than the lists have
+///   elements.
+/// * Operand row present and `|B| ≥ bitmap_ratio · |A|` (inclusive,
+///   saturating) → `BitmapProbe`.
+/// * Otherwise → the classic [`choose_algo`] ladder.
+pub fn choose_algo_hub(
+    input_len: usize,
+    operand_len: usize,
+    stride_words: usize,
+    has_input_bits: bool,
+    has_operand_bits: bool,
+    t: SetOpTuning,
+) -> SetOpAlgo {
+    if let Some(f) = t.force {
+        return match f {
+            SetOpAlgo::BitmapMerge if has_input_bits && has_operand_bits => f,
+            SetOpAlgo::BitmapMerge | SetOpAlgo::BitmapProbe => {
+                if has_operand_bits {
+                    SetOpAlgo::BitmapProbe
+                } else {
+                    choose_algo(input_len, operand_len, SetOpTuning { force: None, ..t })
+                }
+            }
+            _ => f,
+        };
+    }
+    if has_input_bits && has_operand_bits && stride_words <= input_len + operand_len {
+        SetOpAlgo::BitmapMerge
+    } else if has_operand_bits && operand_len >= input_len.saturating_mul(t.bitmap_ratio) {
+        SetOpAlgo::BitmapProbe
+    } else {
+        choose_algo(input_len, operand_len, t)
     }
 }
 
@@ -229,7 +343,9 @@ pub fn apply_op(
 /// The algorithm choice is per slot and purely host-side: wave, scan,
 /// ballot, and survivor-rank accounting are identical across the three
 /// paths (the simulated probe costs one lane instruction either way), so
-/// simulator metrics are bit-identical regardless of tuning.
+/// simulator metrics are bit-identical regardless of tuning. Without
+/// bitmap rows this is exactly [`apply_op_hub_into`] with no rows
+/// attached, and it delegates there.
 #[allow(clippy::too_many_arguments)]
 pub fn apply_op_into<S: SetSink + ?Sized>(
     warp: &mut Warp,
@@ -241,15 +357,79 @@ pub fn apply_op_into<S: SetSink + ?Sized>(
     tuning: SetOpTuning,
     out: &mut S,
 ) {
+    const NO_BITS: Option<&[u64]> = None;
+    let none = [NO_BITS; WARP_SIZE];
+    apply_op_hub_into(
+        warp,
+        g,
+        inputs,
+        &none[..inputs.len()],
+        operands,
+        &none[..operands.len()],
+        kind,
+        mask,
+        tuning,
+        out,
+    )
+}
+
+/// [`apply_op_into`] with optional hub-bitmap rows per slot.
+///
+/// `input_bits[u]` / `operand_bits[u]`, when `Some`, must denote exactly
+/// the same vertex set as `inputs[u]` / `operands[u]` (the caller attaches
+/// rows from the graph's [`HubBitmapIndex`](stmatch_graph::HubBitmapIndex)
+/// only for lists that *are* hub neighborhoods). [`choose_algo_hub`] picks
+/// per slot; element-domain slots (everything but `BitmapMerge`) stream
+/// together with classic Fig. 8 accounting, and `BitmapMerge` slots stream
+/// their words as a separate combined word stream (scan + 32-word waves +
+/// ballot), mirroring the element stream one level up.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_op_hub_into<S: SetSink + ?Sized>(
+    warp: &mut Warp,
+    g: &Graph,
+    inputs: &[&[VertexId]],
+    input_bits: &[Option<&[u64]>],
+    operands: &[&[VertexId]],
+    operand_bits: &[Option<&[u64]>],
+    kind: OpKind,
+    mask: LabelMask,
+    tuning: SetOpTuning,
+    out: &mut S,
+) {
     debug_assert_eq!(inputs.len(), operands.len());
+    debug_assert_eq!(inputs.len(), input_bits.len());
+    debug_assert_eq!(inputs.len(), operand_bits.len());
     debug_assert!(inputs.len() <= WARP_SIZE);
+    const EMPTY: &[VertexId] = &[];
     let mut algo = [SetOpAlgo::BinarySearch; WARP_SIZE];
     let mut cursor = [0usize; WARP_SIZE];
+    // Element-domain slots, compacted so `stream_slots` sees exactly the
+    // wave structure the classic path would give these slots alone.
+    let mut elem_inputs = [EMPTY; WARP_SIZE];
+    let mut elem_map = [0usize; WARP_SIZE];
+    let mut n_elem = 0usize;
+    let mut any_merge = false;
     for (u, (inp, ops)) in inputs.iter().zip(operands).enumerate() {
         out.begin(u, inp.len());
-        algo[u] = choose_algo(inp.len(), ops.len(), tuning);
+        let stride = input_bits[u].map_or(usize::MAX, <[u64]>::len);
+        algo[u] = choose_algo_hub(
+            inp.len(),
+            ops.len(),
+            stride,
+            input_bits[u].is_some(),
+            operand_bits[u].is_some(),
+            tuning,
+        );
+        if algo[u] == SetOpAlgo::BitmapMerge {
+            any_merge = true;
+        } else {
+            elem_inputs[n_elem] = inp;
+            elem_map[n_elem] = u;
+            n_elem += 1;
+        }
     }
-    stream_slots(warp, inputs, |warp, slot, value| {
+    stream_slots(warp, &elem_inputs[..n_elem], |warp, ei, value| {
+        let slot = elem_map[ei];
         let ops = operands[slot];
         let found = if ops.is_empty() {
             // Empty operand: ∩ drops everything, − keeps everything.
@@ -269,6 +449,14 @@ pub fn apply_op_into<S: SetSink + ?Sized>(
                     *c = gallop_to(ops, *c, value);
                     *c < ops.len() && ops[*c] == value
                 }
+                SetOpAlgo::BitmapProbe => {
+                    warp.metrics_mut().bitmap_probe_words += 1;
+                    word_probe(
+                        operand_bits[slot].expect("probe requires operand bits"),
+                        value,
+                    )
+                }
+                SetOpAlgo::BitmapMerge => unreachable!("merge slots stream words, not elements"),
             }
         };
         let keep = match kind {
@@ -283,6 +471,178 @@ pub fn apply_op_into<S: SetSink + ?Sized>(
             out.push(slot, value);
         }
     });
+    if any_merge {
+        merge_bitmap_slots(warp, g, input_bits, operand_bits, &algo, kind, mask, out);
+    }
+}
+
+/// Streams the `BitmapMerge` slots of one combined op as a word stream:
+/// a prefix scan over word counts (when more than one merge slot), waves
+/// of 32 words with low-bit-contiguous active masks, one ballot per wave,
+/// survivors extracted in ascending order from each result word.
+#[allow(clippy::too_many_arguments)]
+fn merge_bitmap_slots<S: SetSink + ?Sized>(
+    warp: &mut Warp,
+    g: &Graph,
+    input_bits: &[Option<&[u64]>],
+    operand_bits: &[Option<&[u64]>],
+    algo: &[SetOpAlgo; WARP_SIZE],
+    kind: OpKind,
+    mask: LabelMask,
+    out: &mut S,
+) {
+    const NO_WORDS: &[u64] = &[];
+    let mut slot_of = [0usize; WARP_SIZE];
+    let mut a_rows = [NO_WORDS; WARP_SIZE];
+    let mut b_rows = [NO_WORDS; WARP_SIZE];
+    let mut n = 0usize;
+    let mut total = 0usize;
+    for u in 0..input_bits.len() {
+        if algo[u] == SetOpAlgo::BitmapMerge {
+            slot_of[n] = u;
+            a_rows[n] = input_bits[u].expect("BitmapMerge requires input bits");
+            b_rows[n] = operand_bits[u].expect("BitmapMerge requires operand bits");
+            debug_assert_eq!(a_rows[n].len(), b_rows[n].len());
+            total += a_rows[n].len();
+            n += 1;
+        }
+    }
+    if total == 0 {
+        return;
+    }
+    if n > 1 {
+        let mut sizes = [0u32; WARP_SIZE];
+        for (s, row) in a_rows.iter().enumerate().take(n) {
+            sizes[s] = row.len() as u32;
+        }
+        let _ = warp.exclusive_scan(&mut sizes);
+    }
+    let waves = total.div_ceil(WARP_SIZE);
+    let mut si = 0usize;
+    let mut w = 0usize;
+    for wave in 0..waves {
+        let in_wave = (total - wave * WARP_SIZE).min(WARP_SIZE);
+        let active = if in_wave == WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << in_wave) - 1
+        };
+        // One word AND (or ANDN) per lane.
+        warp.wave(active, |_| {});
+        for _ in 0..in_wave {
+            while w >= a_rows[si].len() {
+                si += 1;
+                w = 0;
+            }
+            let slot = slot_of[si];
+            let mut c = match kind {
+                OpKind::Intersect => a_rows[si][w] & b_rows[si][w],
+                OpKind::Difference => a_rows[si][w] & !b_rows[si][w],
+            };
+            out.put_word(slot, w, c);
+            while c != 0 {
+                let bit = c.trailing_zeros();
+                c &= c - 1;
+                let value = (w as VertexId) * 64 + bit;
+                if mask.is_all() || mask.allows(g.label(value)) {
+                    let _ = warp.rank_in_mask(0, 0);
+                    out.push(slot, value);
+                }
+            }
+            w += 1;
+        }
+        let _ = warp.ballot(active);
+        warp.metrics_mut().bitmap_merge_waves += 1;
+    }
+    warp.metrics_mut().bitmap_merge_words += total as u64;
+    if mask.is_all() {
+        for &slot in slot_of.iter().take(n) {
+            out.seal_bits(slot);
+        }
+    }
+}
+
+/// Fuses a whole op chain of one slot in the bitmap domain: the
+/// accumulator starts as `base_bits`, each non-final op word-ANDs (or
+/// AND-NOTs) an operand row into the ping/pong scratch, and the final op
+/// streams its result words once, extracting survivors ascending into
+/// `out` under `mask`. Used by the kernel when a slot's base vertex *and*
+/// every chain operand are hubs.
+///
+/// Accounting contract (DESIGN.md §4f): every op — including the final
+/// extraction — costs `ceil(stride/32)` word waves (one SIMT instruction
+/// plus one ballot each, `stride` active lanes total), and each survivor
+/// costs one `rank_in_mask` compaction, mirroring the element stream.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_chain_bits_into<S: SetSink + ?Sized>(
+    warp: &mut Warp,
+    g: &Graph,
+    slot: usize,
+    base_bits: &[u64],
+    ops: &[(OpKind, &[u64])],
+    mask: LabelMask,
+    ping: &mut [u64],
+    pong: &mut [u64],
+    out: &mut S,
+) {
+    assert!(!ops.is_empty(), "a fused chain needs at least one operand");
+    let stride = base_bits.len();
+    debug_assert!(ping.len() >= stride && pong.len() >= stride);
+    out.begin(slot, 0);
+    for (i, &(kind, b)) in ops.iter().enumerate() {
+        debug_assert_eq!(b.len(), stride);
+        let is_last = i + 1 == ops.len();
+        // Source row: the base for op 0, then whichever scratch buffer the
+        // previous op wrote (ping, pong, ping, … alternating). Source and
+        // destination are always distinct buffers.
+        let (src, mut dst): (&[u64], Option<&mut [u64]>) = if i == 0 {
+            (base_bits, (!is_last).then_some(&mut *ping))
+        } else if i % 2 == 1 {
+            (&*ping, (!is_last).then_some(&mut *pong))
+        } else {
+            (&*pong, (!is_last).then_some(&mut *ping))
+        };
+        let waves = stride.div_ceil(WARP_SIZE);
+        let mut w = 0usize;
+        for wave in 0..waves {
+            let in_wave = (stride - wave * WARP_SIZE).min(WARP_SIZE);
+            let active = if in_wave == WARP_SIZE {
+                u32::MAX
+            } else {
+                (1u32 << in_wave) - 1
+            };
+            warp.wave(active, |_| {});
+            for _ in 0..in_wave {
+                let c = match kind {
+                    OpKind::Intersect => src[w] & b[w],
+                    OpKind::Difference => src[w] & !b[w],
+                };
+                match &mut dst {
+                    Some(d) => d[w] = c,
+                    None => {
+                        out.put_word(slot, w, c);
+                        let mut c = c;
+                        while c != 0 {
+                            let bit = c.trailing_zeros();
+                            c &= c - 1;
+                            let value = (w as VertexId) * 64 + bit;
+                            if mask.is_all() || mask.allows(g.label(value)) {
+                                let _ = warp.rank_in_mask(0, 0);
+                                out.push(slot, value);
+                            }
+                        }
+                    }
+                }
+                w += 1;
+            }
+            let _ = warp.ballot(active);
+            warp.metrics_mut().bitmap_merge_waves += 1;
+        }
+        warp.metrics_mut().bitmap_merge_words += stride as u64;
+    }
+    if mask.is_all() {
+        out.seal_bits(slot);
+    }
 }
 
 /// Issues exactly the waves [`stream_slots`] would issue for `slots` —
@@ -564,17 +924,77 @@ mod tests {
     }
 
     #[test]
-    fn choose_algo_respects_thresholds() {
-        let t = SetOpTuning::default(); // merge ≤ 4×, gallop ≥ 64×
-        assert_eq!(choose_algo(100, 100, t), SetOpAlgo::Merge);
-        assert_eq!(choose_algo(100, 400, t), SetOpAlgo::Merge);
-        assert_eq!(choose_algo(100, 401, t), SetOpAlgo::BinarySearch);
-        assert_eq!(choose_algo(100, 6399, t), SetOpAlgo::BinarySearch);
-        assert_eq!(choose_algo(100, 6400, t), SetOpAlgo::Gallop);
-        assert_eq!(
-            choose_algo(1, 1_000_000, SetOpTuning::forced(SetOpAlgo::Merge)),
-            SetOpAlgo::Merge
-        );
+    fn choose_algo_crossovers_match_docs() {
+        // Table-driven mirror of the `choose_algo` rustdoc: every row is a
+        // crossover the docs promise. Tuning edits that move a boundary
+        // must update both places.
+        use SetOpAlgo::*;
+        let t = SetOpTuning::default(); // merge ≤ 4×, gallop ≥ 64×, both inclusive
+        const TABLE: &[(usize, usize, SetOpAlgo)] = &[
+            (100, 0, Merge),   // |B| = 0 ≤ 4·|A|
+            (100, 100, Merge), // equal sizes merge
+            (100, 399, Merge), // just under the merge bound
+            (100, 400, Merge), // inclusive upper merge crossover
+            (100, 401, BinarySearch),
+            (100, 6399, BinarySearch), // just under the gallop bound
+            (100, 6400, Gallop),       // inclusive lower gallop crossover
+            (100, 6401, Gallop),
+            (1, 4, Merge), // crossovers scale with |A|
+            (1, 5, BinarySearch),
+            (1, 64, Gallop),
+            (0, 0, Merge), // empty input: vacuous classifications
+            (0, 1, Gallop),
+        ];
+        for &(a, b, want) in TABLE {
+            assert_eq!(choose_algo(a, b, t), want, "choose_algo({a}, {b})");
+        }
+        // Saturating products disable a rule rather than wrapping.
+        let never_gallop = SetOpTuning {
+            gallop_ratio: usize::MAX,
+            ..t
+        };
+        assert_eq!(choose_algo(2, usize::MAX - 1, never_gallop), BinarySearch);
+        // Forces pass through verbatim.
+        assert_eq!(choose_algo(1, 1_000_000, SetOpTuning::forced(Merge)), Merge);
+    }
+
+    #[test]
+    fn choose_algo_hub_crossovers_match_docs() {
+        use SetOpAlgo::*;
+        let t = SetOpTuning::default(); // bitmap_ratio = 1
+                                        // (|A|, |B|, stride, in_bits, op_bits, expected)
+        const TABLE: &[(usize, usize, usize, bool, bool, SetOpAlgo)] = &[
+            // Both rows: merge iff stride ≤ |A| + |B| (inclusive).
+            (60, 60, 120, true, true, BitmapMerge),
+            (60, 60, 121, true, true, BitmapProbe), // stride too wide; probe still wins
+            // Operand row only: probe iff |B| ≥ bitmap_ratio·|A| (inclusive).
+            (50, 50, 10, false, true, BitmapProbe),
+            (50, 49, 10, false, true, Merge), // |B| < |A| falls to the classic ladder
+            // No rows: the classic ladder verbatim.
+            (100, 400, 10, false, false, Merge),
+            (100, 401, 10, false, false, BinarySearch),
+            (100, 6400, 10, false, false, Gallop),
+            // Input row alone never helps (the probe needs the operand).
+            (50, 49, 2, true, false, Merge),
+        ];
+        for &(a, b, s, ib, ob, want) in TABLE {
+            assert_eq!(
+                choose_algo_hub(a, b, s, ib, ob, t),
+                want,
+                "choose_algo_hub({a}, {b}, {s}, {ib}, {ob})"
+            );
+        }
+        // Forced bitmap choices degrade to what the rows support.
+        let fm = SetOpTuning::forced(BitmapMerge);
+        assert_eq!(choose_algo_hub(9, 9, 500, true, true, fm), BitmapMerge);
+        assert_eq!(choose_algo_hub(9, 9, 500, false, true, fm), BitmapProbe);
+        assert_eq!(choose_algo_hub(9, 9, 500, false, false, fm), Merge);
+        let fp = SetOpTuning::forced(BitmapProbe);
+        assert_eq!(choose_algo_hub(9, 9, 1, true, true, fp), BitmapProbe);
+        assert_eq!(choose_algo_hub(9, 900, 1, true, false, fp), Gallop);
+        // Forced classic algorithms ignore available rows.
+        let fg = SetOpTuning::forced(Gallop);
+        assert_eq!(choose_algo_hub(9, 9, 1, true, true, fg), Gallop);
     }
 
     #[test]
@@ -654,5 +1074,272 @@ mod tests {
         assert_eq!(gallop_to(&ops, 0, 14), 7);
         assert_eq!(gallop_to(&ops, 3, 8), 4);
         assert_eq!(gallop_to(&ops, 7, 99), 7);
+    }
+
+    /// Encodes a sorted vertex list as a `stride`-word bitmap row.
+    fn bits_of(vals: &[VertexId], stride: usize) -> Vec<u64> {
+        let mut bits = vec![0u64; stride];
+        for &v in vals {
+            bits[(v >> 6) as usize] |= 1u64 << (v & 63);
+        }
+        bits
+    }
+
+    #[test]
+    fn bitmap_probe_agrees_and_keeps_metrics_identical() {
+        // The probe is an element-stream algorithm: identical outputs AND
+        // an identical (simt, issued, active) tuple vs. binary search —
+        // only the host cost and the probe counter differ.
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = (0..200).step_by(3).collect();
+        let b: Vec<VertexId> = (0..200).step_by(2).collect();
+        let stride = 200usize.div_ceil(64);
+        let b_bits = bits_of(&b, stride);
+        for kind in [OpKind::Intersect, OpKind::Difference] {
+            let mut runs = Vec::new();
+            for probe in [false, true] {
+                let (a, b, b_bits, g) = (a.clone(), b.clone(), b_bits.clone(), g.clone());
+                let out = std::sync::Mutex::new(Vec::new());
+                let m = with_warp(|w| {
+                    let mut outs = vec![Vec::new()];
+                    let tuning = SetOpTuning::forced(if probe {
+                        SetOpAlgo::BitmapProbe
+                    } else {
+                        SetOpAlgo::BinarySearch
+                    });
+                    let op_bits = if probe { Some(b_bits.as_slice()) } else { None };
+                    apply_op_hub_into(
+                        w,
+                        &g,
+                        &[&a],
+                        &[None],
+                        &[&b],
+                        &[op_bits],
+                        kind,
+                        LabelMask::ALL,
+                        tuning,
+                        &mut outs[..],
+                    );
+                    *out.lock().unwrap() = outs.remove(0);
+                });
+                runs.push((out.into_inner().unwrap(), m));
+            }
+            let (ref_out, ref_m) = &runs[0];
+            let (probe_out, probe_m) = &runs[1];
+            assert_eq!(probe_out, ref_out, "{kind:?} probe output diverged");
+            assert_eq!(probe_m.simt_instructions, ref_m.simt_instructions);
+            assert_eq!(probe_m.issued_lane_slots, ref_m.issued_lane_slots);
+            assert_eq!(probe_m.active_lane_slots, ref_m.active_lane_slots);
+            assert_eq!(ref_m.bitmap_probe_words, 0);
+            assert_eq!(probe_m.bitmap_probe_words, a.len() as u64);
+            assert_eq!(probe_m.bitmap_merge_words, 0);
+        }
+    }
+
+    #[test]
+    fn bitmap_merge_agrees_with_classic() {
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = (0..150).step_by(3).collect();
+        let b: Vec<VertexId> = (0..150).step_by(2).collect();
+        let stride = 150usize.div_ceil(64);
+        let (a_bits, b_bits) = (bits_of(&a, stride), bits_of(&b, stride));
+        for kind in [OpKind::Intersect, OpKind::Difference] {
+            let (a, b) = (a.clone(), b.clone());
+            let (a_bits, b_bits, g) = (a_bits.clone(), b_bits.clone(), g.clone());
+            let m = with_warp(move |w| {
+                let mut classic = vec![Vec::new()];
+                apply_op(w, &g, &[&a], &[&b], kind, LabelMask::ALL, &mut classic);
+                let mut merged = [Vec::new()];
+                apply_op_hub_into(
+                    w,
+                    &g,
+                    &[&a],
+                    &[Some(a_bits.as_slice())],
+                    &[&b],
+                    &[Some(b_bits.as_slice())],
+                    kind,
+                    LabelMask::ALL,
+                    SetOpTuning::forced(SetOpAlgo::BitmapMerge),
+                    &mut merged[..],
+                );
+                assert_eq!(merged[0], classic[0], "{kind:?} merge diverged");
+                assert!(merged[0].windows(2).all(|p| p[0] < p[1]));
+            });
+            assert!(m.bitmap_merge_words > 0);
+        }
+    }
+
+    #[test]
+    fn bitmap_merge_wave_accounting_is_exact() {
+        // Two merge slots over a 130-vertex universe: stride 3 each, so
+        // the combined word stream is one scan (5 instr, 160 issued+active)
+        // plus one 6-word wave (1 instr, 32 issued, 6 active) plus one
+        // ballot (1 instr) — 7 SIMT instructions total.
+        let g = gen::complete(2);
+        let a: Vec<VertexId> = vec![1, 64, 129];
+        let b: Vec<VertexId> = vec![1, 65, 129];
+        let stride = 130usize.div_ceil(64);
+        let (a_bits, b_bits) = (bits_of(&a, stride), bits_of(&b, stride));
+        let m = with_warp(move |w| {
+            let mut outs = [Vec::new(), Vec::new()];
+            apply_op_hub_into(
+                w,
+                &g,
+                &[&a, &a],
+                &[Some(a_bits.as_slice()), Some(a_bits.as_slice())],
+                &[&b, &b],
+                &[Some(b_bits.as_slice()), Some(b_bits.as_slice())],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                SetOpTuning::forced(SetOpAlgo::BitmapMerge),
+                &mut outs[..],
+            );
+            assert_eq!(outs[0], vec![1, 129]);
+            assert_eq!(outs[1], vec![1, 129]);
+        });
+        assert_eq!(m.simt_instructions, 7);
+        assert_eq!(m.issued_lane_slots, 5 * 32 + 32);
+        assert_eq!(m.active_lane_slots, 5 * 32 + 6);
+        assert_eq!(m.bitmap_merge_words, 6);
+        assert_eq!(m.bitmap_merge_waves, 1);
+    }
+
+    #[test]
+    fn mixed_element_and_merge_slots_agree() {
+        // Slot 0 has rows on both sides (auto → BitmapMerge), slot 1 has
+        // none (classic); outputs must match per-slot classic results.
+        let g = gen::complete(2);
+        let a0: Vec<VertexId> = (0..120).step_by(2).collect();
+        let b0: Vec<VertexId> = (0..120).step_by(5).collect();
+        let a1: Vec<VertexId> = vec![3, 9, 27, 81];
+        let b1: Vec<VertexId> = vec![9, 81, 100];
+        let stride = 120usize.div_ceil(64);
+        let (a0_bits, b0_bits) = (bits_of(&a0, stride), bits_of(&b0, stride));
+        let _ = with_warp(move |w| {
+            let mut classic = vec![Vec::new(), Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&a0, &a1],
+                &[&b0, &b1],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut classic,
+            );
+            let mut hub = vec![Vec::new(), Vec::new()];
+            apply_op_hub_into(
+                w,
+                &g,
+                &[&a0, &a1],
+                &[Some(a0_bits.as_slice()), None],
+                &[&b0, &b1],
+                &[Some(b0_bits.as_slice()), None],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                SetOpTuning::default(),
+                &mut hub[..],
+            );
+            assert_eq!(hub, classic);
+        });
+    }
+
+    #[test]
+    fn bitmap_merge_honors_label_masks() {
+        let n = 80usize;
+        let labels: Vec<u32> = (0..n as u32).map(|v| v % 2).collect();
+        let g = gen::complete(n).relabeled(labels);
+        let a: Vec<VertexId> = (0..n as VertexId).collect();
+        let b: Vec<VertexId> = (0..n as VertexId).step_by(3).collect();
+        let stride = n.div_ceil(64);
+        let (a_bits, b_bits) = (bits_of(&a, stride), bits_of(&b, stride));
+        let _ = with_warp(move |w| {
+            let mut outs = [Vec::new()];
+            apply_op_hub_into(
+                w,
+                &g,
+                &[&a],
+                &[Some(a_bits.as_slice())],
+                &[&b],
+                &[Some(b_bits.as_slice())],
+                OpKind::Intersect,
+                LabelMask::single(1),
+                SetOpTuning::forced(SetOpAlgo::BitmapMerge),
+                &mut outs[..],
+            );
+            let want: Vec<VertexId> = b.iter().copied().filter(|&v| v % 2 == 1).collect();
+            assert_eq!(outs[0], want);
+        });
+    }
+
+    #[test]
+    fn chain_bits_matches_sequential_classic_ops() {
+        // base ∩ b1 ∖ b2 ∩ b3, fused in the bitmap domain, vs. the same
+        // chain run through the classic element path one op at a time.
+        let g = gen::complete(2);
+        let n = 200usize;
+        let base: Vec<VertexId> = (0..n as VertexId).step_by(2).collect();
+        let b1: Vec<VertexId> = (0..n as VertexId).step_by(3).collect();
+        let b2: Vec<VertexId> = (0..n as VertexId).step_by(5).collect();
+        let b3: Vec<VertexId> = (0..n as VertexId).step_by(4).collect();
+        let stride = n.div_ceil(64);
+        let rows: Vec<Vec<u64>> = [&base, &b1, &b2, &b3]
+            .iter()
+            .map(|s| bits_of(s, stride))
+            .collect();
+        let _ = with_warp(move |w| {
+            let mut t1 = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&base],
+                &[&b1],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut t1,
+            );
+            let mut t2 = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&t1[0]],
+                &[&b2],
+                OpKind::Difference,
+                LabelMask::ALL,
+                &mut t2,
+            );
+            let mut want = vec![Vec::new()];
+            apply_op(
+                w,
+                &g,
+                &[&t2[0]],
+                &[&b3],
+                OpKind::Intersect,
+                LabelMask::ALL,
+                &mut want,
+            );
+
+            let mut ping = vec![0u64; stride];
+            let mut pong = vec![0u64; stride];
+            let mut outs = [Vec::new()];
+            let before = w.metrics_mut().bitmap_merge_waves;
+            apply_chain_bits_into(
+                w,
+                &g,
+                0,
+                &rows[0],
+                &[
+                    (OpKind::Intersect, rows[1].as_slice()),
+                    (OpKind::Difference, rows[2].as_slice()),
+                    (OpKind::Intersect, rows[3].as_slice()),
+                ],
+                LabelMask::ALL,
+                &mut ping,
+                &mut pong,
+                &mut outs[..],
+            );
+            assert_eq!(outs[0], want[0]);
+            // 3 ops × ceil(4/32) = 3 word waves, 12 words.
+            assert_eq!(w.metrics_mut().bitmap_merge_waves - before, 3);
+        });
     }
 }

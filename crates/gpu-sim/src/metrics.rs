@@ -24,6 +24,14 @@ pub struct WarpMetrics {
     pub requeue_claims: u64,
     /// Matches emitted by this warp.
     pub matches_found: u64,
+    /// Hub-bitmap membership probes (one O(1) word test per streamed
+    /// element routed through `BitmapProbe`).
+    pub bitmap_probe_words: u64,
+    /// Bitmap words streamed by word-parallel merges (`BitmapMerge` and
+    /// fused bitmap chains): one per word AND/ANDN.
+    pub bitmap_merge_words: u64,
+    /// SIMT waves issued by word-parallel merges (32 words per wave).
+    pub bitmap_merge_waves: u64,
     /// Nanoseconds spent doing useful matching work.
     pub busy_nanos: u64,
     /// Nanoseconds spent idle (spinning for work).
@@ -52,6 +60,9 @@ impl WarpMetrics {
         self.global_steal_receives += other.global_steal_receives;
         self.requeue_claims += other.requeue_claims;
         self.matches_found += other.matches_found;
+        self.bitmap_probe_words += other.bitmap_probe_words;
+        self.bitmap_merge_words += other.bitmap_merge_words;
+        self.bitmap_merge_waves += other.bitmap_merge_waves;
         self.busy_nanos += other.busy_nanos;
         self.idle_nanos += other.idle_nanos;
     }
@@ -186,6 +197,25 @@ mod tests {
             ..Default::default()
         };
         assert!((g.busy_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_bitmap_counters() {
+        let mut a = WarpMetrics {
+            bitmap_probe_words: 3,
+            bitmap_merge_words: 10,
+            bitmap_merge_waves: 1,
+            ..WarpMetrics::default()
+        };
+        a.merge(&WarpMetrics {
+            bitmap_probe_words: 7,
+            bitmap_merge_words: 22,
+            bitmap_merge_waves: 2,
+            ..WarpMetrics::default()
+        });
+        assert_eq!(a.bitmap_probe_words, 10);
+        assert_eq!(a.bitmap_merge_words, 32);
+        assert_eq!(a.bitmap_merge_waves, 3);
     }
 
     #[test]

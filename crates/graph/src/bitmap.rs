@@ -1,0 +1,185 @@
+//! Hub-bitmap neighbor index: dense bitmap rows for high-degree vertices.
+//!
+//! GPU matchers that beat sorted-list intersection on dense graphs do it by
+//! re-encoding *hub* neighborhoods (vertices whose degree exceeds a
+//! threshold) as fixed-stride bitmaps over vertex ids, so membership is one
+//! word probe and hub∩hub intersection is a stream of word ANDs (gMatch's
+//! fine-grained set ops, GSI's vertex encoding). This module precomputes
+//! that index once per graph:
+//!
+//! * every vertex with `degree > threshold` becomes a **hub** and gets a
+//!   dense hub id via `hub_of` (a `vertex → hub id` remap, `NOT_HUB` for
+//!   the rest), so the row storage scales with the number of hubs, not the
+//!   number of vertices;
+//! * each hub's row is `stride = ceil(n / 64)` words; bit `u & 63` of word
+//!   `u >> 6` is set iff the hub is adjacent to vertex `u`. All rows share
+//!   one flat `Vec<u64>` (row `h` at `rows[h * stride ..][..stride]`).
+//!
+//! Under degree ordering hubs occupy the smallest vertex ids, so `hub_of`
+//! is a short dense prefix in practice. The index is derived data: it never
+//! affects match results, only which set-operation algorithm the host picks
+//! (see `stmatch-core`'s `setops` and DESIGN.md §4f).
+
+use crate::csr::{Graph, VertexId};
+
+/// `hub_of` marker for vertices below the degree threshold.
+const NOT_HUB: u32 = u32::MAX;
+
+/// Tests bit `v` of a fixed-stride bitmap row. O(1): one shift, one mask.
+#[inline]
+pub fn word_probe(bits: &[u64], v: VertexId) -> bool {
+    (bits[(v >> 6) as usize] >> (v & 63)) & 1 == 1
+}
+
+/// Precomputed bitmap rows for every hub vertex of one [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HubBitmapIndex {
+    /// Degree threshold used at build time: hubs satisfy
+    /// `degree > threshold` (strict).
+    threshold: usize,
+    /// Words per row: `ceil(num_vertices / 64)`.
+    stride: usize,
+    /// Vertex id → dense hub id, [`NOT_HUB`] for non-hubs.
+    hub_of: Vec<u32>,
+    /// Flat row storage: `num_hubs × stride` words.
+    rows: Vec<u64>,
+}
+
+impl HubBitmapIndex {
+    /// Builds the index for `g`, promoting every vertex with
+    /// `degree > threshold` to a hub.
+    pub fn build(g: &Graph, threshold: usize) -> HubBitmapIndex {
+        let n = g.num_vertices();
+        let stride = n.div_ceil(64);
+        let mut hub_of = vec![NOT_HUB; n];
+        let mut num_hubs = 0u32;
+        for v in g.vertices() {
+            if g.degree(v) > threshold {
+                hub_of[v as usize] = num_hubs;
+                num_hubs += 1;
+            }
+        }
+        let mut rows = vec![0u64; num_hubs as usize * stride];
+        for v in g.vertices() {
+            let h = hub_of[v as usize];
+            if h == NOT_HUB {
+                continue;
+            }
+            let row = &mut rows[h as usize * stride..][..stride];
+            for &u in g.neighbors(v) {
+                row[(u >> 6) as usize] |= 1u64 << (u & 63);
+            }
+        }
+        HubBitmapIndex {
+            threshold,
+            stride,
+            hub_of,
+            rows,
+        }
+    }
+
+    /// The build-time degree threshold (hubs are strictly above it).
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Words per bitmap row.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of hub vertices indexed.
+    #[inline]
+    pub fn num_hubs(&self) -> usize {
+        self.rows.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// True if `v` has a bitmap row.
+    #[inline]
+    pub fn is_hub(&self, v: VertexId) -> bool {
+        self.hub_of[v as usize] != NOT_HUB
+    }
+
+    /// The bitmap row of `v` (`stride` words), or `None` for non-hubs.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> Option<&[u64]> {
+        match self.hub_of[v as usize] {
+            NOT_HUB => None,
+            h => Some(&self.rows[h as usize * self.stride..][..self.stride]),
+        }
+    }
+
+    /// O(1) adjacency probe against `v`'s row; `None` if `v` is not a hub.
+    #[inline]
+    pub fn contains(&self, v: VertexId, u: VertexId) -> Option<bool> {
+        self.row(v).map(|bits| word_probe(bits, u))
+    }
+
+    /// In-memory footprint in bytes (remap + rows).
+    pub fn memory_bytes(&self) -> usize {
+        self.hub_of.len() * std::mem::size_of::<u32>()
+            + self.rows.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn rows_reproduce_neighbor_lists() {
+        let g = gen::preferential_attachment(150, 5, 3).degree_ordered();
+        let idx = HubBitmapIndex::build(&g, 8);
+        assert!(idx.num_hubs() > 0, "threshold 8 must yield hubs");
+        assert_eq!(idx.stride(), 150usize.div_ceil(64));
+        for v in g.vertices() {
+            match idx.row(v) {
+                Some(bits) => {
+                    assert!(g.degree(v) > 8);
+                    let decoded: Vec<VertexId> =
+                        g.vertices().filter(|&u| word_probe(bits, u)).collect();
+                    assert_eq!(decoded, g.neighbors(v), "row mismatch at hub {v}");
+                    let pop: u32 = bits.iter().map(|w| w.count_ones()).sum();
+                    assert_eq!(pop as usize, g.degree(v));
+                }
+                None => assert!(g.degree(v) <= 8),
+            }
+        }
+    }
+
+    #[test]
+    fn contains_matches_has_edge_for_hubs() {
+        let g = gen::preferential_attachment(90, 4, 9).degree_ordered();
+        let idx = HubBitmapIndex::build(&g, 6);
+        for v in g.vertices() {
+            for u in g.vertices() {
+                if let Some(hit) = idx.contains(v, u) {
+                    assert_eq!(hit, g.has_edge(v, u), "probe mismatch ({v},{u})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_is_strict_and_extremes_behave() {
+        let g = gen::complete(10);
+        // Every vertex has degree 9: threshold 9 (strict) indexes nothing,
+        // threshold 8 indexes everything.
+        assert_eq!(HubBitmapIndex::build(&g, 9).num_hubs(), 0);
+        let all = HubBitmapIndex::build(&g, 8);
+        assert_eq!(all.num_hubs(), 10);
+        assert!(g.vertices().all(|v| all.is_hub(v)));
+        assert!(all.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_graph_builds_empty_index() {
+        let g = crate::GraphBuilder::new(0).build();
+        let idx = HubBitmapIndex::build(&g, 0);
+        assert_eq!(idx.num_hubs(), 0);
+        assert_eq!(idx.stride(), 0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Immutable CSR graph with sorted adjacency lists and vertex labels.
 
+use crate::bitmap::HubBitmapIndex;
 use crate::Label;
 
 /// Vertex identifier. `u32` keeps the warp stacks compact (the paper stores
@@ -26,6 +27,9 @@ pub struct Graph {
     num_labels: u32,
     /// Human-readable name (dataset id), used by the bench harness.
     name: String,
+    /// Optional hub-bitmap neighbor index (see [`crate::bitmap`]); derived
+    /// data attached with [`Graph::with_hub_bitmap`], absent by default.
+    hub_bitmap: Option<HubBitmapIndex>,
 }
 
 impl Graph {
@@ -43,6 +47,7 @@ impl Graph {
             labels,
             num_labels,
             name,
+            hub_bitmap: None,
         }
     }
 
@@ -102,15 +107,41 @@ impl Graph {
         self.num_labels > 1
     }
 
-    /// Edge test via binary search on the (sorted) smaller adjacency list.
+    /// Edge test. With a hub-bitmap index attached, an endpoint that is a
+    /// hub answers with one O(1) word probe; otherwise (and always without
+    /// an index) this binary-searches the (sorted) smaller adjacency list.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if let Some(idx) = &self.hub_bitmap {
+            if let Some(hit) = idx.contains(u, v).or_else(|| idx.contains(v, u)) {
+                return hit;
+            }
+        }
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
         self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Attaches a freshly built hub-bitmap index (see [`crate::bitmap`])
+    /// covering every vertex with `degree > threshold`.
+    pub fn with_hub_bitmap(mut self, threshold: usize) -> Self {
+        self.hub_bitmap = Some(HubBitmapIndex::build(&self, threshold));
+        self
+    }
+
+    /// The attached hub-bitmap index, if any.
+    #[inline]
+    pub fn hub_bitmap(&self) -> Option<&HubBitmapIndex> {
+        self.hub_bitmap.as_ref()
+    }
+
+    /// The bitmap row of `v` when an index is attached and `v` is a hub.
+    #[inline]
+    pub fn hub_bits(&self, v: VertexId) -> Option<&[u64]> {
+        self.hub_bitmap.as_ref()?.row(v)
     }
 
     /// Iterator over all vertices.
@@ -141,12 +172,15 @@ impl Graph {
     /// Panics if `labels.len() != num_vertices()`.
     pub fn relabeled(&self, labels: Vec<Label>) -> Graph {
         assert_eq!(labels.len(), self.num_vertices(), "label count mismatch");
-        Graph::from_parts(
+        let mut g = Graph::from_parts(
             self.row_ptr.clone(),
             self.col_idx.clone(),
             labels,
             self.name.clone(),
-        )
+        );
+        // The hub index depends only on topology, which is unchanged.
+        g.hub_bitmap = self.hub_bitmap.clone();
+        g
     }
 
     /// Returns the same topology with all labels cleared to 0.
@@ -154,11 +188,13 @@ impl Graph {
         self.relabeled(vec![0; self.num_vertices()])
     }
 
-    /// Approximate in-memory footprint in bytes (CSR arrays + labels).
+    /// Approximate in-memory footprint in bytes (CSR arrays + labels +
+    /// hub-bitmap index when attached).
     pub fn memory_bytes(&self) -> usize {
         self.row_ptr.len() * std::mem::size_of::<usize>()
             + self.col_idx.len() * std::mem::size_of::<VertexId>()
             + self.labels.len() * std::mem::size_of::<Label>()
+            + self.hub_bitmap.as_ref().map_or(0, |b| b.memory_bytes())
     }
 
     /// Returns a new graph whose vertex ids are permuted so that vertices are
@@ -182,7 +218,13 @@ impl Graph {
         for (u, v) in self.edges() {
             builder.add_edge(rank[u as usize], rank[v as usize]);
         }
-        builder.build().with_name(self.name.clone())
+        let g = builder.build().with_name(self.name.clone());
+        // Vertex ids changed, so a carried index must be rebuilt (same
+        // threshold) rather than copied.
+        match &self.hub_bitmap {
+            Some(idx) => g.with_hub_bitmap(idx.threshold()),
+            None => g,
+        }
     }
 }
 
@@ -267,6 +309,45 @@ mod tests {
         let back = labeled.unlabeled();
         assert!(!back.is_labeled());
         assert_eq!(back.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn has_edge_agrees_with_csr_under_hub_bitmap() {
+        // Satellite: the O(1) hub probe must answer exactly like the
+        // binary-search path for every vertex pair of a PA graph.
+        let plain = crate::gen::preferential_attachment(130, 5, 17).degree_ordered();
+        let indexed = plain.clone().with_hub_bitmap(7);
+        assert!(
+            indexed.hub_bitmap().is_some_and(|b| b.num_hubs() > 0),
+            "fixture must contain hubs above degree 7"
+        );
+        for u in plain.vertices() {
+            for v in plain.vertices() {
+                assert_eq!(
+                    indexed.has_edge(u, v),
+                    plain.has_edge(u, v),
+                    "hub probe diverged from CSR at ({u},{v})"
+                );
+            }
+        }
+        assert!(indexed.memory_bytes() > plain.memory_bytes());
+    }
+
+    #[test]
+    fn hub_bitmap_survives_relabel_and_reorder() {
+        let g = crate::gen::preferential_attachment(80, 4, 5).with_hub_bitmap(6);
+        let labeled = g.relabeled(vec![1; 80]);
+        assert_eq!(
+            labeled.hub_bitmap(),
+            g.hub_bitmap(),
+            "relabeling keeps topology, so the index is copied verbatim"
+        );
+        let ordered = g.degree_ordered();
+        let idx = ordered.hub_bitmap().expect("reorder rebuilds the index");
+        assert_eq!(idx.threshold(), 6);
+        for v in ordered.vertices() {
+            assert_eq!(idx.is_hub(v), ordered.degree(v) > 6);
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   with sorted adjacency lists, the format the STMatch kernel expects for
 //!   its binary-search set operations.
 //! * [`GraphBuilder`] — incremental construction from edge lists.
+//! * [`bitmap`] — the optional hub-bitmap neighbor index: dense bitmap rows
+//!   for high-degree vertices, enabling O(1) adjacency probes and
+//!   word-parallel intersections in the matching engines.
 //! * [`gen`] — deterministic synthetic generators (Erdős–Rényi, RMAT
 //!   power-law, cliques, stars, …) used both by tests and by the dataset
 //!   stand-ins.
@@ -18,6 +21,7 @@
 //!   SNAP graphs (WikiVote, Enron, MiCo, Youtube, LiveJournal, Orkut,
 //!   Friendster).
 
+pub mod bitmap;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
@@ -25,6 +29,7 @@ pub mod gen;
 pub mod io;
 pub mod stats;
 
+pub use bitmap::HubBitmapIndex;
 pub use builder::GraphBuilder;
 pub use csr::{Graph, VertexId};
 pub use stats::GraphStats;

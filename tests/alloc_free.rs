@@ -40,10 +40,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_run_does_not_allocate() {
+/// Runs warmup + steady-state passes of `paper_query(6)` over a PA graph,
+/// returning `(steady_allocs, steady_matches, grid_total_matches,
+/// bitmap_probe_words + bitmap_merge_words)`. When `bitmap` is set, the
+/// graph carries a hub-bitmap index and the kernel routes through the
+/// bitmap set-op paths (including the arena's lent word scratch).
+fn steady_state_case(bitmap: bool) -> (u64, u64, u64, u64) {
     // Steal-free single-warp geometry: the claim loop is the whole kernel.
-    let cfg = EngineConfig {
+    let mut cfg = EngineConfig {
         grid: GridConfig {
             num_blocks: 1,
             warps_per_block: 1,
@@ -53,10 +57,17 @@ fn steady_state_run_does_not_allocate() {
         global_steal: false,
         ..EngineConfig::default()
     };
+    cfg.hub_bitmap.enabled = bitmap;
     cfg.validate();
 
-    let g = gen::preferential_attachment(120, 6, 11).degree_ordered();
+    let mut g = gen::preferential_attachment(120, 6, 11).degree_ordered();
+    if bitmap {
+        // Low threshold so plenty of vertices qualify as hubs and both the
+        // probe and merge/fused-chain paths actually run.
+        g = g.with_hub_bitmap(6);
+    }
     let n = g.num_vertices();
+    let hubs = g.hub_bitmap();
 
     // A pattern whose plan exercises multi-op chains and the unrolled deep
     // levels (so the ping/pong scratch and every arena set slot are live).
@@ -73,7 +84,7 @@ fn steady_state_run_does_not_allocate() {
     static STEADY_MATCHES: AtomicU64 = AtomicU64::new(0);
 
     let metrics = grid.launch(|warp| {
-        let mut kernel = WarpKernel::new(&g, &plan, &cfg, &board, warp.id(), None);
+        let mut kernel = WarpKernel::new(&g, &plan, &cfg, &board, warp.id(), None, hubs);
 
         // Warmup pass: sizes every reusable scratch buffer.
         kernel.install_chunk(0, n);
@@ -93,16 +104,42 @@ fn steady_state_run_does_not_allocate() {
         );
     });
 
-    let steady_matches = STEADY_MATCHES.load(Ordering::Relaxed);
-    assert!(steady_matches > 0, "steady-state pass found no matches");
-    assert_eq!(
-        steady_matches * 2,
-        metrics.matches(),
-        "both passes must count the same workload"
-    );
-    assert_eq!(
+    let total = metrics.total();
+    (
         STEADY_ALLOCS.load(Ordering::Relaxed),
-        0,
-        "steady-state run() allocated on the heap"
-    );
+        STEADY_MATCHES.load(Ordering::Relaxed),
+        metrics.matches(),
+        total.bitmap_probe_words + total.bitmap_merge_words,
+    )
+}
+
+#[test]
+fn steady_state_run_does_not_allocate() {
+    let mut classic_matches = 0;
+    for bitmap in [false, true] {
+        let (steady_allocs, steady_matches, grid_matches, bitmap_words) = steady_state_case(bitmap);
+        assert!(steady_matches > 0, "steady-state pass found no matches");
+        assert_eq!(
+            steady_matches * 2,
+            grid_matches,
+            "both passes must count the same workload (bitmap: {bitmap})"
+        );
+        assert_eq!(
+            steady_allocs, 0,
+            "steady-state run() allocated on the heap (bitmap: {bitmap})"
+        );
+        if bitmap {
+            assert_eq!(
+                steady_matches, classic_matches,
+                "bitmap routing changed match counts"
+            );
+            assert!(
+                bitmap_words > 0,
+                "bitmap-enabled run never took a bitmap path"
+            );
+        } else {
+            classic_matches = steady_matches;
+            assert_eq!(bitmap_words, 0, "bitmap counters moved while disabled");
+        }
+    }
 }

@@ -129,3 +129,61 @@ fn clique_counts_in_complete_graphs_are_binomial() {
         assert_eq!(got, want, "K{k} in K12");
     }
 }
+
+/// Hub-bitmap routing is count-invariant: the full unlabeled sweep with a
+/// low hub threshold (so bitmap probes, merges, and fused chains all fire)
+/// reproduces every golden number exactly.
+#[test]
+fn unlabeled_counts_survive_hub_bitmap_routing() {
+    let g = unlabeled_graph().with_hub_bitmap(6);
+    for &(qi, edge_induced, vertex_induced, _) in GOLDEN {
+        let q = catalog::paper_query(qi);
+        for (induced, want) in [(false, edge_induced), (true, vertex_induced)] {
+            let mut cfg = EngineConfig::default()
+                .with_grid(grid())
+                .with_hub_bitmap(true);
+            cfg.induced = induced;
+            let got = Engine::new(cfg).run(&g, &q).unwrap().count;
+            assert_eq!(got, want, "bitmap q{qi} induced={induced}");
+        }
+    }
+}
+
+/// Same invariance on the labeled fixture — bitmap rows are label-blind
+/// (masks filter at extraction), so labeled counts must not move either.
+#[test]
+fn labeled_counts_survive_hub_bitmap_routing() {
+    let g = labeled_graph().with_hub_bitmap(6);
+    for &(qi, _, _, want) in GOLDEN {
+        let q = catalog::paper_query(qi).with_random_labels(10, qi as u64);
+        let got = Engine::new(
+            EngineConfig::default()
+                .with_grid(grid())
+                .with_hub_bitmap(true),
+        )
+        .run(&g, &q)
+        .unwrap()
+        .count;
+        assert_eq!(got, want, "bitmap labeled q{qi}");
+    }
+}
+
+/// Bitmap routing with code motion disabled: candidate sets are recomputed
+/// at every level through multi-op chains, which is the heaviest consumer
+/// of the fused bitmap-chain path. Counts must still be exact, and the
+/// engine must build its own index (none attached) from the config
+/// threshold.
+#[test]
+fn counts_survive_hub_bitmap_without_code_motion() {
+    let g = unlabeled_graph(); // no attached index: engine builds at threshold
+    for &(qi, edge_induced, _, _) in &GOLDEN[..8] {
+        let q = catalog::paper_query(qi);
+        let mut cfg = EngineConfig::default()
+            .with_grid(grid())
+            .with_hub_bitmap(true);
+        cfg.code_motion = false;
+        cfg.hub_bitmap.hub_threshold = 6;
+        let got = Engine::new(cfg).run(&g, &q).unwrap().count;
+        assert_eq!(got, edge_induced, "bitmap no-motion q{qi}");
+    }
+}

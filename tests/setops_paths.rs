@@ -4,11 +4,18 @@
 //! the output of a scalar reference, with bit-identical simulator metrics,
 //! across slot counts and input/operand size ratios — including the
 //! empty-operand short-circuit and the arena sink's spill fallback.
+//!
+//! The hub-bitmap paths ride the same harness: `BitmapProbe` must match
+//! the classic paths' outputs *and* metric tuple (it is an element-stream
+//! algorithm), while `BitmapMerge` and the auto hub routing must match
+//! outputs (their wave structure differs by design — see DESIGN.md §4f).
+//! On failure the testkit harness shrinks the case and prints a seeded
+//! reproduce line.
 
 use std::sync::Mutex;
 
 use stmatch_core::arena::StackArena;
-use stmatch_core::setops::{apply_op_into, choose_algo, SetOpAlgo, SetOpTuning};
+use stmatch_core::setops::{apply_op_hub_into, apply_op_into, choose_algo, SetOpAlgo, SetOpTuning};
 use stmatch_gpusim::{Grid, GridConfig, Warp, WarpMetrics};
 use stmatch_graph::{gen, Graph, VertexId};
 use stmatch_pattern::{LabelMask, OpKind};
@@ -104,12 +111,66 @@ fn run_arena(
     out.into_inner().unwrap()
 }
 
+/// Packs a sorted set into hub-bitmap row words of the given stride.
+fn bits_of(vals: &[VertexId], stride: usize) -> Vec<u64> {
+    let mut words = vec![0u64; stride];
+    for &v in vals {
+        words[(v >> 6) as usize] |= 1u64 << (v & 63);
+    }
+    words
+}
+
+/// Runs one combined op through [`apply_op_hub_into`] with bitmap rows
+/// attached per `give_input_bits`/`give_operand_bits`, returning outputs
+/// and metrics. Values must stay below `stride * 64`.
+fn run_vec_hub(
+    g: &Graph,
+    slots: &[(Vec<VertexId>, Vec<VertexId>)],
+    kind: OpKind,
+    tuning: SetOpTuning,
+    stride: usize,
+    give_input_bits: bool,
+    give_operand_bits: bool,
+) -> (Vec<Vec<VertexId>>, WarpMetrics) {
+    let a_bits: Vec<Vec<u64>> = slots.iter().map(|(a, _)| bits_of(a, stride)).collect();
+    let b_bits: Vec<Vec<u64>> = slots.iter().map(|(_, b)| bits_of(b, stride)).collect();
+    let out = Mutex::new(Vec::new());
+    let m = with_warp(|w| {
+        let inputs: Vec<&[VertexId]> = slots.iter().map(|(a, _)| a.as_slice()).collect();
+        let operands: Vec<&[VertexId]> = slots.iter().map(|(_, b)| b.as_slice()).collect();
+        let input_bits: Vec<Option<&[u64]>> = a_bits
+            .iter()
+            .map(|b| give_input_bits.then_some(b.as_slice()))
+            .collect();
+        let operand_bits: Vec<Option<&[u64]>> = b_bits
+            .iter()
+            .map(|b| give_operand_bits.then_some(b.as_slice()))
+            .collect();
+        let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); slots.len()];
+        apply_op_hub_into(
+            w,
+            g,
+            &inputs,
+            &input_bits,
+            &operands,
+            &operand_bits,
+            kind,
+            LabelMask::ALL,
+            tuning,
+            &mut outs[..],
+        );
+        *out.lock().unwrap() = outs;
+    });
+    (out.into_inner().unwrap(), m)
+}
+
 const TUNINGS: [(&str, SetOpTuning); 4] = [
     (
         "auto",
         SetOpTuning {
             merge_ratio: 4,
             gallop_ratio: 64,
+            bitmap_ratio: 1,
             force: None,
         },
     ),
@@ -118,6 +179,7 @@ const TUNINGS: [(&str, SetOpTuning); 4] = [
         SetOpTuning {
             merge_ratio: 4,
             gallop_ratio: 64,
+            bitmap_ratio: 1,
             force: Some(SetOpAlgo::BinarySearch),
         },
     ),
@@ -126,6 +188,7 @@ const TUNINGS: [(&str, SetOpTuning); 4] = [
         SetOpTuning {
             merge_ratio: 4,
             gallop_ratio: 64,
+            bitmap_ratio: 1,
             force: Some(SetOpAlgo::Merge),
         },
     ),
@@ -134,6 +197,7 @@ const TUNINGS: [(&str, SetOpTuning); 4] = [
         SetOpTuning {
             merge_ratio: 4,
             gallop_ratio: 64,
+            bitmap_ratio: 1,
             force: Some(SetOpAlgo::Gallop),
         },
     ),
@@ -208,6 +272,49 @@ fn all_paths_match_scalar_reference() {
                         "{kind:?} metrics diverge across algorithms: {metrics:?}"
                     ));
                 }
+                // Hub-bitmap legs. Values are < 2000, so stride 32 words
+                // (universe 2048) covers every generated set.
+                let stride = 32;
+                for (name, force, give_input_bits) in [
+                    // Probe is an element-stream algorithm: outputs *and*
+                    // the metric tuple must match the classic paths.
+                    ("bitmap-probe", Some(SetOpAlgo::BitmapProbe), false),
+                    // Merge deliberately restructures waves (word wavefronts
+                    // instead of element waves): outputs only.
+                    ("bitmap-merge", Some(SetOpAlgo::BitmapMerge), true),
+                    // Auto routing with rows on both sides picks merge or
+                    // probe per slot; outputs must still agree.
+                    ("bitmap-auto", None, true),
+                ] {
+                    let tuning = SetOpTuning {
+                        merge_ratio: 4,
+                        gallop_ratio: 64,
+                        bitmap_ratio: 1,
+                        force,
+                    };
+                    let (outs, m) =
+                        run_vec_hub(&g, &slots, kind, tuning, stride, give_input_bits, true);
+                    for (u, (a, b)) in slots.iter().enumerate() {
+                        let want = reference(a, b, kind);
+                        if outs[u] != want {
+                            return Err(format!(
+                                "{name} {kind:?} slot {u}: got {:?}, want {want:?}",
+                                outs[u]
+                            ));
+                        }
+                    }
+                    let tuple = (
+                        m.simt_instructions,
+                        m.issued_lane_slots,
+                        m.active_lane_slots,
+                    );
+                    if name == "bitmap-probe" && tuple != metrics[0] {
+                        return Err(format!(
+                            "{name} {kind:?} metrics {tuple:?} != classic {:?}",
+                            metrics[0]
+                        ));
+                    }
+                }
             }
             Ok(())
         },
@@ -227,6 +334,7 @@ fn threshold_extremes_route_every_algorithm() {
             SetOpTuning {
                 merge_ratio: 0,
                 gallop_ratio: 1,
+                bitmap_ratio: 1,
                 force: None,
             },
             SetOpAlgo::Gallop,
@@ -236,6 +344,7 @@ fn threshold_extremes_route_every_algorithm() {
             SetOpTuning {
                 merge_ratio: usize::MAX,
                 gallop_ratio: usize::MAX,
+                bitmap_ratio: 1,
                 force: None,
             },
             SetOpAlgo::Merge,
@@ -245,6 +354,7 @@ fn threshold_extremes_route_every_algorithm() {
             SetOpTuning {
                 merge_ratio: 0,
                 gallop_ratio: usize::MAX,
+                bitmap_ratio: 1,
                 force: None,
             },
             SetOpAlgo::BinarySearch,

@@ -108,6 +108,38 @@ fn clean_queries_produce_no_diagnostics() {
     );
 }
 
+/// All checkers with hub-bitmap routing enabled: the bitmap probe, the
+/// word-wave merge, and the fused chain paths issue their own `wave` /
+/// `ballot` sequences, so they must satisfy the divergence lint's ballot
+/// ⊆ active contract and perturb no counts. Runs both with and without
+/// code motion (the fused chains mostly live in the no-motion recompute).
+#[test]
+fn hub_bitmap_paths_produce_no_diagnostics() {
+    let _g = serial();
+    const GOLDEN: &[(usize, u64)] = &[(1, 119531), (6, 2884), (8, 4)];
+    simt_check::enable(CheckConfig::all());
+    let g = fixture().with_hub_bitmap(6);
+    for motion in [true, false] {
+        let mut cfg = EngineConfig::full().with_grid(grid()).with_hub_bitmap(true);
+        cfg.code_motion = motion;
+        for &(qi, want) in GOLDEN {
+            let got = Engine::new(cfg)
+                .run(&g, &catalog::paper_query(qi))
+                .expect("launch")
+                .count;
+            assert_eq!(got, want, "q{qi} drifted under bitmap + motion={motion}");
+        }
+    }
+    let diags = simt_check::drain();
+    simt_check::disable();
+    let errs = errors(&diags);
+    assert!(
+        errs.is_empty(),
+        "false positives on hub-bitmap paths:\n{}",
+        errs.join("\n")
+    );
+}
+
 /// All checkers over the fault-injection scenarios: contained panics,
 /// stalls, and poisoned publishes are *correct* executions (the
 /// containment protocol orders every recovery path), so the checkers must
