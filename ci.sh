@@ -48,12 +48,12 @@ run "smoke:faults" cargo run --release --offline -p stmatch-bench --bin faults_c
 
 # Concurrency-analysis gate: q1/q6 clean + seeded-fault runs with every
 # simt-check checker enabled must stay free of error diagnostics (zero
-# false positives), and the two seeded mutations must be CAUGHT — the bin
+# false positives), and the three seeded mutations must be CAUGHT — the bin
 # exits 1 on findings, so the mutation legs invert its exit code and then
 # grep for the expected diagnostic (a timeout kill must not pass as a
 # catch).
 run "smoke:check" cargo run --release --offline -p stmatch-bench --bin simt_check
-for mut in lock-drop:"data race" lock-invert:"cycle"; do
+for mut in lock-drop:"data race" lock-invert:"cycle" cache-drop:"data race"; do
     name=${mut%%:*}; expect=${mut#*:}
     echo "==> smoke:check(mutate=${name}): expecting a caught mutation"
     log=$(mktemp)
@@ -72,5 +72,11 @@ for mut in lock-drop:"data race" lock-invert:"cycle"; do
     rm -f "${log}"
     echo "==> smoke:check(mutate=${name}): OK"
 done
+
+# Resident-service gate: cold/cache-hit submissions must reproduce the
+# golden counts, a naive-schedule cache hit must be metric-exact against
+# the cold engine, and injected deaths / expired deadlines must fail
+# per-query while the shared pool keeps serving exact counts.
+run "smoke:service" cargo run --release --offline -p stmatch-bench --bin service_check
 
 echo "ci.sh: all phases passed"

@@ -7,10 +7,12 @@
 //! zero-false-positive contract, enforced on every CI run.
 //!
 //! `--mutate=lock-drop` / `--mutate=lock-invert` replay the seeded
-//! concurrency bugs of `stmatch_core::steal::mutation` and exit **1 when
-//! the checker catches the bug** (printing the diagnostics and their
-//! reproduce lines) and 0 if the mutation escaped. CI inverts the exit
-//! code: a silent checker fails the build.
+//! concurrency bugs of `stmatch_core::steal::mutation`, and
+//! `--mutate=cache-drop` replays `stmatch_core::service::mutation`'s
+//! untracked plan-cache insert; each exits **1 when the checker catches
+//! the bug** (printing the diagnostics and their reproduce lines) and 0
+//! if the mutation escaped. CI inverts the exit code: a silent checker
+//! fails the build.
 //!
 //! `SIMT_CHECK=races,deadlock,divergence` (also `all` / `none`) selects
 //! which checkers run; the reproduce line printed with every diagnostic
@@ -39,11 +41,11 @@ fn main() {
     let mut mutate: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.strip_prefix("--mutate=") {
-            Some(m @ ("lock-drop" | "lock-invert")) => mutate = Some(m.to_string()),
+            Some(m @ ("lock-drop" | "lock-invert" | "cache-drop")) => mutate = Some(m.to_string()),
             _ => {
                 eprintln!(
-                    "simt_check: unknown argument {arg:?} \
-                     (usage: simt_check [--mutate=lock-drop|--mutate=lock-invert])"
+                    "simt_check: unknown argument {arg:?} (usage: simt_check \
+                     [--mutate=lock-drop|--mutate=lock-invert|--mutate=cache-drop])"
                 );
                 std::process::exit(2);
             }
@@ -161,6 +163,29 @@ fn run_mutation(which: &str, cfg: CheckConfig) {
             assert!(board.try_claim_global(1).is_some());
             board.mark_idle(1);
             let _ = mutation::push_global_inverted(&board, 0);
+        }
+        "cache-drop" => {
+            // A blocking submit makes a service worker write the plan
+            // cache under the tracked lock; the untracked insert that
+            // follows has no happens-before edge to it (the mpsc reply is
+            // invisible to the checker) — a data race on plan-cache[id].
+            let svc = stmatch_core::MatchService::new(
+                std::sync::Arc::new(gen::preferential_attachment(48, 4, 3).degree_ordered()),
+                stmatch_core::ServiceConfig::new(EngineConfig::full().with_grid(GridConfig {
+                    num_blocks: 2,
+                    warps_per_block: 4,
+                    shared_mem_per_block: SharedBudget::RTX3090_BYTES,
+                }))
+                .with_workers(1),
+            );
+            let out = svc
+                .submit(&catalog::paper_query(8), Default::default())
+                .expect("seeding query");
+            assert_eq!(out.count, 4, "seeding query must stay at golden");
+            stmatch_core::service::mutation::cache_insert_without_lock(
+                &svc,
+                &catalog::paper_query(7),
+            );
         }
         _ => unreachable!("argument parser bounds the mutation names"),
     }

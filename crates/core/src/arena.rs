@@ -110,6 +110,37 @@ impl StackArena {
         }
     }
 
+    /// Re-shapes a recycled arena for a new kernel's geometry, reusing the
+    /// existing heap blocks wherever they are large enough (a pool of
+    /// resident-service arenas cycles through queries of many shapes;
+    /// `clear` + `resize` only reallocates when the new geometry is
+    /// strictly larger than anything the arena has served before). The
+    /// arena's `check_id` is deliberately kept: for the race checker the
+    /// recycled arena *is* the same object, and the pool's tracked
+    /// checkout/give-back lock provides the happens-before edge between
+    /// its successive owners. Spill-event and set-bits state reset to the
+    /// post-construction state so a recycled kernel's metrics are
+    /// indistinguishable from a cold one's.
+    pub fn reset(&mut self, num_sets: usize, unroll: usize, cap: usize) {
+        let slots = num_sets.max(1) * unroll;
+        self.data.clear();
+        self.data.resize(slots * cap, 0);
+        self.len.clear();
+        self.len.resize(slots, 0);
+        self.spill.truncate(slots);
+        for s in &mut self.spill {
+            s.clear();
+        }
+        self.spill.resize_with(slots, Vec::new);
+        self.cap = cap;
+        self.unroll = unroll;
+        self.events = 0;
+        self.words.clear();
+        self.words_stride = 0;
+        self.words_valid.clear();
+        self.words_valid.resize(slots, false);
+    }
+
     /// Sizes the per-slot result bitmap storage for rows of `stride` u64
     /// words. Called once at kernel construction when hub-bitmap routing
     /// is on; like [`StackArena::new`] this is a construction-time
@@ -478,6 +509,35 @@ mod tests {
             fill(&mut w, 0, &[3]);
         }
         assert_eq!(a.set_bits(0, 0), None);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut a = StackArena::new(2, 2, 3);
+        a.enable_set_bits(2);
+        {
+            let (_, mut w) = a.split_for_write(1, 2);
+            fill(&mut w, 0, &[1, 2, 3, 4, 5]); // force a spill
+            w.put_word(0, 0, 7);
+            w.seal_bits(0);
+        }
+        assert_eq!(a.spill_events(), 1);
+        let id_before = a.check_id;
+        a.reset(3, 1, 4);
+        assert_eq!(a.check_id, id_before, "identity survives recycling");
+        assert_eq!(a.spill_events(), 0);
+        assert_eq!(a.set_bits(0, 0), None, "set-bits storage back off");
+        for set in 0..3 {
+            assert_eq!(a.slot(set, 0), &[] as &[VertexId]);
+            assert!(!a.spilled(set, 0));
+        }
+        // The recycled arena serves the new geometry exactly like a fresh
+        // one would.
+        {
+            let (_, mut w) = a.split_for_write(2, 1);
+            fill(&mut w, 0, &[4, 8]);
+        }
+        assert_eq!(a.slot(2, 0), &[4, 8]);
     }
 
     #[test]

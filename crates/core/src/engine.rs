@@ -24,6 +24,7 @@
 use crate::config::EngineConfig;
 use crate::fault::{FaultPlan, FaultReport, WarpDeath};
 use crate::kernel::WarpKernel;
+use crate::pool::{ArenaPool, WarmSlot};
 use crate::recover::{self, DowngradeStep};
 use crate::steal::{Board, StealPayload};
 use std::cell::Cell;
@@ -205,7 +206,7 @@ impl Engine {
         plan: &MatchPlan,
     ) -> Result<Enumeration, LaunchError> {
         let collector = Mutex::new(Vec::new());
-        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector))?;
+        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector), None)?;
         // Warps emit flat k-strided records; chunk them into per-embedding
         // vectors here, off the hot path.
         let k = plan.num_levels();
@@ -228,6 +229,21 @@ impl Engine {
         self.run_partition(graph, plan, 0, 1)
     }
 
+    /// [`Engine::run_plan`] on a [`WarmSlot`]'s parked resources: the
+    /// launch reuses the slot's warp threads and recycled stack arenas
+    /// instead of spawning/allocating per query. Counts, metrics, and
+    /// fault semantics are identical to the cold path — if a degradation
+    /// rung changes the grid geometry away from the slot's, that attempt
+    /// silently falls back to a cold grid.
+    pub fn run_plan_warm(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        warm: &WarmSlot,
+    ) -> Result<MatchOutcome, LaunchError> {
+        self.run_inner(graph, plan, 0, 1, None, Some(warm))
+    }
+
     /// Matches only the level-0 vertices `v` with `v % devices == device` —
     /// the outermost-loop partitioning used for multi-GPU execution
     /// (§VIII-B: "duplicating the input graph and dividing the outermost
@@ -239,7 +255,7 @@ impl Engine {
         device: usize,
         devices: usize,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, device, devices, None)
+        self.run_inner(graph, plan, device, devices, None, None)
     }
 
     /// Degradation-ladder driver: attempts the launch at the configured
@@ -253,6 +269,7 @@ impl Engine {
         device: usize,
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
+        warm: Option<&WarmSlot>,
     ) -> Result<MatchOutcome, LaunchError> {
         assert!(devices >= 1 && device < devices);
         self.cfg.validate();
@@ -271,7 +288,7 @@ impl Engine {
         loop {
             // Planning failures happen before any warp runs, so retrying
             // here can never double-count (and never touches `collector`).
-            match self.attempt(&cfg, graph, plan, hubs, device, devices, collector) {
+            match self.attempt(&cfg, graph, plan, hubs, device, devices, collector, warm) {
                 Ok(mut outcome) => {
                     outcome.downgrades = downgrades;
                     return Ok(outcome);
@@ -305,8 +322,12 @@ impl Engine {
         device: usize,
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
+        warm: Option<&WarmSlot>,
     ) -> Result<MatchOutcome, LaunchError> {
         let grid = Grid::new(cfg.grid)?;
+        // A warm slot only serves launches at its exact geometry; after a
+        // geometry-changing downgrade this attempt runs cold instead.
+        let warm = warm.filter(|w| w.grid_config() == cfg.grid);
         let k = plan.num_levels();
         let stop = cfg.effective_stop(k);
 
@@ -328,7 +349,7 @@ impl Engine {
         let stack_bytes = plan.num_sets() * cfg.unroll * cfg.max_degree_slab * 4 * num_warps;
         self.memory.try_alloc(stack_bytes)?;
         let stats = self.launch(
-            cfg, graph, plan, hubs, &grid, stop, device, devices, collector,
+            cfg, graph, plan, hubs, &grid, stop, device, devices, collector, warm,
         );
         self.memory.free(stack_bytes);
         Ok(MatchOutcome {
@@ -360,6 +381,7 @@ impl Engine {
         device: usize,
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
+        warm: Option<&WarmSlot>,
     ) -> LaunchStats {
         let n = graph.num_vertices();
         // Device partitioning is *strided*: device d owns the vertices
@@ -408,12 +430,17 @@ impl Engine {
                 board.set_deadline(d);
             }
             let deaths: Mutex<Vec<WarpDeath>> = Mutex::new(Vec::new());
-            let (pass_metrics, escaped) = grid.launch_contained(|warp| {
+            let arenas = warm.map(WarmSlot::arenas);
+            let body = |warp: &mut stmatch_gpusim::Warp| {
                 self.warp_body(
                     cfg, graph, plan, hubs, &board, faults, device, devices, collector, &deaths,
-                    warp,
+                    arenas, warp,
                 );
-            });
+            };
+            let (pass_metrics, escaped) = match warm {
+                Some(w) => w.grid().launch_contained(&body),
+                None => grid.launch_contained(body),
+            };
             metrics.merge(&pass_metrics);
             report.escaped_panics += escaped.len();
             for d in deaths.into_inner().unwrap_or_else(PoisonError::into_inner) {
@@ -468,6 +495,7 @@ impl Engine {
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
         deaths: &Mutex<Vec<WarpDeath>>,
+        arenas: Option<&ArenaPool>,
         warp: &mut stmatch_gpusim::Warp,
     ) {
         let me = warp.id();
@@ -477,7 +505,10 @@ impl Engine {
         let busy = Cell::new(true);
         let mut kernel: Option<WarpKernel> = None;
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            let mut k = WarpKernel::new(graph, plan, cfg, board, me, faults, hubs);
+            // Warm path: recycle a parked arena (reset, not reallocated)
+            // instead of building fresh slabs for this query.
+            let recycled = arenas.and_then(ArenaPool::checkout);
+            let mut k = WarpKernel::with_arena(graph, plan, cfg, board, me, faults, hubs, recycled);
             k.set_device_partition(device, devices);
             if collector.is_some() {
                 k.enable_enumeration();
@@ -609,6 +640,15 @@ impl Engine {
         }
         if let Some(k) = kernel.as_mut() {
             board.add_spills(k.spill_events());
+            if let Some(p) = arenas {
+                // Return the arena for the next query on this slot — after
+                // the board bookkeeping above, before the collector leaf
+                // lock below (both respect the declared hierarchy: the
+                // pool lock ranks below every engine lock and is never
+                // held across one). Dead warps return theirs too: the
+                // reset at the next checkout makes torn state irrelevant.
+                p.give_back(k.take_arena());
+            }
             if let Some(c) = collector {
                 // Poison recovery as in steal.rs (tracked_lock applies it):
                 // embeddings are appended atomically per warp, so a

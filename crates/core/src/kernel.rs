@@ -133,6 +133,25 @@ impl<'a> WarpKernel<'a> {
         faults: Option<&'a FaultPlan>,
         hubs: Option<&'a HubBitmapIndex>,
     ) -> Self {
+        Self::with_arena(g, plan, cfg, board, warp_id, faults, hubs, None)
+    }
+
+    /// [`WarpKernel::new`] with an optional recycled [`StackArena`] (from a
+    /// resident service's pool). A recycled arena is reset to this kernel's
+    /// geometry before use, reusing its heap blocks — the warm-pool path
+    /// that amortizes the per-warp slab allocation across queries. `None`
+    /// allocates fresh, exactly as before.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_arena(
+        g: &'a Graph,
+        plan: &'a MatchPlan,
+        cfg: &'a EngineConfig,
+        board: &'a Board,
+        warp_id: usize,
+        faults: Option<&'a FaultPlan>,
+        hubs: Option<&'a HubBitmapIndex>,
+        recycle: Option<StackArena>,
+    ) -> Self {
         let k = plan.num_levels();
         let unroll = cfg.unroll;
         // Tight slab capacity: every candidate list descends from some
@@ -141,7 +160,13 @@ impl<'a> WarpKernel<'a> {
         // fixed `max_degree_slab` per slot (see `run_inner`); allocating
         // tighter just packs the slabs densely for the cache.
         let cap = cfg.max_degree_slab.min(g.max_degree().max(1));
-        let mut storage = StackArena::new(plan.num_sets(), unroll, cap);
+        let mut storage = match recycle {
+            Some(mut arena) => {
+                arena.reset(plan.num_sets(), unroll, cap);
+                arena
+            }
+            None => StackArena::new(plan.num_sets(), unroll, cap),
+        };
         if let Some(hx) = hubs {
             // Result-row storage so bitmap-domain results cascade to
             // dependent sets; sized here (construction) to keep the claim
@@ -251,6 +276,13 @@ impl<'a> WarpKernel<'a> {
     /// Candidate-list spill events (slab overflows) observed so far.
     pub fn spill_events(&self) -> u64 {
         self.storage.spill_events()
+    }
+
+    /// Surrenders the kernel's arena for recycling (warm-pool path),
+    /// leaving a zero-capacity placeholder behind. Call only when the
+    /// kernel is done running.
+    pub fn take_arena(&mut self) -> StackArena {
+        std::mem::replace(&mut self.storage, StackArena::new(0, 1, 0))
     }
 
     /// Death reclaim: rolls the open transaction back (uncommitted tally

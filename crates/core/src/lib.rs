@@ -45,7 +45,9 @@ pub mod engine;
 pub mod fault;
 pub mod kernel;
 pub mod multi;
+pub mod pool;
 pub mod recover;
+pub mod service;
 pub mod setops;
 pub mod steal;
 
@@ -53,5 +55,7 @@ pub use config::{EngineConfig, HubBitmapTuning};
 pub use engine::{Engine, Enumeration, MatchOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
 pub use multi::{run_multi_device, MultiDeviceOutcome};
+pub use pool::{ArenaPool, WarmSlot};
 pub use recover::{DowngradeStep, RecoveryPolicy};
+pub use service::{CacheStats, MatchService, QueryOptions, ServiceConfig, ServiceError, Ticket};
 pub use stmatch_gpusim::LaunchError;

@@ -1,0 +1,575 @@
+//! The resident match service: one shared graph, a canonical plan cache,
+//! and batched admission onto warm execution slots.
+//!
+//! [`Engine::run`] is the one-shot API: it compiles the pattern, builds a
+//! grid (spawning one OS thread per simulated warp), allocates the stack
+//! slabs, runs, and tears everything down. A workload that answers many
+//! pattern queries against the *same* graph repays none of that setup.
+//! [`MatchService`] keeps the expensive state resident (DESIGN.md §4g):
+//!
+//! * **Shared graph** — the service holds an immutable `Arc<Graph>`; the
+//!   hub-bitmap index is built lazily exactly once via
+//!   [`Graph::ensure_hub_bitmap`] and shared by every query thereafter.
+//! * **Canonical plan cache** — compiled [`MatchPlan`]s are cached keyed
+//!   by [`iso::canonical_form`], so relabeled/isomorphic submissions hit
+//!   the same entry (counts are isomorphism-invariant). Compilation runs
+//!   *outside* the cache lock; racing compiles of the same form collapse
+//!   to one entry through the entry API.
+//! * **Batched admission** — clients [`submit`](MatchService::submit)
+//!   from any number of threads; worker threads drain the admission
+//!   queue in batches and serve each batch back-to-back on a warm slot
+//!   ([`WarmSlot`]: parked warp threads + recycled stack arenas).
+//! * **Fault isolation** — each query runs under its own containment:
+//!   injected warp deaths, launch failures, expired deadlines, and even
+//!   escaped panics produce a per-query [`ServiceError`] without
+//!   poisoning the shared pool; concurrently admitted healthy queries
+//!   still return exact counts.
+//!
+//! ## Lock hierarchy
+//!
+//! The service adds three classes *below* every engine lock (see
+//! `simt_check::LockClass`): `ServiceAdmission(2)` (the queue),
+//! `ServicePlanCache(4)`, and `ServiceArenaPool(6)`. None is ever held
+//! across an engine launch, and the cache lock is never held while
+//! compiling. The plan cache carries a shadow cell
+//! (`Cell::plan_cache(id)`) so the race checker can prove every access
+//! goes through the tracked lock — and kill the seeded
+//! [`mutation::cache_insert_without_lock`] by name.
+
+use crate::config::EngineConfig;
+use crate::engine::{Engine, MatchOutcome};
+use crate::fault::FaultPlan;
+use crate::pool::WarmSlot;
+use crate::recover::RecoveryPolicy;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use stmatch_gpusim::LaunchError;
+use stmatch_graph::Graph;
+use stmatch_pattern::{iso, MatchPlan, Pattern, PlanOptions};
+
+/// Per-query options carried through admission.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOptions {
+    /// Wall-clock budget measured from *admission* (not launch): a query
+    /// that expires while still queued fails without running; one that
+    /// expires mid-run is cancelled cooperatively and returns
+    /// [`ServiceError::DeadlineExceeded`] with the partial outcome.
+    pub deadline: Option<Duration>,
+    /// Overrides the service engine's recovery policy for this query.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Deterministic fault injection for this query only (testing/chaos).
+    pub fault_plan: Option<FaultPlan>,
+    /// Overrides the service engine's `induced` semantics for this query.
+    /// Plans cache separately per semantics (the flag is part of the key).
+    pub induced: Option<bool>,
+}
+
+/// Why a query failed. Always per-query: no variant implies anything
+/// about the health of the service or its warm pool.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The deadline expired — in the queue (`partial == None`) or mid-run
+    /// (`partial` holds the cancelled outcome, a lower-bound count).
+    DeadlineExceeded {
+        /// The partial outcome of a mid-run cancellation.
+        partial: Option<Box<MatchOutcome>>,
+    },
+    /// Launch planning failed even after the degradation ladder.
+    Launch(LaunchError),
+    /// The run panicked past containment; the panic was caught at the
+    /// query boundary, so the worker and its warm slot survive.
+    QueryPanicked(String),
+    /// The service is shutting down; the query was not run.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::DeadlineExceeded { partial: None } => {
+                write!(f, "deadline expired before the query launched")
+            }
+            ServiceError::DeadlineExceeded { partial: Some(out) } => {
+                write!(f, "deadline expired mid-run (partial count {})", out.count)
+            }
+            ServiceError::Launch(e) => write!(f, "launch failed: {e}"),
+            ServiceError::QueryPanicked(msg) => write!(f, "query panicked: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Service sizing: the engine template plus worker/batch knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Template configuration for every query (per-query options may
+    /// override `induced` and `recovery`). Also fixes the warm-slot grid
+    /// geometry and the plan options baked into cache entries.
+    pub engine: EngineConfig,
+    /// Worker threads, each owning one warm slot. Minimum 1.
+    pub workers: usize,
+    /// Most queries a worker drains per admission-lock acquisition.
+    /// Bounds tail latency under a flood without a lock round-trip per
+    /// query. Minimum 1.
+    pub batch_max: usize,
+}
+
+impl ServiceConfig {
+    /// Two workers, batches of eight — small enough for tests, enough
+    /// parallelism to exercise the shared structures.
+    pub fn new(engine: EngineConfig) -> ServiceConfig {
+        ServiceConfig {
+            engine,
+            workers: 2,
+            batch_max: 8,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> ServiceConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-drain batch bound (clamped to at least 1).
+    pub fn with_batch_max(mut self, batch_max: usize) -> ServiceConfig {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig::new(EngineConfig::default())
+    }
+}
+
+/// Plan-cache hit/miss/occupancy counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled (the racing-compile case counts one miss per
+    /// racer even though only one entry lands).
+    pub misses: u64,
+    /// Entries resident — at most one per (canonical form, induced).
+    pub entries: usize,
+}
+
+/// A pending reply: hold it and [`wait`](Ticket::wait) when the result is
+/// needed, so a client can overlap submissions.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<MatchOutcome, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the query finishes. A service dropped with the query
+    /// still queued reports [`ServiceError::ShuttingDown`].
+    pub fn wait(self) -> Result<MatchOutcome, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+}
+
+/// One admitted query.
+struct Request {
+    pattern: Pattern,
+    opts: QueryOptions,
+    admitted: Instant,
+    reply: mpsc::Sender<Result<MatchOutcome, ServiceError>>,
+}
+
+/// Cache key: the canonical labeled form plus the matching semantics the
+/// plan was compiled for. Two patterns map to the same key iff they are
+/// isomorphic (as labeled graphs) and ask for the same semantics.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    labels: Vec<u32>,
+    adj: Vec<u8>,
+    induced: bool,
+}
+
+impl PlanKey {
+    fn new(pattern: &Pattern, induced: bool) -> PlanKey {
+        let (labels, adj) = iso::canonical_form(pattern);
+        PlanKey {
+            labels,
+            adj,
+            induced,
+        }
+    }
+}
+
+/// State shared between clients and workers.
+struct Inner {
+    graph: Arc<Graph>,
+    cfg: ServiceConfig,
+    /// Instance id scoping this service's lock indices and its plan-cache
+    /// shadow cell, so concurrent services never alias in the checker.
+    check_id: u32,
+    queue: Mutex<VecDeque<Request>>,
+    cache: Mutex<HashMap<PlanKey, Arc<MatchPlan>>>,
+    shutdown: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Inner {
+    fn lock_queue(&self) -> simt_check::Tracked<'_, VecDeque<Request>> {
+        simt_check::tracked_lock(
+            &self.queue,
+            simt_check::LockClass::ServiceAdmission,
+            self.check_id as usize,
+        )
+    }
+
+    fn lock_cache(&self) -> simt_check::Tracked<'_, HashMap<PlanKey, Arc<MatchPlan>>> {
+        simt_check::tracked_lock(
+            &self.cache,
+            simt_check::LockClass::ServicePlanCache,
+            self.check_id as usize,
+        )
+    }
+
+    /// Cached-or-compiled plan for `pattern`. The fast path is one lock
+    /// acquisition and a map probe; the miss path compiles outside the
+    /// lock and inserts through the entry API, so two racers compiling
+    /// the same canonical form still land exactly one entry.
+    fn plan_for(&self, pattern: &Pattern, induced: bool) -> Arc<MatchPlan> {
+        let key = PlanKey::new(pattern, induced);
+        {
+            let cache = self.lock_cache();
+            simt_check::note_read(simt_check::Cell::plan_cache(self.check_id));
+            if let Some(plan) = cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(plan);
+            }
+        }
+        let plan = Arc::new(MatchPlan::compile(
+            pattern,
+            PlanOptions {
+                induced,
+                code_motion: self.cfg.engine.code_motion,
+                symmetry_breaking: self.cfg.engine.symmetry_breaking,
+            },
+        ));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.lock_cache();
+        simt_check::note_write(simt_check::Cell::plan_cache(self.check_id));
+        Arc::clone(cache.entry(key).or_insert(plan))
+    }
+
+    /// Runs one admitted query to a reply. Every failure mode maps to a
+    /// per-query error; nothing here can take the worker down.
+    fn execute(
+        &self,
+        warm: Option<&WarmSlot>,
+        pattern: &Pattern,
+        opts: &QueryOptions,
+        admitted: Instant,
+    ) -> Result<MatchOutcome, ServiceError> {
+        let induced = opts.induced.unwrap_or(self.cfg.engine.induced);
+        // The deadline clock starts at admission: time spent queued
+        // behind other queries counts against the budget.
+        let remaining = match opts.deadline {
+            Some(d) => match d.checked_sub(admitted.elapsed()) {
+                Some(r) if !r.is_zero() => Some(r),
+                _ => return Err(ServiceError::DeadlineExceeded { partial: None }),
+            },
+            None => None,
+        };
+        let plan = self.plan_for(pattern, induced);
+        let mut cfg = self.cfg.engine;
+        cfg.induced = induced;
+        if let Some(r) = opts.recovery {
+            cfg.recovery = r;
+        }
+        if cfg.hub_bitmap.enabled {
+            // Shared-index handoff: built at most once for the service's
+            // lifetime, then every engine below sees graph.hub_bitmap().
+            self.graph.ensure_hub_bitmap(cfg.hub_bitmap.hub_threshold);
+        }
+        let mut engine = Engine::new(cfg);
+        if let Some(r) = remaining {
+            engine = engine.with_timeout(r);
+        }
+        if let Some(f) = opts.fault_plan.clone() {
+            engine = engine.with_fault_plan(f);
+        }
+        let ran = catch_unwind(AssertUnwindSafe(|| match warm {
+            Some(w) => engine.run_plan_warm(&self.graph, &plan, w),
+            None => engine.run_plan(&self.graph, &plan),
+        }));
+        match ran {
+            Err(payload) => Err(ServiceError::QueryPanicked(crate::fault::describe_payload(
+                payload.as_ref(),
+            ))),
+            Ok(Err(e)) => Err(ServiceError::Launch(e)),
+            Ok(Ok(outcome)) if outcome.timed_out => Err(ServiceError::DeadlineExceeded {
+                partial: Some(Box::new(outcome)),
+            }),
+            Ok(Ok(outcome)) => Ok(outcome),
+        }
+    }
+}
+
+/// A resident matching service over one shared graph. See the module docs.
+///
+/// ```
+/// use std::sync::Arc;
+/// use stmatch_core::{EngineConfig, MatchService, QueryOptions, ServiceConfig};
+/// use stmatch_graph::gen;
+/// use stmatch_pattern::catalog;
+///
+/// let graph = Arc::new(gen::complete(6));
+/// let service = MatchService::new(graph, ServiceConfig::new(EngineConfig::default()));
+/// let out = service
+///     .submit(&catalog::triangle(), QueryOptions::default())
+///     .unwrap();
+/// assert_eq!(out.count, 20); // C(6,3)
+/// ```
+pub struct MatchService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MatchService {
+    /// Starts the worker threads; each builds its own warm slot at the
+    /// configured grid geometry (falling back to cold per-query grids if
+    /// that fails, e.g. on a degenerate geometry).
+    pub fn new(graph: Arc<Graph>, cfg: ServiceConfig) -> MatchService {
+        cfg.engine.validate();
+        let inner = Arc::new(Inner {
+            graph,
+            cfg,
+            check_id: simt_check::next_object_id(),
+            queue: Mutex::new(VecDeque::new()),
+            cache: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("match-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        MatchService { inner, workers }
+    }
+
+    /// Admits a query without blocking; the [`Ticket`] delivers the
+    /// result. Deadlines start now.
+    pub fn enqueue(&self, pattern: &Pattern, opts: QueryOptions) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            let _ = reply.send(Err(ServiceError::ShuttingDown));
+            return Ticket { rx };
+        }
+        let req = Request {
+            pattern: pattern.clone(),
+            opts,
+            admitted: Instant::now(),
+            reply,
+        };
+        self.inner.lock_queue().push_back(req);
+        Ticket { rx }
+    }
+
+    /// Admits a query and blocks for its result.
+    pub fn submit(
+        &self,
+        pattern: &Pattern,
+        opts: QueryOptions,
+    ) -> Result<MatchOutcome, ServiceError> {
+        self.enqueue(pattern, opts).wait()
+    }
+
+    /// Plan-cache counters. Note for checker-based tests: this takes the
+    /// tracked cache lock, which publishes the workers' cache history to
+    /// the calling thread.
+    pub fn cache_stats(&self) -> CacheStats {
+        let entries = self.inner.lock_cache().len();
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.inner.graph
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+}
+
+impl Drop for MatchService {
+    /// Graceful shutdown: workers drain the queue (every admitted query
+    /// gets a reply), then exit and are joined.
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker: drain up to `batch_max` requests per admission-lock
+/// acquisition, serve them back-to-back on this worker's warm slot, park
+/// briefly when idle. Exits when shutdown is flagged *and* the queue is
+/// empty, so pending clients always hear back.
+fn worker_loop(inner: &Inner) {
+    let warm = WarmSlot::new(inner.cfg.engine.grid).ok();
+    loop {
+        let mut batch = Vec::new();
+        {
+            let mut q = inner.lock_queue();
+            while batch.len() < inner.cfg.batch_max {
+                match q.pop_front() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+        }
+        if batch.is_empty() {
+            if inner.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        for req in batch {
+            let result = inner.execute(warm.as_ref(), &req.pattern, &req.opts, req.admitted);
+            // A client that dropped its ticket is not an error.
+            let _ = req.reply.send(result);
+        }
+    }
+}
+
+/// Seeded concurrency bugs for the `simt-check` harness (mirrors
+/// `steal::mutation`): each reintroduces a historically plausible bug the
+/// checker must kill by name. Never called from production paths.
+pub mod mutation {
+    use super::*;
+
+    /// Inserts a plan-cache entry through the raw mutex, *bypassing* the
+    /// tracked cache lock — the classic "it's just one insert" shortcut.
+    /// The data stays intact (the raw mutex still excludes), but the
+    /// checker must flag the unprotected shadow-cell write against the
+    /// workers' locked accesses as `data race on plan-cache[id]`.
+    ///
+    /// Deterministic kill: call after at least one blocking
+    /// [`MatchService::submit`] (so a worker's locked cache access has
+    /// happened), and do NOT call [`MatchService::cache_stats`] in
+    /// between — that takes the tracked lock and would order this thread
+    /// after the workers, hiding the race.
+    pub fn cache_insert_without_lock(svc: &MatchService, pattern: &Pattern) {
+        let inner = &svc.inner;
+        let induced = inner.cfg.engine.induced;
+        let key = PlanKey::new(pattern, induced);
+        let plan = Arc::new(MatchPlan::compile(
+            pattern,
+            PlanOptions {
+                induced,
+                code_motion: inner.cfg.engine.code_motion,
+                symmetry_breaking: inner.cfg.engine.symmetry_breaking,
+            },
+        ));
+        simt_check::note_write(simt_check::Cell::plan_cache(inner.check_id));
+        inner
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmatch_gpusim::{GridConfig, SharedBudget};
+    use stmatch_graph::gen;
+    use stmatch_pattern::catalog;
+
+    fn small_cfg() -> ServiceConfig {
+        let grid = GridConfig {
+            num_blocks: 2,
+            warps_per_block: 2,
+            shared_mem_per_block: SharedBudget::RTX3090_BYTES,
+        };
+        ServiceConfig::new(EngineConfig::default().with_grid(grid))
+    }
+
+    #[test]
+    fn submit_matches_engine_run() {
+        let graph = Arc::new(gen::erdos_renyi(40, 160, 7));
+        let svc = MatchService::new(Arc::clone(&graph), small_cfg());
+        let q = catalog::paper_query(6);
+        let expected = Engine::new(small_cfg().engine).run(&graph, &q).unwrap();
+        let got = svc.submit(&q, QueryOptions::default()).unwrap();
+        assert_eq!(got.count, expected.count);
+        assert_eq!(got.num_sets, expected.num_sets);
+        assert_eq!(got.stack_bytes, expected.stack_bytes);
+    }
+
+    #[test]
+    fn isomorphic_submissions_share_one_cache_entry() {
+        let graph = Arc::new(gen::erdos_renyi(30, 100, 3));
+        let svc = MatchService::new(Arc::clone(&graph), small_cfg());
+        // A path relabeled two ways: same canonical form.
+        let a = Pattern::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = Pattern::new(4, &[(3, 2), (2, 1), (1, 0)]);
+        let first = svc.submit(&a, QueryOptions::default()).unwrap();
+        let second = svc.submit(&b, QueryOptions::default()).unwrap();
+        assert_eq!(first.count, second.count);
+        let stats = svc.cache_stats();
+        assert_eq!(stats.entries, 1, "isomorphic patterns share an entry");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_running() {
+        let graph = Arc::new(gen::complete(6));
+        let svc = MatchService::new(graph, small_cfg());
+        let opts = QueryOptions {
+            deadline: Some(Duration::ZERO),
+            ..QueryOptions::default()
+        };
+        match svc.submit(&catalog::triangle(), opts) {
+            Err(ServiceError::DeadlineExceeded { partial: None }) => {}
+            other => panic!("expected queued-deadline expiry, got {other:?}"),
+        }
+        // The pool is not poisoned: the next query succeeds.
+        let ok = svc
+            .submit(&catalog::triangle(), QueryOptions::default())
+            .unwrap();
+        assert_eq!(ok.count, 20);
+    }
+
+    #[test]
+    fn drop_drains_pending_queries() {
+        let graph = Arc::new(gen::complete(6));
+        let svc = MatchService::new(graph, small_cfg());
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| svc.enqueue(&catalog::triangle(), QueryOptions::default()))
+            .collect();
+        drop(svc);
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().count, 20, "drained before shutdown");
+        }
+    }
+}

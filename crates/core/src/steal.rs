@@ -28,11 +28,22 @@
 //!
 //! | rank | class        | lock                                       | nests inside        |
 //! |------|--------------|--------------------------------------------|---------------------|
-//! | 10   | `GlobalSlot` | `Board::slots[b]` (per-block steal slot)   | — (outermost)       |
+//! | 2    | `ServiceAdmission` | `service::Inner::queue` (admission queue) | — (outermost) |
+//! | 4    | `ServicePlanCache` | `service::Inner::cache` (canonical plan cache) | — (never held across engine locks) |
+//! | 6    | `ServiceArenaPool` | `pool::ArenaPool` (reusable warp arenas) | — (never held across engine locks) |
+//! | 10   | `GlobalSlot` | `Board::slots[b]` (per-block steal slot)   | — (outermost engine lock) |
 //! | 20   | `Requeue`    | `Board::requeue` (reclaimed-work queue)    | `GlobalSlot`        |
 //! | 30   | `Mirror`     | `Mirror::state` (per-warp stealable stack) | `GlobalSlot`        |
 //! | 40   | `DeathLog`   | engine death records (recovery path)       | — (leaf)            |
 //! | 50   | `Collector`  | engine enumeration collector               | — (leaf)            |
+//!
+//! The rank-2/4/6 service locks (PR 6) belong to the resident
+//! `MatchService` layered *above* the engine: they rank below every
+//! engine lock because a service thread may hold one while work that
+//! eventually launches a grid is being admitted, but no engine code path
+//! ever acquires a service lock — the service always releases its locks
+//! before calling into the engine, and the hierarchy makes any future
+//! violation of that rule a hard diagnostic.
 //!
 //! Observed nestings: [`Board::try_push_global`] holds a slot lock while
 //! splitting its own mirror (10 → 30); [`Board::mark_dead`] drains a dead
@@ -82,15 +93,18 @@ impl MirrorState {
 /// are locked a handful of times per shallow iteration, far off any hot
 /// path.
 pub struct Mirror {
-    /// Global warp id this mirror belongs to (shadow-cell identity for the
-    /// race checker).
+    /// Board instance this mirror belongs to (shadow-cell identity for the
+    /// race checker — two concurrently live boards never alias cells).
+    board: u32,
+    /// Global warp id this mirror belongs to within its board.
     id: usize,
     state: Mutex<MirrorState>,
 }
 
 impl Mirror {
-    fn new(id: usize) -> Self {
+    fn new(board: u32, id: usize) -> Self {
         Mirror {
+            board,
             id,
             state: Mutex::new(MirrorState::new()),
         }
@@ -117,7 +131,7 @@ impl Mirror {
     pub fn lock(&self) -> simt_check::Tracked<'_, MirrorState> {
         let guard = simt_check::tracked_lock(&self.state, simt_check::LockClass::Mirror, self.id);
         simt_check::note_write_at(
-            simt_check::Cell::mirror(self.id),
+            simt_check::Cell::mirror(self.board, self.id),
             std::panic::Location::caller(),
         );
         guard
@@ -141,6 +155,10 @@ pub struct StealPayload {
 
 /// Grid-wide coordination state shared by all warps of one launch.
 pub struct Board {
+    /// Process-unique instance id (shadow-cell identity: a resident
+    /// service runs several boards concurrently, and their mirror/slot/
+    /// requeue cells must not alias in the race checker).
+    check_id: u32,
     mirrors: Vec<Mirror>,
     warps_per_block: usize,
     stop: usize,
@@ -191,8 +209,10 @@ impl Board {
         assert!(start <= end);
         let total = num_blocks * warps_per_block;
         assert!(warps_per_block <= 32, "is_idle bitmap holds 32 warps");
+        let check_id = simt_check::next_object_id();
         Board {
-            mirrors: (0..total).map(Mirror::new).collect(),
+            check_id,
+            mirrors: (0..total).map(|w| Mirror::new(check_id, w)).collect(),
             warps_per_block,
             stop,
             is_idle: (0..num_blocks).map(|_| AtomicU32::new(0)).collect(),
@@ -253,7 +273,7 @@ impl Board {
     fn lock_slot(&self, b: usize) -> simt_check::Tracked<'_, Option<StealPayload>> {
         let guard = simt_check::tracked_lock(&self.slots[b], simt_check::LockClass::GlobalSlot, b);
         simt_check::note_write_at(
-            simt_check::Cell::global_slot(b),
+            simt_check::Cell::global_slot(self.check_id, b),
             std::panic::Location::caller(),
         );
         guard
@@ -264,7 +284,10 @@ impl Board {
     #[track_caller]
     fn lock_requeue(&self) -> simt_check::Tracked<'_, Vec<StealPayload>> {
         let guard = simt_check::tracked_lock(&self.requeue, simt_check::LockClass::Requeue, 0);
-        simt_check::note_write_at(simt_check::Cell::requeue(), std::panic::Location::caller());
+        simt_check::note_write_at(
+            simt_check::Cell::requeue(self.check_id),
+            std::panic::Location::caller(),
+        );
         guard
     }
 
@@ -624,7 +647,7 @@ pub mod mutation {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         // The access event fires at *this* line (the mutation site).
-        simt_check::note_write(simt_check::Cell::mirror(victim));
+        simt_check::note_write(simt_check::Cell::mirror(board.check_id, victim));
         if m.iter[level] < m.size[level] {
             let i = m.iter[level];
             m.iter[level] += 1;

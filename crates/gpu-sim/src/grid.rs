@@ -191,6 +191,150 @@ impl Grid {
     }
 }
 
+/// One launch's work order for a warm worker: the kernel to run plus the
+/// channel to report completion on. The kernel reference is lifetime-erased
+/// (see the safety argument in [`WarmGrid::launch_contained`]).
+enum Job {
+    Run(
+        &'static (dyn Fn(&mut Warp) + Sync),
+        std::sync::mpsc::Sender<(usize, crate::metrics::WarpMetrics, Option<WarpPanic>)>,
+    ),
+    Exit,
+}
+
+/// A grid with a persistent thread pool: one OS thread per warp, kept warm
+/// across launches.
+///
+/// [`Grid::launch_contained`] spawns and joins `total_warps` OS threads on
+/// every call — fine for a one-shot run, pure overhead for a resident
+/// service that launches thousands of kernels against the same geometry.
+/// `WarmGrid` pays the spawn cost once; each launch is a message round-trip
+/// per warp. The launch contract is identical to
+/// [`Grid::launch_contained`]: per-warp panic containment, per-warp metrics
+/// in warp-id order, and the same race-checker fork/join events (each
+/// worker re-registers its warp identity per launch).
+pub struct WarmGrid {
+    config: GridConfig,
+    senders: Vec<std::sync::mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WarmGrid {
+    /// Spawns the worker pool for `config` (one thread per warp).
+    pub fn new(config: GridConfig) -> Result<WarmGrid, LaunchError> {
+        // Same geometry validation as Grid::new.
+        let _ = Grid::new(config)?;
+        let total = config.total_warps();
+        let wpb = config.warps_per_block;
+        let mut senders = Vec::with_capacity(total);
+        let mut handles = Vec::with_capacity(total);
+        for id in 0..total {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("warm-warp-{id}"))
+                .spawn(move || {
+                    for job in rx {
+                        match job {
+                            Job::Run(kernel, done) => {
+                                simt_check::register_warp(id);
+                                let mut warp = Warp::new(id, id / wpb, id % wpb);
+                                let caught =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        kernel(&mut warp)
+                                    }));
+                                simt_check::warp_exit();
+                                let panic = caught.err().map(|payload| WarpPanic {
+                                    warp: id,
+                                    message: describe_panic(payload.as_ref()),
+                                });
+                                // A dropped receiver means the launcher is
+                                // gone (poisoned/unwinding); nothing to do.
+                                let _ = done.send((id, warp.into_metrics(), panic));
+                            }
+                            Job::Exit => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn warm warp thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Ok(WarmGrid {
+            config,
+            senders,
+            handles,
+        })
+    }
+
+    /// The grid geometry.
+    pub fn config(&self) -> GridConfig {
+        self.config
+    }
+
+    /// Runs `kernel` once per warp on the warm pool and blocks until every
+    /// warp has reported back. Same contract as
+    /// [`Grid::launch_contained`].
+    pub fn launch_contained(
+        &self,
+        kernel: &(dyn Fn(&mut Warp) + Sync),
+    ) -> (GridMetrics, Vec<WarpPanic>) {
+        let start = Instant::now();
+        let total = self.config.total_warps();
+        // Launch fork point, as in Grid::launch_contained: everything the
+        // launching thread did so far happens-before every warp body.
+        simt_check::launch_begin();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        // SAFETY: the workers only hold this reference while executing the
+        // Job we send below, and this function does not return until every
+        // worker has sent its completion message for this launch — each
+        // worker sends *after* its last use of the reference, and the
+        // `recv` loop below blocks on exactly `total` such messages. So the
+        // erased reference never outlives the borrow it came from.
+        let kernel: &'static (dyn Fn(&mut Warp) + Sync) = unsafe { std::mem::transmute(kernel) };
+        for tx in &self.senders {
+            tx.send(Job::Run(kernel, done_tx.clone()))
+                .expect("warm warp worker exited prematurely");
+        }
+        drop(done_tx);
+        let mut results: Vec<Option<(crate::metrics::WarpMetrics, Option<WarpPanic>)>> =
+            (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (id, m, p) = done_rx
+                .recv()
+                .expect("warm warp worker died outside catch_unwind");
+            results[id] = Some((m, p));
+        }
+        // Join point, as in Grid::launch_contained.
+        simt_check::launch_end();
+        let mut warps = Vec::with_capacity(total);
+        let mut panics = Vec::new();
+        for r in results {
+            let (m, p) = r.expect("every warp reports exactly once");
+            warps.push(m);
+            panics.extend(p);
+        }
+        let metrics = GridMetrics {
+            warps,
+            elapsed_nanos: start.elapsed().as_nanos() as u64,
+            kernel_launches: 1,
+            contained_panics: panics.len() as u64,
+        };
+        (metrics, panics)
+    }
+}
+
+impl Drop for WarmGrid {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // A worker that already exited (send fails) needs no Exit.
+            let _ = tx.send(Job::Exit);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Record of one warp whose kernel closure panicked during a
 /// [`Grid::launch_contained`] run.
 #[derive(Clone, Debug)]
@@ -300,6 +444,48 @@ mod tests {
             })
         });
         assert!(res.is_err(), "launch must re-raise contained panics");
+    }
+
+    #[test]
+    fn warm_grid_matches_cold_launch_semantics() {
+        let cfg = GridConfig {
+            num_blocks: 2,
+            warps_per_block: 2,
+            shared_mem_per_block: 1024,
+        };
+        let warm = WarmGrid::new(cfg).unwrap();
+        // Several launches on the same pool: every warp runs once per
+        // launch, metrics arrive in warp-id order, panics are contained.
+        for round in 0..3u64 {
+            let (metrics, panics) = warm.launch_contained(&|warp: &mut Warp| {
+                warp.metrics_mut().matches_found = round * 100 + warp.id() as u64;
+                if round == 1 && warp.id() == 3 {
+                    panic!("injected: warm warp down");
+                }
+            });
+            assert_eq!(metrics.warps.len(), 4);
+            for (i, w) in metrics.warps.iter().enumerate() {
+                assert_eq!(w.matches_found, round * 100 + i as u64);
+            }
+            if round == 1 {
+                assert_eq!(metrics.contained_panics, 1);
+                assert_eq!(panics.len(), 1);
+                assert_eq!(panics[0].warp, 3);
+            } else {
+                assert_eq!(metrics.contained_panics, 0, "pool poisoned by round 1");
+                assert!(panics.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_grid_rejects_empty_geometry() {
+        assert!(WarmGrid::new(GridConfig {
+            num_blocks: 1,
+            warps_per_block: 0,
+            shared_mem_per_block: 0,
+        })
+        .is_err());
     }
 
     #[test]

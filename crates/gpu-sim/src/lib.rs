@@ -26,7 +26,7 @@ pub mod memory;
 pub mod metrics;
 pub mod warp;
 
-pub use grid::{describe_panic, Grid, GridConfig, LaunchError, WarpPanic};
+pub use grid::{describe_panic, Grid, GridConfig, LaunchError, WarmGrid, WarpPanic};
 pub use memory::{MemoryBudget, OutOfMemory, SharedBudget};
 pub use metrics::{GridMetrics, WarpMetrics};
 pub use warp::{Warp, WARP_SIZE};

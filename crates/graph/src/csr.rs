@@ -2,6 +2,7 @@
 
 use crate::bitmap::HubBitmapIndex;
 use crate::Label;
+use std::sync::OnceLock;
 
 /// Vertex identifier. `u32` keeps the warp stacks compact (the paper stores
 /// candidate sets as 32-bit node ids in GPU global memory).
@@ -28,8 +29,10 @@ pub struct Graph {
     /// Human-readable name (dataset id), used by the bench harness.
     name: String,
     /// Optional hub-bitmap neighbor index (see [`crate::bitmap`]); derived
-    /// data attached with [`Graph::with_hub_bitmap`], absent by default.
-    hub_bitmap: Option<HubBitmapIndex>,
+    /// data attached with [`Graph::with_hub_bitmap`] or built lazily (and
+    /// exactly once, even under concurrent callers) by
+    /// [`Graph::ensure_hub_bitmap`]; absent by default.
+    hub_bitmap: OnceLock<HubBitmapIndex>,
 }
 
 impl Graph {
@@ -47,7 +50,7 @@ impl Graph {
             labels,
             num_labels,
             name,
-            hub_bitmap: None,
+            hub_bitmap: OnceLock::new(),
         }
     }
 
@@ -112,7 +115,7 @@ impl Graph {
     /// an index) this binary-searches the (sorted) smaller adjacency list.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        if let Some(idx) = &self.hub_bitmap {
+        if let Some(idx) = self.hub_bitmap.get() {
             if let Some(hit) = idx.contains(u, v).or_else(|| idx.contains(v, u)) {
                 return hit;
             }
@@ -126,22 +129,35 @@ impl Graph {
     }
 
     /// Attaches a freshly built hub-bitmap index (see [`crate::bitmap`])
-    /// covering every vertex with `degree > threshold`.
+    /// covering every vertex with `degree > threshold`. Replaces any index
+    /// already attached.
     pub fn with_hub_bitmap(mut self, threshold: usize) -> Self {
-        self.hub_bitmap = Some(HubBitmapIndex::build(&self, threshold));
+        self.hub_bitmap = OnceLock::from(HubBitmapIndex::build(&self, threshold));
         self
+    }
+
+    /// Returns the attached hub-bitmap index, building it at `threshold`
+    /// first if none is attached yet. Thread-safe and idempotent: under
+    /// concurrent callers exactly one build runs and every caller sees the
+    /// same index — this is the shared-index handoff a resident service
+    /// uses so one `Arc<Graph>` serves many queries without per-query
+    /// index builds. (If an index is already attached, its threshold wins;
+    /// `threshold` is only used for a fresh build.)
+    pub fn ensure_hub_bitmap(&self, threshold: usize) -> &HubBitmapIndex {
+        self.hub_bitmap
+            .get_or_init(|| HubBitmapIndex::build(self, threshold))
     }
 
     /// The attached hub-bitmap index, if any.
     #[inline]
     pub fn hub_bitmap(&self) -> Option<&HubBitmapIndex> {
-        self.hub_bitmap.as_ref()
+        self.hub_bitmap.get()
     }
 
     /// The bitmap row of `v` when an index is attached and `v` is a hub.
     #[inline]
     pub fn hub_bits(&self, v: VertexId) -> Option<&[u64]> {
-        self.hub_bitmap.as_ref()?.row(v)
+        self.hub_bitmap.get()?.row(v)
     }
 
     /// Iterator over all vertices.
@@ -194,7 +210,7 @@ impl Graph {
         self.row_ptr.len() * std::mem::size_of::<usize>()
             + self.col_idx.len() * std::mem::size_of::<VertexId>()
             + self.labels.len() * std::mem::size_of::<Label>()
-            + self.hub_bitmap.as_ref().map_or(0, |b| b.memory_bytes())
+            + self.hub_bitmap.get().map_or(0, |b| b.memory_bytes())
     }
 
     /// Returns a new graph whose vertex ids are permuted so that vertices are
@@ -221,7 +237,7 @@ impl Graph {
         let g = builder.build().with_name(self.name.clone());
         // Vertex ids changed, so a carried index must be rebuilt (same
         // threshold) rather than copied.
-        match &self.hub_bitmap {
+        match self.hub_bitmap.get() {
             Some(idx) => g.with_hub_bitmap(idx.threshold()),
             None => g,
         }
@@ -348,6 +364,30 @@ mod tests {
         for v in ordered.vertices() {
             assert_eq!(idx.is_hub(v), ordered.degree(v) > 6);
         }
+    }
+
+    #[test]
+    fn ensure_hub_bitmap_builds_once_under_concurrency() {
+        let g = std::sync::Arc::new(crate::gen::preferential_attachment(80, 4, 5));
+        assert!(g.hub_bitmap().is_none());
+        let addrs: Vec<usize> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let g = g.clone();
+                    s.spawn(move || g.ensure_hub_bitmap(6) as *const _ as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Every thread got the same index instance, and the threshold of
+        // the winning build stuck.
+        assert!(addrs.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(g.hub_bitmap().unwrap().threshold(), 6);
+        // An already-attached index wins over a later ensure at a
+        // different threshold.
+        assert_eq!(g.ensure_hub_bitmap(3).threshold(), 6);
     }
 
     #[test]

@@ -403,13 +403,20 @@ static FORK_CLOCK: Mutex<VClock> = Mutex::new(VClock::new());
 static JOIN_CLOCK: Mutex<VClock> = Mutex::new(VClock::new());
 
 /// Called by the grid on the launching thread just before warp threads
-/// spawn: snapshots the launcher's clock as the fork point.
+/// spawn: merges the launcher's clock into the fork point. Joining (rather
+/// than overwriting) keeps the hook correct when several launchers are in
+/// flight at once — a resident service's pool workers launch concurrently,
+/// and an overwrite would erase launcher A's pre-launch history just as A's
+/// warps inherit the fork clock, inventing races on state A prepared (e.g.
+/// `Board::preload`'s requeue write). The join is a conservative
+/// over-approximation: it can only add happens-before edges, never remove
+/// them, so it may mask a cross-launcher race but cannot report a false one.
 pub fn launch_begin() {
     if !races_on() {
         return;
     }
     with_my_clock(|_, clock| {
-        *FORK_CLOCK.lock().unwrap() = clock.clone();
+        FORK_CLOCK.lock().unwrap().join(clock);
     });
 }
 

@@ -32,6 +32,15 @@ use std::sync::{LazyLock, Mutex, MutexGuard, PoisonError};
 /// code-adjacent copy) and DESIGN.md §4e.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockClass {
+    /// The match service's admission queue (`service::Inner::queue`).
+    /// Service locks rank *below* every engine lock: they are never held
+    /// across a kernel launch, while engine locks are taken deep inside
+    /// one — so "service before engine" is the only safe order.
+    ServiceAdmission,
+    /// The match service's canonical-form plan cache (`service::Inner::cache`).
+    ServicePlanCache,
+    /// A pool worker's reusable-arena pool (`pool::ArenaPool`).
+    ServiceArenaPool,
     /// Per-block global steal slot (`Board::slots[b]`).
     GlobalSlot,
     /// The engine-wide reclaimed-work queue (`Board::requeue`).
@@ -48,6 +57,9 @@ impl LockClass {
     /// Declared rank: acquisitions must be in strictly increasing rank.
     pub fn rank(self) -> u32 {
         match self {
+            LockClass::ServiceAdmission => 2,
+            LockClass::ServicePlanCache => 4,
+            LockClass::ServiceArenaPool => 6,
             LockClass::GlobalSlot => 10,
             LockClass::Requeue => 20,
             LockClass::Mirror => 30,
@@ -59,6 +71,9 @@ impl LockClass {
     /// Human-readable class name for diagnostics.
     pub fn name(self) -> &'static str {
         match self {
+            LockClass::ServiceAdmission => "ServiceAdmission",
+            LockClass::ServicePlanCache => "ServicePlanCache",
+            LockClass::ServiceArenaPool => "ServiceArenaPool",
             LockClass::GlobalSlot => "GlobalSlot",
             LockClass::Requeue => "Requeue",
             LockClass::Mirror => "Mirror",
@@ -67,8 +82,11 @@ impl LockClass {
         }
     }
 
-    fn all() -> [LockClass; 5] {
+    fn all() -> [LockClass; 8] {
         [
+            LockClass::ServiceAdmission,
+            LockClass::ServicePlanCache,
+            LockClass::ServiceArenaPool,
             LockClass::GlobalSlot,
             LockClass::Requeue,
             LockClass::Mirror,
@@ -80,8 +98,9 @@ impl LockClass {
 
 /// The declared hierarchy, lowest rank first — rendered into diagnostics so
 /// a violation message carries the rule it broke.
-pub const DECLARED_HIERARCHY: &str =
-    "GlobalSlot(10) < Requeue(20) < Mirror(30) < DeathLog(40) < Collector(50)";
+pub const DECLARED_HIERARCHY: &str = "ServiceAdmission(2) < ServicePlanCache(4) < \
+     ServiceArenaPool(6) < GlobalSlot(10) < Requeue(20) < Mirror(30) < DeathLog(40) < \
+     Collector(50)";
 
 thread_local! {
     /// Locks this thread currently holds, in acquisition order.

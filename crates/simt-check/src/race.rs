@@ -11,10 +11,15 @@
 //!
 //! | cell            | guards                                        |
 //! |-----------------|-----------------------------------------------|
-//! | `mirror[w]`     | warp `w`'s stealable mirror stack (`MirrorState`) |
-//! | `slot[b]`       | block `b`'s global steal slot payload          |
-//! | `requeue`       | the engine-wide reclaimed-work queue           |
+//! | `board[i].mirror[w]` | warp `w`'s stealable mirror stack (`MirrorState`) on board instance `i` |
+//! | `board[i].slot[b]`   | block `b`'s global steal slot payload on board instance `i` |
+//! | `board[i].requeue`   | board instance `i`'s reclaimed-work queue |
 //! | `arena[a].set[s]` | set slab `s` of stack-arena instance `a`     |
+//! | `plan-cache[s]` | the canonical-form plan cache of service instance `s` |
+//!
+//! Board/arena/service instance ids come from [`crate::next_object_id`],
+//! so two concurrently live boards (e.g. two service pool workers
+//! launching at once) never alias each other's cells.
 
 use crate::{with_my_clock, Severity};
 use std::collections::HashMap;
@@ -35,32 +40,34 @@ enum CellKind {
     GlobalSlot,
     Requeue,
     ArenaSet,
+    PlanCache,
 }
 
 impl Cell {
-    /// Warp `w`'s mirror stack.
-    pub fn mirror(w: usize) -> Cell {
+    /// Warp `w`'s mirror stack on board instance `board`
+    /// (from [`crate::next_object_id`]).
+    pub fn mirror(board: u32, w: usize) -> Cell {
         Cell {
             kind: CellKind::Mirror,
-            a: w as u32,
-            b: 0,
+            a: board,
+            b: w as u32,
         }
     }
 
-    /// Block `b`'s global steal slot.
-    pub fn global_slot(b: usize) -> Cell {
+    /// Block `b`'s global steal slot on board instance `board`.
+    pub fn global_slot(board: u32, b: usize) -> Cell {
         Cell {
             kind: CellKind::GlobalSlot,
-            a: b as u32,
-            b: 0,
+            a: board,
+            b: b as u32,
         }
     }
 
-    /// The engine-wide requeue queue.
-    pub fn requeue() -> Cell {
+    /// Board instance `board`'s requeue queue.
+    pub fn requeue(board: u32) -> Cell {
         Cell {
             kind: CellKind::Requeue,
-            a: 0,
+            a: board,
             b: 0,
         }
     }
@@ -74,15 +81,26 @@ impl Cell {
             b: set as u32,
         }
     }
+
+    /// The canonical-form plan cache of service instance `service`
+    /// (from [`crate::next_object_id`]).
+    pub fn plan_cache(service: u32) -> Cell {
+        Cell {
+            kind: CellKind::PlanCache,
+            a: service,
+            b: 0,
+        }
+    }
 }
 
 impl std::fmt::Display for Cell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
-            CellKind::Mirror => write!(f, "mirror[{}]", self.a),
-            CellKind::GlobalSlot => write!(f, "slot[{}]", self.a),
-            CellKind::Requeue => write!(f, "requeue"),
+            CellKind::Mirror => write!(f, "board[{}].mirror[{}]", self.a, self.b),
+            CellKind::GlobalSlot => write!(f, "board[{}].slot[{}]", self.a, self.b),
+            CellKind::Requeue => write!(f, "board[{}].requeue", self.a),
             CellKind::ArenaSet => write!(f, "arena[{}].set[{}]", self.a, self.b),
+            CellKind::PlanCache => write!(f, "plan-cache[{}]", self.a),
         }
     }
 }

@@ -365,6 +365,126 @@ fn mutation_lock_invert_is_caught_as_cycle() {
     );
 }
 
+/// All checkers over the resident service's concurrent-submission path:
+/// multiple client threads racing into the admission queue, two workers
+/// draining batches onto warm slots (parked warp threads + recycled
+/// arenas), plan-cache hits and misses, a fault-injected query and a
+/// queued-deadline expiry — all while the race detector watches the
+/// service's new shadow state (`plan-cache[id]`, per-instance boards,
+/// recycled arena cells). Zero error diagnostics allowed, and every
+/// count must stay at the golden value under instrumentation.
+#[test]
+fn service_concurrent_submissions_produce_no_diagnostics() {
+    let _g = serial();
+    simt_check::enable(CheckConfig::all());
+    let svc = stmatch_core::MatchService::new(
+        std::sync::Arc::new(fixture()),
+        stmatch_core::ServiceConfig::new(EngineConfig::full().with_grid(grid()))
+            .with_workers(2)
+            .with_batch_max(4),
+    );
+    // Edge-induced goldens from tests/golden_counts.rs (cheap queries).
+    const GOLDEN: &[(usize, u64)] = &[(1, 119531), (6, 2884), (8, 4)];
+    let svc_ref = &svc;
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(move || {
+                for &(qi, want) in GOLDEN {
+                    let out = svc_ref
+                        .submit(&catalog::paper_query(qi), Default::default())
+                        .expect("clean query");
+                    assert_eq!(out.count, want, "q{qi} drifted under instrumentation");
+                }
+            });
+        }
+        s.spawn(move || {
+            // A fault-injected neighbour: deaths contained per query.
+            let opts = stmatch_core::QueryOptions {
+                fault_plan: Some(FaultPlan::seeded(0x1d, grid().total_warps(), 1, 1)),
+                ..Default::default()
+            };
+            let out = svc_ref
+                .submit(&catalog::paper_query(1), opts)
+                .expect("faulted query recovers");
+            assert_eq!(out.count, 119531);
+        });
+        s.spawn(move || {
+            // A queued-deadline expiry: replies without launching.
+            let opts = stmatch_core::QueryOptions {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            };
+            assert!(svc_ref.submit(&catalog::paper_query(1), opts).is_err());
+        });
+    });
+    drop(svc); // graceful shutdown is part of the checked surface
+    let diags = simt_check::drain();
+    simt_check::disable();
+    let errs = errors(&diags);
+    assert!(
+        errs.is_empty(),
+        "false positives on the service path:\n{}",
+        errs.join("\n")
+    );
+}
+
+/// Mutation kill, race detector, service edition:
+/// `cache_insert_without_lock` inserts a plan through the raw mutex,
+/// bypassing the tracked `ServicePlanCache` lock. A prior blocking submit
+/// guarantees a worker has already written the cache *under* the tracked
+/// lock, and the mpsc reply channel is invisible to the checker — so the
+/// untracked insert has no happens-before edge to the worker's write and
+/// must be reported as a data race naming the `plan-cache` cell.
+#[test]
+fn mutation_cache_drop_is_caught_as_race() {
+    let _g = serial();
+    simt_check::enable(CheckConfig {
+        divergence: false,
+        ..CheckConfig::all()
+    });
+    simt_check::set_reproduce(
+        "SIMT_CHECK=races,deadlock cargo run --release -p stmatch-bench \
+         --bin simt_check -- --mutate=cache-drop",
+    );
+    let svc = stmatch_core::MatchService::new(
+        std::sync::Arc::new(fixture()),
+        stmatch_core::ServiceConfig::new(EngineConfig::full().with_grid(grid())).with_workers(1),
+    );
+    // Seed the cache through the front door: the worker's locked write.
+    // (No cache_stats() call after this — that takes the tracked lock and
+    // would order this thread after the worker, hiding the race.)
+    let out = svc
+        .submit(&catalog::paper_query(8), Default::default())
+        .expect("seeding query");
+    assert_eq!(out.count, 4);
+    stmatch_core::service::mutation::cache_insert_without_lock(&svc, &catalog::paper_query(7));
+    let diags = simt_check::drain();
+    simt_check::disable();
+    let races: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "race").collect();
+    assert!(
+        !races.is_empty(),
+        "untracked cache insert must be reported as a race; got: {:?}",
+        diags.iter().map(|d| d.code).collect::<Vec<_>>()
+    );
+    let msg = &races[0].message;
+    assert!(
+        msg.contains("plan-cache["),
+        "race must name the plan-cache cell: {msg}"
+    );
+    assert!(
+        msg.contains("service.rs"),
+        "race must carry the service sites: {msg}"
+    );
+    assert!(
+        races[0]
+            .reproduce
+            .as_deref()
+            .unwrap_or("")
+            .contains("--mutate=cache-drop"),
+        "diagnostic must carry a deterministic reproduce line"
+    );
+}
+
 /// The checkers default to off, and a disabled checker files nothing even
 /// when instrumented state is exercised.
 #[test]
