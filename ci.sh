@@ -41,6 +41,20 @@ cargo run --release --offline -p stmatch-bench --bin bitmap_check 2>/dev/null \
     || { echo "==> smoke:bitmap(grep): FAILED — totals line missing or zero"; exit 1; }
 echo "==> smoke:bitmap(grep): OK"
 
+# Plan-compilation gate: every off-leg must stay bit-identical to the
+# pre-compilation engine (GOLDEN rows / pinned clique count, no tier
+# reported), every compiled leg must be metric-bit-identical to its off
+# leg, and tier routing must match the promotion policy (q8 cascades
+# reach tier 1 under profiling, q1 stays tier 0 until specialization is
+# forced, q6 never leaves bytecode). The grep guards against a silently
+# dead tier-1 path: the binary must report nonzero specialized runs.
+run "smoke:bytecode" cargo run --release --offline -p stmatch-bench --bin bytecode_check
+echo "==> smoke:bytecode(grep): expecting nonzero specialized traffic"
+cargo run --release --offline -p stmatch-bench --bin bytecode_check 2>/dev/null \
+    | grep -Eq "bytecode_check totals: specialized_runs=[0-9]*[1-9][0-9]* tier0_runs=[0-9]*[1-9][0-9]*" \
+    || { echo "==> smoke:bytecode(grep): FAILED — totals line missing or zero"; exit 1; }
+echo "==> smoke:bytecode(grep): OK"
+
 # Fault-tolerance gate: q1/q6 under a seeded fault plan (one warp panic +
 # one warp stall); counts must stay exactly at the goldens, the death must
 # be contained and recovered, and the run must finish well under its cap.

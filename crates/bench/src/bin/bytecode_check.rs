@@ -1,0 +1,143 @@
+//! CI smoke gate for plan-bytecode compilation and the specialization
+//! tiers: runs q1/q6/q8 on the hotpath graph and q8 on the dense ER
+//! clique workload, once with compilation **off**, once **on** with a
+//! profile threshold the cascades cross mid-run, and once with forced
+//! specialization (`tier_up_after == 0`), and fails (exit 1) unless
+//!
+//! * the off legs reproduce the pinned behaviour exactly — the full
+//!   [`stmatch_bench::hotpath::GOLDEN`] rows for the PA workloads
+//!   (count, instructions, utilization: a disabled knob must be
+//!   invisible) and the pinned clique count — with no tier reported;
+//! * every compiled leg is *metric-bit-identical* to its off leg: same
+//!   count, same total SIMT instructions, same lane utilization (the
+//!   bytecode interpreter and the tier-1 bodies replace plan walking,
+//!   not the cost-model-visible set operations);
+//! * tier routing lands exactly where the policy says: under profiling,
+//!   the q8 cascades reach tier 1 (their claim loops cross the
+//!   threshold) while q1 (path: never auto-promoted) and q6 (general:
+//!   no tier-1 body) stay on tier 0; under forced specialization, q1
+//!   and q8 serve tier 1 and only q6 remains bytecode-dispatched.
+//!
+//! The final `bytecode_check totals:` line is grepped by `ci.sh`'s
+//! `smoke:bytecode` phase — nonzero specialized traffic proves the
+//! tier-1 bodies actually ran rather than silently falling back.
+
+use stmatch_bench::hotpath;
+use stmatch_core::{Engine, EngineConfig, MatchOutcome};
+
+/// Profile threshold for the tier-up leg: low enough that every q8
+/// workload's claim loop crosses it mid-run, high enough to exercise the
+/// counter batching rather than promote on the first flush.
+const TIER_UP_AFTER: u64 = 256;
+
+fn compiled_config(tier_up_after: u64) -> EngineConfig {
+    let mut cfg = hotpath::config();
+    cfg.compile.enabled = true;
+    cfg.compile.tier_up_after = tier_up_after;
+    cfg
+}
+
+/// One workload row: (name, graph, query, pinned count (None = GOLDEN
+/// row), expected tier under profiling, expected tier under forced spec).
+type Workload<'g> = (
+    &'g str,
+    &'g stmatch_graph::Graph,
+    usize,
+    Option<u64>,
+    u8,
+    u8,
+);
+
+fn main() {
+    let pa = hotpath::graph();
+    let er = hotpath::clique_graph();
+    let suite: [Workload; 4] = [
+        ("q1", &pa, 1, None, 0, 1),
+        ("q6", &pa, 6, None, 0, 0),
+        ("q8", &pa, 8, None, 1, 1),
+        ("clique", &er, 8, Some(hotpath::CLIQUE_COUNT), 1, 1),
+    ];
+
+    let mut failed = false;
+    let mut fail = |msg: String| {
+        eprintln!("bytecode_check DRIFT: {msg}");
+        failed = true;
+    };
+    let metrics_match = |leg: &MatchOutcome, off: &MatchOutcome| -> Result<(), String> {
+        if leg.count != off.count {
+            return Err(format!("count {} != {}", leg.count, off.count));
+        }
+        if leg.total_instructions() != off.total_instructions() {
+            return Err(format!(
+                "instructions {} != {}",
+                leg.total_instructions(),
+                off.total_instructions()
+            ));
+        }
+        let (lu, ou) = (
+            leg.metrics.total().lane_utilization(),
+            off.metrics.total().lane_utilization(),
+        );
+        if lu != ou {
+            return Err(format!("lane utilization {lu} != {ou}"));
+        }
+        Ok(())
+    };
+
+    let (mut specialized_runs, mut tier0_runs) = (0u64, 0u64);
+    for (name, g, qi, pinned, wanted_profiled, wanted_forced) in suite {
+        let q = hotpath::query(qi);
+
+        let off = Engine::new(hotpath::config()).run(g, &q).unwrap();
+        match pinned {
+            // PA workloads: the disabled leg must be bit-identical to the
+            // pre-compilation GOLDEN row.
+            None => {
+                if let Err(e) = hotpath::check(qi, &off) {
+                    fail(format!("{name} off-leg: {e}"));
+                }
+            }
+            Some(want) if off.count != want => {
+                fail(format!("{name} off-leg count {} != {want}", off.count));
+            }
+            Some(_) => {}
+        }
+        if off.served_tier.is_some() {
+            fail(format!(
+                "{name} off-leg reported tier {:?} with compilation off",
+                off.served_tier
+            ));
+        }
+
+        for (leg, cfg, wanted) in [
+            ("profiled", compiled_config(TIER_UP_AFTER), wanted_profiled),
+            ("forced", compiled_config(0), wanted_forced),
+        ] {
+            let on = Engine::new(cfg).run(g, &q).unwrap();
+            if let Err(e) = metrics_match(&on, &off) {
+                fail(format!("{name} {leg}-leg: {e}"));
+            }
+            if on.served_tier != Some(wanted) {
+                fail(format!(
+                    "{name} {leg}-leg routed to tier {:?}, expected Some({wanted})",
+                    on.served_tier
+                ));
+            }
+            match on.served_tier {
+                Some(1) => specialized_runs += 1,
+                Some(_) => tier0_runs += 1,
+                None => {}
+            }
+            println!(
+                "bytecode {name} {leg}: count={} instr={} tier={:?}",
+                on.count,
+                on.total_instructions(),
+                on.served_tier
+            );
+        }
+    }
+    println!("bytecode_check totals: specialized_runs={specialized_runs} tier0_runs={tier0_runs}");
+    if failed {
+        std::process::exit(1);
+    }
+}

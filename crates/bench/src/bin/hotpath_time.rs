@@ -15,18 +15,27 @@
 //!   noise the way the PR 2 protocol interleaved baseline/post binaries.
 //!   Both legs share one graph with the index attached — the disabled
 //!   engine ignores it, so the off leg measures the pre-bitmap path.
+//! * `--tiers`: interleaves three compilation legs per rep — `base`
+//!   (plan walking), `bc` (tier-0 bytecode dispatch, specialization
+//!   pinned off), `spec` (tier-1 shape-specialized bodies, promotion
+//!   forced via `tier_up_after = 0`) — on one shared graph and plan.
+//!   The `spec` leg holds a persistent [`stmatch_core::CompiledPlan`]
+//!   across reps, the way the resident service serves a promoted cache
+//!   entry; `bc` recompiles per run (the one-shot path). This is the
+//!   measurement protocol behind `BENCH_PR7.json`.
 
 use stmatch_bench::hotpath;
-use stmatch_core::Engine;
+use stmatch_core::{CompiledPlan, Engine};
 
 fn main() {
-    let usage = "usage: hotpath_time <query|clique> <reps> [--bitmap] [--ab]";
+    let usage = "usage: hotpath_time <query|clique> <reps> [--bitmap] [--ab] [--tiers]";
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pos = args.iter().filter(|a| !a.starts_with("--"));
     let workload = pos.next().expect(usage).as_str();
     let reps: usize = pos.next().expect(usage).parse().unwrap();
     let bitmap = args.iter().any(|a| a == "--bitmap");
     let ab = args.iter().any(|a| a == "--ab");
+    let tiers = args.iter().any(|a| a == "--tiers");
 
     let (mut g, qi) = if workload == "clique" {
         (hotpath::clique_graph(), 8)
@@ -39,9 +48,37 @@ fn main() {
     let q = hotpath::query(qi);
 
     let off = Engine::new(hotpath::config());
-    let on = Engine::new(hotpath::config().with_hub_bitmap(true));
     let plan = off.compile(&q);
 
+    if tiers {
+        let mut bc_cfg = hotpath::config();
+        bc_cfg.compile.enabled = true;
+        bc_cfg.compile.specialize = false;
+        let bc = Engine::new(bc_cfg);
+        let mut spec_cfg = hotpath::config();
+        spec_cfg.compile.enabled = true;
+        spec_cfg.compile.tier_up_after = 0;
+        let spec = Engine::new(spec_cfg);
+        let resident = CompiledPlan::lower(&plan, spec_cfg.compile).expect("hotpath plans lower");
+        for _ in 0..reps {
+            for (engine, prefix, compiled) in [
+                (&off, "base ", None),
+                (&bc, "bc ", None),
+                (&spec, "spec ", Some(&resident)),
+            ] {
+                let t = std::time::Instant::now();
+                let out = match compiled {
+                    Some(c) => engine.run_plan_compiled(&g, &plan, c).unwrap(),
+                    None => engine.run_plan(&g, &plan).unwrap(),
+                };
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                println!("{prefix}{ms:.3} {}", out.count);
+            }
+        }
+        return;
+    }
+
+    let on = Engine::new(hotpath::config().with_hub_bitmap(true));
     let timed = |engine: &Engine, prefix: &str| {
         let t = std::time::Instant::now();
         let out = engine.run_plan(&g, &plan).unwrap();

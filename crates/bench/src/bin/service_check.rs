@@ -15,8 +15,10 @@
 //!
 //! `--stress` runs the many-clients soak: 8 client threads × 25 queries
 //! each, every submission a randomly relabeled isomorphic copy of a
-//! golden query, counts verified under load — and writes throughput and
-//! p50/p95 latency to `BENCH_PR6.json` (or `--out=<path>`).
+//! golden query, counts verified under load — with plan compilation on,
+//! so resident cascades tier up while their cache entries are being hit
+//! — and writes throughput, p50/p95 latency, and the tier counters to
+//! `BENCH_PR6.json` (or `--out=<path>`).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -269,9 +271,16 @@ fn run_stress(out_path: &str) -> bool {
     const PER_CLIENT: usize = 25;
     let workers = 4usize;
     let batch_max = 8usize;
+    // The soak runs with plan compilation on (default profile threshold):
+    // resident cascades tier up under load while isomorphic relabelings
+    // keep hitting their promoted cache entries, and the tier counters
+    // land in the JSON below. Counts stay pinned to the same goldens as
+    // the compile-off gates above.
+    let mut engine_cfg = EngineConfig::default().with_grid(grid());
+    engine_cfg.compile.enabled = true;
     let svc = MatchService::new(
         Arc::new(fixture()),
-        ServiceConfig::new(EngineConfig::default().with_grid(grid()))
+        ServiceConfig::new(engine_cfg)
             .with_workers(workers)
             .with_batch_max(batch_max),
     );
@@ -325,11 +334,13 @@ fn run_stress(out_path: &str) -> bool {
     println!(
         "stress: {total} queries / {CLIENTS} clients in {wall_ms:.0} ms \
          ({throughput:.1} q/s, p50 {:.2} ms, p95 {:.2} ms, {mismatches} mismatches, \
-         cache {}/{} hit)",
+         cache {}/{} hit, {} tier-ups, {} specialized)",
         pct(0.50),
         pct(0.95),
         stats.hits,
         stats.hits + stats.misses,
+        stats.tier_ups,
+        stats.specialized_hits,
     );
     let json = format!(
         "{{\n  \"bench\": \"service_stress\",\n  \"unix_time\": {unix},\n  \
@@ -341,7 +352,8 @@ fn run_stress(out_path: &str) -> bool {
          \"wall_ms\": {wall_ms:.1},\n    \"throughput_qps\": {throughput:.1},\n    \
          \"latency_ms\": {{ \"p50\": {p50:.3}, \"p95\": {p95:.3}, \"max\": {max:.3} }},\n    \
          \"count_mismatches\": {mismatches},\n    \
-         \"plan_cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \"entries\": {entries} }}\n  }}\n}}\n",
+         \"plan_cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \"entries\": {entries}, \
+         \"tier_ups\": {tier_ups}, \"tier0_served\": {tier0}, \"specialized_hits\": {spec} }}\n  }}\n}}\n",
         unix = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -352,6 +364,9 @@ fn run_stress(out_path: &str) -> bool {
         hits = stats.hits,
         misses = stats.misses,
         entries = stats.entries,
+        tier_ups = stats.tier_ups,
+        tier0 = stats.tier0_served,
+        spec = stats.specialized_hits,
     );
     if let Err(e) = std::fs::write(out_path, json) {
         eprintln!("stress: failed to write {out_path}: {e}");

@@ -63,6 +63,11 @@ pub struct EngineConfig {
     /// requeued from dead warps (see `recover` and DESIGN.md §4d).
     /// [`RecoveryPolicy::disabled`] restores fail-fast launches.
     pub recovery: RecoveryPolicy,
+    /// Plan-compilation tiers (bytecode dispatch + profile-guided
+    /// specialization, see `compile` and DESIGN.md §4h). Disabled by
+    /// default: the kernel then walks the plan per claim exactly as
+    /// pre-compilation revisions did, bit-identically.
+    pub compile: CompileTuning,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +87,42 @@ impl Default for EngineConfig {
             setops: SetOpTuning::default(),
             hub_bitmap: HubBitmapTuning::default(),
             recovery: RecoveryPolicy::default(),
+            compile: CompileTuning::default(),
+        }
+    }
+}
+
+/// Plan-compilation knob: whether the kernel executes lowered bytecode
+/// instead of walking the plan per claim, and when profile counters promote
+/// a plan to its monomorphized tier-1 body.
+///
+/// Compilation never changes match results or simulated metrics — each
+/// bytecode instruction issues exactly the set-operation call the plan walk
+/// would have — so the tiers only change host-side dispatch cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileTuning {
+    /// Execute plans through lowered bytecode (default `false`). Only the
+    /// classic element engine compiles; with hub-bitmap routing enabled the
+    /// kernel keeps plan-walking, so `compile` + `hub_bitmap` behaves
+    /// exactly like `hub_bitmap` alone.
+    pub enabled: bool,
+    /// Claims observed (across every run sharing the compiled plan, e.g.
+    /// via the service's plan cache) before a specializable plan is
+    /// promoted to tier 1 (default 4096). `0` skips profiling and starts
+    /// specializable plans at tier 1.
+    pub tier_up_after: u64,
+    /// Allow tier-1 monomorphized bodies at all (default `true`). With
+    /// `false`, every compiled plan stays on the tier-0 dispatch loop —
+    /// the pure-bytecode measurement point of `BENCH_PR7.json`.
+    pub specialize: bool,
+}
+
+impl Default for CompileTuning {
+    fn default() -> Self {
+        CompileTuning {
+            enabled: false,
+            tier_up_after: 4096,
+            specialize: true,
         }
     }
 }
@@ -184,6 +225,12 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with plan-compilation tiers switched on or off.
+    pub fn with_compile(mut self, enabled: bool) -> Self {
+        self.compile.enabled = enabled;
+        self
+    }
+
     /// Validates internal consistency; every launch entry point calls this
     /// before building warp state, so a malformed config fails loudly at
     /// the API boundary instead of corrupting a lane mapping deep in the
@@ -203,6 +250,10 @@ impl EngineConfig {
         );
         assert!(self.max_degree_slab >= 1, "max_degree_slab must be >= 1");
         assert!(self.chunk_size >= 1, "chunk_size must be >= 1");
+        // `compile` needs no range check here: every CompileTuning value is
+        // admissible, and malformed *streams* are rejected at lower time by
+        // `PlanBytecode::verify` with a named BytecodeError (same fail-loud
+        // boundary as the unroll assertion above).
     }
 }
 
@@ -226,6 +277,12 @@ mod tests {
         assert!(!c.hub_bitmap.enabled);
         assert_eq!(c.hub_bitmap.hub_threshold, 32);
         assert!(c.with_hub_bitmap(true).hub_bitmap.enabled);
+        // Compilation tiers also default off (bit-identical baseline);
+        // tier-1 promotion defaults to a profile threshold, not instant.
+        assert!(!c.compile.enabled);
+        assert_eq!(c.compile.tier_up_after, 4096);
+        assert!(c.compile.specialize);
+        assert!(c.with_compile(true).compile.enabled);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   ladder of [`recover::degrade`] and records each rung taken in
 //!   [`MatchOutcome::downgrades`].
 
+use crate::compile::CompiledPlan;
 use crate::config::EngineConfig;
 use crate::fault::{FaultPlan, FaultReport, WarpDeath};
 use crate::kernel::WarpKernel;
@@ -75,6 +76,12 @@ pub struct MatchOutcome {
     /// Candidate-list slab overflows that spilled to the heap (see
     /// `arena`); nonzero after slab-shrinking downgrades on dense graphs.
     pub spill_events: u64,
+    /// The execution tier the run's compiled plan sat at when the launch
+    /// completed (`0` = bytecode dispatch, `1` = shape-specialized), or
+    /// `None` when plan compilation was off — or routed around, as when
+    /// hub-bitmap acceleration owns the set operations. A run that tiers
+    /// up mid-launch reports the *final* tier.
+    pub served_tier: Option<u8>,
 }
 
 impl MatchOutcome {
@@ -206,7 +213,7 @@ impl Engine {
         plan: &MatchPlan,
     ) -> Result<Enumeration, LaunchError> {
         let collector = Mutex::new(Vec::new());
-        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector), None)?;
+        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector), None, None)?;
         // Warps emit flat k-strided records; chunk them into per-embedding
         // vectors here, off the hot path.
         let k = plan.num_levels();
@@ -241,7 +248,33 @@ impl Engine {
         plan: &MatchPlan,
         warm: &WarmSlot,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, Some(warm))
+        self.run_inner(graph, plan, 0, 1, None, Some(warm), None)
+    }
+
+    /// [`Engine::run_plan`] against a caller-held [`CompiledPlan`] whose
+    /// tier/profile state persists across runs. This is how the resident
+    /// service serves warm queries at their promoted tier: the profile
+    /// counter lives in the plan-cache entry, not the launch. The compiled
+    /// plan must have been lowered from `plan` (same canonical query).
+    pub fn run_plan_compiled(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        compiled: &CompiledPlan,
+    ) -> Result<MatchOutcome, LaunchError> {
+        self.run_inner(graph, plan, 0, 1, None, None, Some(compiled))
+    }
+
+    /// [`Engine::run_plan_warm`] with a caller-held [`CompiledPlan`] (see
+    /// [`Engine::run_plan_compiled`]).
+    pub fn run_plan_warm_compiled(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        warm: &WarmSlot,
+        compiled: Option<&CompiledPlan>,
+    ) -> Result<MatchOutcome, LaunchError> {
+        self.run_inner(graph, plan, 0, 1, None, Some(warm), compiled)
     }
 
     /// Matches only the level-0 vertices `v` with `v % devices == device` —
@@ -255,13 +288,14 @@ impl Engine {
         device: usize,
         devices: usize,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, device, devices, None, None)
+        self.run_inner(graph, plan, device, devices, None, None, None)
     }
 
     /// Degradation-ladder driver: attempts the launch at the configured
     /// settings, and on a planning failure retries (with backoff, bounded
     /// by the recovery policy) at the next rung of
     /// [`recover::degrade`]'s count-invariant ladder.
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
         graph: &Graph,
@@ -270,6 +304,7 @@ impl Engine {
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
         warm: Option<&WarmSlot>,
+        ext: Option<&CompiledPlan>,
     ) -> Result<MatchOutcome, LaunchError> {
         assert!(devices >= 1 && device < devices);
         self.cfg.validate();
@@ -284,11 +319,27 @@ impl Engine {
         } else {
             None
         };
+        // Lower the plan to bytecode once, outside the degradation loop
+        // (the ladder never changes the plan). Callers holding a persistent
+        // CompiledPlan (the service cache) pass it in; one-shot runs lower
+        // a fresh instance here. Hub routing owns the set operations when
+        // enabled, so compilation is skipped alongside it.
+        let owned_compiled = (cfg.compile.enabled && hubs.is_none() && ext.is_none()).then(|| {
+            CompiledPlan::lower(plan, cfg.compile)
+                .expect("plans produced by MatchPlan::compile always lower")
+        });
+        let compiled = if cfg.compile.enabled && hubs.is_none() {
+            ext.or(owned_compiled.as_ref())
+        } else {
+            None
+        };
         let mut downgrades: Vec<DowngradeStep> = Vec::new();
         loop {
             // Planning failures happen before any warp runs, so retrying
             // here can never double-count (and never touches `collector`).
-            match self.attempt(&cfg, graph, plan, hubs, device, devices, collector, warm) {
+            match self.attempt(
+                &cfg, graph, plan, hubs, compiled, device, devices, collector, warm,
+            ) {
                 Ok(mut outcome) => {
                     outcome.downgrades = downgrades;
                     return Ok(outcome);
@@ -319,6 +370,7 @@ impl Engine {
         graph: &Graph,
         plan: &MatchPlan,
         hubs: Option<&HubBitmapIndex>,
+        compiled: Option<&CompiledPlan>,
         device: usize,
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
@@ -349,7 +401,7 @@ impl Engine {
         let stack_bytes = plan.num_sets() * cfg.unroll * cfg.max_degree_slab * 4 * num_warps;
         self.memory.try_alloc(stack_bytes)?;
         let stats = self.launch(
-            cfg, graph, plan, hubs, &grid, stop, device, devices, collector, warm,
+            cfg, graph, plan, hubs, compiled, &grid, stop, device, devices, collector, warm,
         );
         self.memory.free(stack_bytes);
         Ok(MatchOutcome {
@@ -366,6 +418,9 @@ impl Engine {
             },
             downgrades: Vec::new(),
             spill_events: stats.spill_events,
+            // Snapshot after the launch: a mid-run tier-up is reported at
+            // the tier the plan ended up on.
+            served_tier: compiled.map(|c| c.tier().index()),
         })
     }
 
@@ -376,6 +431,7 @@ impl Engine {
         graph: &Graph,
         plan: &MatchPlan,
         hubs: Option<&HubBitmapIndex>,
+        compiled: Option<&CompiledPlan>,
         grid: &Grid,
         stop: usize,
         device: usize,
@@ -433,8 +489,8 @@ impl Engine {
             let arenas = warm.map(WarmSlot::arenas);
             let body = |warp: &mut stmatch_gpusim::Warp| {
                 self.warp_body(
-                    cfg, graph, plan, hubs, &board, faults, device, devices, collector, &deaths,
-                    arenas, warp,
+                    cfg, graph, plan, hubs, compiled, &board, faults, device, devices, collector,
+                    &deaths, arenas, warp,
                 );
             };
             let (pass_metrics, escaped) = match warm {
@@ -489,6 +545,7 @@ impl Engine {
         graph: &Graph,
         plan: &MatchPlan,
         hubs: Option<&HubBitmapIndex>,
+        compiled: Option<&CompiledPlan>,
         board: &Board,
         faults: Option<&FaultPlan>,
         device: usize,
@@ -508,7 +565,9 @@ impl Engine {
             // Warm path: recycle a parked arena (reset, not reallocated)
             // instead of building fresh slabs for this query.
             let recycled = arenas.and_then(ArenaPool::checkout);
-            let mut k = WarpKernel::with_arena(graph, plan, cfg, board, me, faults, hubs, recycled);
+            let mut k = WarpKernel::with_arena(
+                graph, plan, cfg, board, me, faults, hubs, recycled, compiled,
+            );
             k.set_device_partition(device, devices);
             if collector.is_some() {
                 k.enable_enumeration();
@@ -893,6 +952,78 @@ mod tests {
         let engine = Engine::new(EngineConfig::default().with_grid(small_grid()));
         let en = engine.enumerate(&g, &p).unwrap();
         assert_eq!(en.embeddings, vec![vec![1], vec![2], vec![3], vec![4]]);
+    }
+
+    /// Steals off, unrolling on: the deterministic schedule under which
+    /// instruction totals are reproducible across runs (steal timing would
+    /// otherwise perturb batch composition), with the warp-wave batching
+    /// the compiled tiers must reproduce still fully exercised.
+    fn deterministic_cfg() -> EngineConfig {
+        EngineConfig {
+            local_steal: false,
+            global_steal: false,
+            ..EngineConfig::default().with_grid(small_grid())
+        }
+    }
+
+    #[test]
+    fn compiled_tiers_preserve_counts_and_metrics() {
+        let g = gen::preferential_attachment(300, 5, 11).degree_ordered();
+        for q in [1, 6, 8] {
+            let p = catalog::paper_query(q);
+            let base = Engine::new(deterministic_cfg()).run(&g, &p).unwrap();
+            assert_eq!(base.served_tier, None, "q{q}: compile off reports no tier");
+            // Tier 0 only: bytecode dispatch must be invisible in metrics.
+            let mut cfg = deterministic_cfg();
+            cfg.compile.enabled = true;
+            cfg.compile.specialize = false;
+            let bc = Engine::new(cfg).run(&g, &p).unwrap();
+            assert_eq!(bc.count, base.count, "q{q} tier-0 count");
+            assert_eq!(
+                bc.total_instructions(),
+                base.total_instructions(),
+                "q{q} tier-0 instructions"
+            );
+            assert_eq!(
+                bc.metrics.total().lane_utilization(),
+                base.metrics.total().lane_utilization(),
+                "q{q} tier-0 lanes"
+            );
+            assert_eq!(bc.served_tier, Some(0), "q{q} stays tier 0");
+            // Forced specialization (threshold 0): q1 path and q8 cascade
+            // get tier-1 bodies, q6 (general) stays on bytecode.
+            let mut cfg = deterministic_cfg();
+            cfg.compile.enabled = true;
+            cfg.compile.tier_up_after = 0;
+            let spec = Engine::new(cfg).run(&g, &p).unwrap();
+            assert_eq!(spec.count, base.count, "q{q} tier-1 count");
+            assert_eq!(
+                spec.total_instructions(),
+                base.total_instructions(),
+                "q{q} tier-1 instructions"
+            );
+            let expect = if q == 6 { Some(0) } else { Some(1) };
+            assert_eq!(spec.served_tier, expect, "q{q} routing");
+        }
+    }
+
+    #[test]
+    fn compile_with_hub_bitmap_routes_to_hub_path() {
+        // Hub routing owns set operations; compilation must step aside so
+        // compile+bitmap behaves exactly like bitmap alone.
+        let g = gen::preferential_attachment(300, 5, 11).degree_ordered();
+        let p = catalog::paper_query(8);
+        let mut bitmap_only = deterministic_cfg();
+        bitmap_only.hub_bitmap.enabled = true;
+        let base = Engine::new(bitmap_only).run(&g, &p).unwrap();
+        let mut both = deterministic_cfg();
+        both.hub_bitmap.enabled = true;
+        both.compile.enabled = true;
+        both.compile.tier_up_after = 0;
+        let out = Engine::new(both).run(&g, &p).unwrap();
+        assert_eq!(out.count, base.count);
+        assert_eq!(out.total_instructions(), base.total_instructions());
+        assert_eq!(out.served_tier, None, "hub routing disables compilation");
     }
 
     #[test]

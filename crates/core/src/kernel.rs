@@ -42,15 +42,45 @@
 //! through a commit watermark (`emit_mark`).
 
 use crate::arena::StackArena;
+use crate::compile::{CompiledPlan, Tier};
 use crate::config::{EngineConfig, MAX_UNROLL};
 use crate::fault::FaultPlan;
 use crate::setops;
 use crate::steal::{Board, StealPayload};
 use stmatch_gpusim::Warp;
 use stmatch_graph::{Graph, HubBitmapIndex, VertexId};
+use stmatch_pattern::bytecode::{OpCode, PlanBytecode, SpecShape};
 use stmatch_pattern::plan::{Base, ChainOp};
 use stmatch_pattern::symmetry::Bound;
 use stmatch_pattern::{LabelMask, MatchPlan, OpKind};
+
+/// Monomorphization table for the tier-1 shape bodies: one arm per
+/// `(UNROLL, NUM_SETS)` point, keyed on the live config and plan. Unrolls
+/// outside the power-of-two ladder or plans wider than the table fall back
+/// to the tier-0 dispatch loop (returning `false`), which is always
+/// metric-identical — specialization is a strict fast path, never a
+/// semantic fork.
+macro_rules! shape_dispatch {
+    ($self:ident . $method:ident ($warp:ident, $level:ident, $bat:ident, $bc:ident)) => {
+        shape_dispatch!(@arms $self.$method($warp, $level, $bat, $bc);
+            (1, 1), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7),
+            (2, 1), (2, 2), (2, 3), (2, 4), (2, 5), (2, 6), (2, 7),
+            (4, 1), (4, 2), (4, 3), (4, 4), (4, 5), (4, 6), (4, 7),
+            (8, 1), (8, 2), (8, 3), (8, 4), (8, 5), (8, 6), (8, 7),
+            (16, 1), (16, 2), (16, 3), (16, 4), (16, 5), (16, 6), (16, 7),
+            (32, 1), (32, 2), (32, 3), (32, 4), (32, 5), (32, 6), (32, 7))
+    };
+    (@arms $self:ident . $method:ident ($warp:ident, $level:ident, $bat:ident, $bc:ident);
+     $(($u:literal, $n:literal)),+) => {
+        match ($self.cfg.unroll, $bc.num_sets()) {
+            $(($u, $n) => {
+                $self.$method::<$u, $n>($warp, $level, $bat, $bc);
+                true
+            })+
+            _ => false,
+        }
+    };
+}
 
 /// Per-warp kernel state.
 pub struct WarpKernel<'a> {
@@ -120,6 +150,15 @@ pub struct WarpKernel<'a> {
     /// keeps every set operation on the classic element paths,
     /// bit-identical to pre-bitmap revisions.
     hubs: Option<&'a HubBitmapIndex>,
+    /// Compiled-plan tiers, present iff `cfg.compile.enabled` and hub
+    /// routing is off (the tiers accelerate the classic element engine;
+    /// see `engine::run_inner`). `None` keeps the per-claim plan walk,
+    /// bit-identical to pre-compilation revisions.
+    compiled: Option<&'a CompiledPlan>,
+    /// Claims recorded since the last profile flush to `compiled` (always
+    /// 0 when compilation is off). Batched so the shared profile counter
+    /// stays off the per-claim fast path.
+    unflushed: u64,
 }
 
 impl<'a> WarpKernel<'a> {
@@ -133,7 +172,7 @@ impl<'a> WarpKernel<'a> {
         faults: Option<&'a FaultPlan>,
         hubs: Option<&'a HubBitmapIndex>,
     ) -> Self {
-        Self::with_arena(g, plan, cfg, board, warp_id, faults, hubs, None)
+        Self::with_arena(g, plan, cfg, board, warp_id, faults, hubs, None, None)
     }
 
     /// [`WarpKernel::new`] with an optional recycled [`StackArena`] (from a
@@ -151,6 +190,7 @@ impl<'a> WarpKernel<'a> {
         faults: Option<&'a FaultPlan>,
         hubs: Option<&'a HubBitmapIndex>,
         recycle: Option<StackArena>,
+        compiled: Option<&'a CompiledPlan>,
     ) -> Self {
         let k = plan.num_levels();
         let unroll = cfg.unroll;
@@ -202,6 +242,8 @@ impl<'a> WarpKernel<'a> {
             installing: None,
             faults,
             hubs,
+            compiled: if hubs.is_none() { compiled } else { None },
+            unflushed: 0,
         }
     }
 
@@ -248,13 +290,31 @@ impl<'a> WarpKernel<'a> {
     #[inline]
     fn cancelled(&mut self) -> bool {
         self.claims = self.claims.wrapping_add(1);
+        if self.compiled.is_some() {
+            self.unflushed += 1;
+        }
         if let Some(f) = self.faults {
             f.at_claim(self.warp_id, self.claims);
         }
         if self.claims.is_multiple_of(4096) {
+            // Piggyback the profile flush on the existing slow poll so
+            // deep-level claim storms still feed the tier-up counter
+            // without adding fast-path cost (commit() covers the rest).
+            self.flush_profile();
             self.board.check_deadline()
         } else {
             self.board.aborted()
+        }
+    }
+
+    /// Drains the local claim batch into the shared compiled-plan profile
+    /// (which may promote the plan to its specialized tier). No-op when
+    /// compilation is off.
+    fn flush_profile(&mut self) {
+        if self.unflushed != 0 {
+            if let Some(c) = self.compiled {
+                c.note_claims(std::mem::take(&mut self.unflushed));
+            }
         }
     }
 
@@ -271,6 +331,7 @@ impl<'a> WarpKernel<'a> {
             self.emit_mark = emb.len();
         }
         self.inflight = None;
+        self.flush_profile();
     }
 
     /// Candidate-list spill events (slab overflows) observed so far.
@@ -367,7 +428,7 @@ impl<'a> WarpKernel<'a> {
             self.uiter[l] = 0;
             self.iter[l] = 0;
             let b = std::mem::take(&mut self.batch[l]);
-            self.compute_sets(warp, l, &b);
+            self.compute_sets_dispatch(warp, l, &b);
             self.batch[l] = b;
         }
         let mut m = self.board.mirror(self.warp_id).lock();
@@ -493,7 +554,7 @@ impl<'a> WarpKernel<'a> {
     /// validity-filtered into `batch[l + 1]` (slots never mix: all unroll
     /// candidates share one matched path).
     fn claim_deep(&mut self, warp: &mut Warp, l: usize) -> bool {
-        let vy = Validity::new(self.plan, l);
+        let vy = Validity::for_kernel(self.plan, self.compiled, l);
         loop {
             if self.cancelled() {
                 return false;
@@ -555,7 +616,7 @@ impl<'a> WarpKernel<'a> {
         self.iter[l] = 0;
         self.matched[l - 1] = self.batch[l][0];
         let b = std::mem::take(&mut self.batch[l]);
-        self.compute_sets(warp, l, &b);
+        self.compute_sets_dispatch(warp, l, &b);
         self.batch[l] = b;
         // One mirror lock publishes the whole stealable view of the level:
         // `matched[l-1]`, plus level `l`'s iteration range when `l` itself
@@ -602,11 +663,19 @@ impl<'a> WarpKernel<'a> {
     /// current unroll slot.
     #[inline]
     fn candidate_location(&self, l: usize, u: usize) -> (usize, usize) {
-        let cid = self
-            .plan
-            .candidate_set(l)
-            .expect("levels >= 1 have candidate sets") as usize;
-        let def_level = self.plan.sets()[cid].level as usize;
+        let (cid, def_level) = match self.compiled {
+            // Compiled route: the bytecode's side table resolved the
+            // candidate id and definition level at lower time — one flat
+            // load instead of two plan-structure derefs per claim.
+            Some(c) => c.bytecode().candidate(l),
+            None => {
+                let cid = self
+                    .plan
+                    .candidate_set(l)
+                    .expect("levels >= 1 have candidate sets") as usize;
+                (cid, self.plan.sets()[cid].level as usize)
+            }
+        };
         let slot = if def_level == l {
             u
         } else {
@@ -882,6 +951,283 @@ impl<'a> WarpKernel<'a> {
         }
     }
 
+    /// Set-computation entry: routes to the plan walk (compilation off),
+    /// the tier-1 monomorphized body (promoted specializable plans), or
+    /// the tier-0 bytecode dispatch loop. The tier read is one relaxed
+    /// atomic load per level entry; a stale tier-0 snapshot just dispatches
+    /// one more level through bytecode, which is metric-identical.
+    fn compute_sets_dispatch(&mut self, warp: &mut Warp, level: usize, bat: &[VertexId]) {
+        let Some(c) = self.compiled else {
+            self.compute_sets(warp, level, bat);
+            return;
+        };
+        if c.tier() == Tier::Specialized && self.compute_sets_specialized(warp, level, bat, c) {
+            return;
+        }
+        self.compute_sets_bc(warp, level, bat, c.bytecode());
+    }
+
+    /// Tier 0: executes `level`'s lowered instruction stream. Only
+    /// reachable with hub routing off (`self.compiled` is `None`
+    /// otherwise), so every instruction issues exactly the element-path
+    /// set-operation call — with identical operands, masks, staging and
+    /// arena splits — that [`WarpKernel::compute_sets`] would have derived
+    /// from the plan structure. Counts, simulator metrics and simt-check
+    /// shadow events are therefore bit-identical by construction; what the
+    /// stream removes is the per-claim interpretation itself (base-variant
+    /// match, op-vector walk, mask/staging decisions).
+    fn compute_sets_bc(
+        &mut self,
+        warp: &mut Warp,
+        level: usize,
+        bat: &[VertexId],
+        bc: &PlanBytecode,
+    ) {
+        let m = bat.len();
+        debug_assert!(m >= 1 && m <= self.cfg.unroll);
+        let g = self.g;
+        let tuning = self.cfg.setops;
+        let mut matched = [0 as VertexId; stmatch_pattern::MAX_PATTERN_SIZE];
+        matched[..self.k].copy_from_slice(&self.matched);
+        let vertex_at = |pos: usize, u: usize| -> VertexId {
+            if pos == level - 1 {
+                bat[u]
+            } else {
+                matched[pos]
+            }
+        };
+        const EMPTY: &[VertexId] = &[];
+        const NO_BITS: Option<&[u64]> = None;
+        let no_bits = [NO_BITS; MAX_UNROLL];
+        for ins in bc.instrs_at(level) {
+            let pos = ins.pos as usize;
+            match ins.code {
+                OpCode::MaterializeBase | OpCode::BeginChain => {
+                    let mut sources = [EMPTY; MAX_UNROLL];
+                    for (u, s) in sources.iter_mut().enumerate().take(m) {
+                        *s = g.neighbors(vertex_at(pos, u));
+                    }
+                    if ins.last {
+                        let (_, mut sink) = self.storage.split_for_write(ins.dst as usize, m);
+                        setops::materialize_base_into(warp, g, &sources[..m], ins.mask, &mut sink);
+                    } else {
+                        setops::materialize_base_into(
+                            warp,
+                            g,
+                            &sources[..m],
+                            ins.mask,
+                            &mut self.ping[..m],
+                        );
+                    }
+                }
+                OpCode::ApplyFromSet => {
+                    let mut operands = [EMPTY; MAX_UNROLL];
+                    for (u, o) in operands.iter_mut().enumerate().take(m) {
+                        *o = g.neighbors(vertex_at(pos, u));
+                    }
+                    let dep = ins.dep as usize;
+                    let dep_level = ins.dep_level as usize;
+                    // Split in both branches, exactly like the plan walk:
+                    // the split is also the shadow-store write event for
+                    // `dst`, and dependency slots are read through its
+                    // read view.
+                    let (read, mut sink) = self.storage.split_for_write(ins.dst as usize, m);
+                    let mut inputs = [EMPTY; MAX_UNROLL];
+                    for (u, inp) in inputs.iter_mut().enumerate().take(m) {
+                        let slot = if dep_level == level {
+                            u
+                        } else {
+                            self.uiter[dep_level]
+                        };
+                        *inp = read.slot(dep, slot);
+                    }
+                    if ins.last {
+                        setops::apply_op_hub_into(
+                            warp,
+                            g,
+                            &inputs[..m],
+                            &no_bits[..m],
+                            &operands[..m],
+                            &no_bits[..m],
+                            ins.kind,
+                            ins.mask,
+                            tuning,
+                            &mut sink,
+                        );
+                    } else {
+                        setops::apply_op_hub_into(
+                            warp,
+                            g,
+                            &inputs[..m],
+                            &no_bits[..m],
+                            &operands[..m],
+                            &no_bits[..m],
+                            ins.kind,
+                            ins.mask,
+                            tuning,
+                            &mut self.ping[..m],
+                        );
+                    }
+                }
+                OpCode::ChainStep => {
+                    let mut operands = [EMPTY; MAX_UNROLL];
+                    for (u, o) in operands.iter_mut().enumerate().take(m) {
+                        *o = g.neighbors(vertex_at(pos, u));
+                    }
+                    let mut inputs = [EMPTY; MAX_UNROLL];
+                    for (u, inp) in inputs.iter_mut().enumerate().take(m) {
+                        *inp = self.ping[u].as_slice();
+                    }
+                    if ins.last {
+                        let (_, mut sink) = self.storage.split_for_write(ins.dst as usize, m);
+                        setops::apply_op_hub_into(
+                            warp,
+                            g,
+                            &inputs[..m],
+                            &no_bits[..m],
+                            &operands[..m],
+                            &no_bits[..m],
+                            ins.kind,
+                            ins.mask,
+                            tuning,
+                            &mut sink,
+                        );
+                    } else {
+                        setops::apply_op_hub_into(
+                            warp,
+                            g,
+                            &inputs[..m],
+                            &no_bits[..m],
+                            &operands[..m],
+                            &no_bits[..m],
+                            ins.kind,
+                            ins.mask,
+                            tuning,
+                            &mut self.pong[..m],
+                        );
+                        std::mem::swap(&mut self.ping, &mut self.pong);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tier 1: routes to the monomorphized body for the plan's detected
+    /// shape, keyed on the live `(unroll, num_sets)` point. Returns `false`
+    /// (caller falls back to tier 0) for general shapes or points outside
+    /// the dispatch table.
+    fn compute_sets_specialized(
+        &mut self,
+        warp: &mut Warp,
+        level: usize,
+        bat: &[VertexId],
+        c: &CompiledPlan,
+    ) -> bool {
+        let bc = c.bytecode();
+        match c.shape() {
+            SpecShape::Cascade => shape_dispatch!(self.cascade_level(warp, level, bat, bc)),
+            SpecShape::Path => shape_dispatch!(self.path_level(warp, level, bat, bc)),
+            SpecShape::General => false,
+        }
+    }
+
+    /// Tier-1 body for the clique cascade: every level is exactly one
+    /// instruction — materialize `N(bat[u])` at level 1, intersect the
+    /// previous level's candidate with `N(bat[u])` below. Monomorphizing
+    /// `UNROLL` shrinks the slot arrays from `MAX_UNROLL`-sized scratch to
+    /// their exact size and fixes the lane-loop trip counts at compile
+    /// time; `NUM_SETS` pins the instantiation to one plan width so each
+    /// body's arena geometry is static. Calls the same set-operation
+    /// kernels as tier 0 with identical arguments — metrics stay
+    /// bit-identical.
+    fn cascade_level<const UNROLL: usize, const NUM_SETS: usize>(
+        &mut self,
+        warp: &mut Warp,
+        level: usize,
+        bat: &[VertexId],
+        bc: &PlanBytecode,
+    ) {
+        let m = bat.len();
+        debug_assert!(m >= 1 && m <= UNROLL);
+        debug_assert_eq!(bc.num_sets(), NUM_SETS);
+        let g = self.g;
+        const EMPTY: &[VertexId] = &[];
+        const NO_BITS: Option<&[u64]> = None;
+        let &[ins] = bc.instrs_at(level) else {
+            unreachable!("cascade levels lower to exactly one instruction");
+        };
+        let dst = ins.dst as usize;
+        debug_assert!(dst < NUM_SETS);
+        // Cascade operands always sit at position `level - 1`: the batch.
+        let mut sources = [EMPTY; UNROLL];
+        for (u, s) in sources.iter_mut().enumerate().take(m) {
+            *s = g.neighbors(bat[u]);
+        }
+        if ins.code == OpCode::MaterializeBase {
+            let (_, mut sink) = self.storage.split_for_write(dst, m);
+            setops::materialize_base_into(warp, g, &sources[..m], ins.mask, &mut sink);
+            return;
+        }
+        let tuning = self.cfg.setops;
+        // The dependency is the previous level's candidate: one shared
+        // slot for the whole batch (`dep_level == level - 1 != level`).
+        let dep_slot = self.uiter[ins.dep_level as usize];
+        let no_bits = [NO_BITS; UNROLL];
+        let (read, mut sink) = self.storage.split_for_write(dst, m);
+        let mut inputs = [EMPTY; UNROLL];
+        for inp in inputs.iter_mut().take(m) {
+            *inp = read.slot(ins.dep as usize, dep_slot);
+        }
+        setops::apply_op_hub_into(
+            warp,
+            g,
+            &inputs[..m],
+            &no_bits[..m],
+            &sources[..m],
+            &no_bits[..m],
+            ins.kind,
+            ins.mask,
+            tuning,
+            &mut sink,
+        );
+    }
+
+    /// Tier-1 body for path/star plans: every instruction is a chain-free
+    /// neighbor materialization (levels can be empty when code motion
+    /// lifted their candidate to an earlier level). Same monomorphization
+    /// rationale as [`WarpKernel::cascade_level`].
+    fn path_level<const UNROLL: usize, const NUM_SETS: usize>(
+        &mut self,
+        warp: &mut Warp,
+        level: usize,
+        bat: &[VertexId],
+        bc: &PlanBytecode,
+    ) {
+        let m = bat.len();
+        debug_assert!(m >= 1 && m <= UNROLL);
+        debug_assert_eq!(bc.num_sets(), NUM_SETS);
+        let g = self.g;
+        const EMPTY: &[VertexId] = &[];
+        let mut matched = [0 as VertexId; stmatch_pattern::MAX_PATTERN_SIZE];
+        matched[..self.k].copy_from_slice(&self.matched);
+        let prog = bc.instrs_at(level);
+        debug_assert!(prog.len() <= NUM_SETS);
+        for ins in prog {
+            let pos = ins.pos as usize;
+            let mut sources = [EMPTY; UNROLL];
+            for (u, s) in sources.iter_mut().enumerate().take(m) {
+                let v = if pos == level - 1 {
+                    bat[u]
+                } else {
+                    matched[pos]
+                };
+                *s = g.neighbors(v);
+            }
+            let (_, mut sink) = self.storage.split_for_write(ins.dst as usize, m);
+            setops::materialize_base_into(warp, g, &sources[..m], ins.mask, &mut sink);
+        }
+    }
+
     /// Last level: counts (or, when enumerating, outputs) the valid
     /// candidates of every slot instead of iterating them (Fig. 3 line 16).
     ///
@@ -895,7 +1241,7 @@ impl<'a> WarpKernel<'a> {
     fn count_last_level(&mut self, warp: &mut Warp) {
         let l = self.k - 1;
         let slots = self.batch[l].len();
-        let vy = Validity::new(self.plan, l);
+        let vy = Validity::for_kernel(self.plan, self.compiled, l);
         let mut total = 0u64;
         for u in 0..slots {
             self.matched[l - 1] = self.batch[l][u];
@@ -939,13 +1285,17 @@ impl<'a> WarpKernel<'a> {
     #[inline]
     fn valid(&self, l: usize, v: VertexId) -> bool {
         if l == 0 {
-            if let Some(lbl) = self.plan.level_label(0) {
+            let lbl = match self.compiled {
+                Some(c) => c.bytecode().level_meta(0).label,
+                None => self.plan.level_label(0),
+            };
+            if let Some(lbl) = lbl {
                 if self.g.label(v) != lbl {
                     return false;
                 }
             }
         }
-        valid_candidate(self.g, self.plan, &self.matched, l, v)
+        Validity::for_kernel(self.plan, self.compiled, l).check(self.g, &self.matched, l, v)
     }
 }
 
@@ -964,6 +1314,22 @@ impl<'p> Validity<'p> {
         Validity {
             resid: plan.residual_label_check(l),
             bounds: plan.bounds(l),
+        }
+    }
+
+    /// Resolves the per-level context from the compiled plan's flat side
+    /// tables when compilation is on (one slice index instead of the plan's
+    /// per-level structure walk), from the plan otherwise. The bytecode
+    /// tables are snapshots of the same plan fields, so both routes yield
+    /// identical contexts.
+    #[inline]
+    fn for_kernel(plan: &'p MatchPlan, compiled: Option<&'p CompiledPlan>, l: usize) -> Self {
+        match compiled {
+            Some(c) => Validity {
+                resid: c.bytecode().level_meta(l).resid,
+                bounds: c.bytecode().bounds(l),
+            },
+            None => Validity::new(plan, l),
         }
     }
 
@@ -992,19 +1358,6 @@ impl<'p> Validity<'p> {
         }
         true
     }
-}
-
-/// Injectivity, residual-label and symmetry-bound check against the
-/// matched prefix (one-off form; hot loops hoist a [`Validity`] instead).
-#[inline]
-fn valid_candidate(
-    g: &Graph,
-    plan: &MatchPlan,
-    matched: &[VertexId],
-    l: usize,
-    v: VertexId,
-) -> bool {
-    Validity::new(plan, l).check(g, matched, l, v)
 }
 
 /// Valid-candidate count of a strictly sorted candidate list, in closed

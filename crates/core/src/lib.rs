@@ -40,6 +40,7 @@
 //! ```
 
 pub mod arena;
+pub mod compile;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -51,7 +52,8 @@ pub mod service;
 pub mod setops;
 pub mod steal;
 
-pub use config::{EngineConfig, HubBitmapTuning};
+pub use compile::{CompiledPlan, Tier};
+pub use config::{CompileTuning, EngineConfig, HubBitmapTuning};
 pub use engine::{Engine, Enumeration, MatchOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
 pub use multi::{run_multi_device, MultiDeviceOutcome};

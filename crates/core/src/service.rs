@@ -36,6 +36,7 @@
 //! goes through the tracked lock — and kill the seeded
 //! [`mutation::cache_insert_without_lock`] by name.
 
+use crate::compile::CompiledPlan;
 use crate::config::EngineConfig;
 use crate::engine::{Engine, MatchOutcome};
 use crate::fault::FaultPlan;
@@ -149,7 +150,9 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Plan-cache hit/miss/occupancy counters.
+/// Plan-cache hit/miss/occupancy counters, plus the execution-tier
+/// counters of the resident compiled plans (all zero when
+/// `EngineConfig::compile` is off).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -159,6 +162,15 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries resident — at most one per (canonical form, induced).
     pub entries: usize,
+    /// Tier promotions performed by resident compiled plans: how many
+    /// cache entries crossed their profile threshold and now serve the
+    /// shape-specialized body to every subsequent hit.
+    pub tier_ups: u64,
+    /// Queries served at tier 0 (bytecode dispatch).
+    pub tier0_served: u64,
+    /// Queries served at tier 1 — specialization hits: warm cache entries
+    /// whose promoted tier paid off on a later submission.
+    pub specialized_hits: u64,
 }
 
 /// A pending reply: hold it and [`wait`](Ticket::wait) when the result is
@@ -204,6 +216,17 @@ impl PlanKey {
     }
 }
 
+/// One plan-cache entry: the canonical plan plus — when plan compilation
+/// is on — its persistent [`CompiledPlan`]. Holding the compiled plan in
+/// the cache is what makes tier promotion *resident*: the profile counter
+/// and tier survive across queries, so a warm hit is served straight at
+/// the promoted tier.
+#[derive(Clone)]
+struct CachedPlan {
+    plan: Arc<MatchPlan>,
+    compiled: Option<Arc<CompiledPlan>>,
+}
+
 /// State shared between clients and workers.
 struct Inner {
     graph: Arc<Graph>,
@@ -212,10 +235,13 @@ struct Inner {
     /// shadow cell, so concurrent services never alias in the checker.
     check_id: u32,
     queue: Mutex<VecDeque<Request>>,
-    cache: Mutex<HashMap<PlanKey, Arc<MatchPlan>>>,
+    cache: Mutex<HashMap<PlanKey, CachedPlan>>,
     shutdown: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Queries served at each tier (from `MatchOutcome::served_tier`).
+    tier0_served: AtomicU64,
+    tier1_served: AtomicU64,
 }
 
 impl Inner {
@@ -227,7 +253,7 @@ impl Inner {
         )
     }
 
-    fn lock_cache(&self) -> simt_check::Tracked<'_, HashMap<PlanKey, Arc<MatchPlan>>> {
+    fn lock_cache(&self) -> simt_check::Tracked<'_, HashMap<PlanKey, CachedPlan>> {
         simt_check::tracked_lock(
             &self.cache,
             simt_check::LockClass::ServicePlanCache,
@@ -239,14 +265,14 @@ impl Inner {
     /// acquisition and a map probe; the miss path compiles outside the
     /// lock and inserts through the entry API, so two racers compiling
     /// the same canonical form still land exactly one entry.
-    fn plan_for(&self, pattern: &Pattern, induced: bool) -> Arc<MatchPlan> {
+    fn plan_for(&self, pattern: &Pattern, induced: bool) -> CachedPlan {
         let key = PlanKey::new(pattern, induced);
         {
             let cache = self.lock_cache();
             simt_check::note_read(simt_check::Cell::plan_cache(self.check_id));
-            if let Some(plan) = cache.get(&key) {
+            if let Some(entry) = cache.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(plan);
+                return entry.clone();
             }
         }
         let plan = Arc::new(MatchPlan::compile(
@@ -257,10 +283,23 @@ impl Inner {
                 symmetry_breaking: self.cfg.engine.symmetry_breaking,
             },
         ));
+        // Bytecode lowering also runs outside the cache lock. With hub
+        // routing on the engine would ignore the compiled plan, so skip
+        // lowering entirely rather than cache dead tier state.
+        let compiled = (self.cfg.engine.compile.enabled && !self.cfg.engine.hub_bitmap.enabled)
+            .then(|| {
+                Arc::new(
+                    CompiledPlan::lower(&plan, self.cfg.engine.compile)
+                        .expect("plans produced by MatchPlan::compile always lower"),
+                )
+            });
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.lock_cache();
         simt_check::note_write(simt_check::Cell::plan_cache(self.check_id));
-        Arc::clone(cache.entry(key).or_insert(plan))
+        cache
+            .entry(key)
+            .or_insert(CachedPlan { plan, compiled })
+            .clone()
     }
 
     /// Runs one admitted query to a reply. Every failure mode maps to a
@@ -282,7 +321,9 @@ impl Inner {
             },
             None => None,
         };
-        let plan = self.plan_for(pattern, induced);
+        let entry = self.plan_for(pattern, induced);
+        let plan = &entry.plan;
+        let compiled = entry.compiled.as_deref();
         let mut cfg = self.cfg.engine;
         cfg.induced = induced;
         if let Some(r) = opts.recovery {
@@ -300,19 +341,30 @@ impl Inner {
         if let Some(f) = opts.fault_plan.clone() {
             engine = engine.with_fault_plan(f);
         }
-        let ran = catch_unwind(AssertUnwindSafe(|| match warm {
-            Some(w) => engine.run_plan_warm(&self.graph, &plan, w),
-            None => engine.run_plan(&self.graph, &plan),
+        let ran = catch_unwind(AssertUnwindSafe(|| match (warm, compiled) {
+            (Some(w), _) => engine.run_plan_warm_compiled(&self.graph, plan, w, compiled),
+            (None, Some(c)) => engine.run_plan_compiled(&self.graph, plan, c),
+            (None, None) => engine.run_plan(&self.graph, plan),
         }));
         match ran {
             Err(payload) => Err(ServiceError::QueryPanicked(crate::fault::describe_payload(
                 payload.as_ref(),
             ))),
             Ok(Err(e)) => Err(ServiceError::Launch(e)),
-            Ok(Ok(outcome)) if outcome.timed_out => Err(ServiceError::DeadlineExceeded {
-                partial: Some(Box::new(outcome)),
-            }),
-            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Ok(outcome)) => {
+                match outcome.served_tier {
+                    Some(0) => drop(self.tier0_served.fetch_add(1, Ordering::Relaxed)),
+                    Some(_) => drop(self.tier1_served.fetch_add(1, Ordering::Relaxed)),
+                    None => {}
+                }
+                if outcome.timed_out {
+                    Err(ServiceError::DeadlineExceeded {
+                        partial: Some(Box::new(outcome)),
+                    })
+                } else {
+                    Ok(outcome)
+                }
+            }
         }
     }
 }
@@ -352,6 +404,8 @@ impl MatchService {
             shutdown: AtomicBool::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            tier0_served: AtomicU64::new(0),
+            tier1_served: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -396,11 +450,24 @@ impl MatchService {
     /// tracked cache lock, which publishes the workers' cache history to
     /// the calling thread.
     pub fn cache_stats(&self) -> CacheStats {
-        let entries = self.inner.lock_cache().len();
+        // Clone the compiled plans *out* of the cache lock before touching
+        // their tier state: `CompiledPlan::profile` takes a `PlanTierUp`
+        // lock (rank 3), which the declared hierarchy forbids acquiring
+        // under `ServicePlanCache` (rank 4).
+        let (entries, compiled) = {
+            let cache = self.inner.lock_cache();
+            let compiled: Vec<Arc<CompiledPlan>> =
+                cache.values().filter_map(|e| e.compiled.clone()).collect();
+            (cache.len(), compiled)
+        };
+        let tier_ups = compiled.iter().map(|c| c.profile().1).sum();
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
             entries,
+            tier_ups,
+            tier0_served: self.inner.tier0_served.load(Ordering::Relaxed),
+            specialized_hits: self.inner.tier1_served.load(Ordering::Relaxed),
         }
     }
 
@@ -493,7 +560,13 @@ pub mod mutation {
             .cache
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, plan);
+            .insert(
+                key,
+                CachedPlan {
+                    plan,
+                    compiled: None,
+                },
+            );
     }
 }
 
@@ -539,6 +612,49 @@ mod tests {
         assert_eq!(stats.entries, 1, "isomorphic patterns share an entry");
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn resident_tier_promotion_survives_across_submissions() {
+        // Enough edges that one q8 run records well over the tier-up
+        // threshold in claims; later hits must then be served specialized.
+        let graph = Arc::new(gen::preferential_attachment(200, 5, 3).degree_ordered());
+        let mut cfg = small_cfg();
+        cfg.engine.compile.enabled = true;
+        cfg.engine.compile.tier_up_after = 64;
+        let svc = MatchService::new(Arc::clone(&graph), cfg);
+        let q = catalog::paper_query(8);
+        let baseline = svc.submit(&q, QueryOptions::default()).unwrap().count;
+        for _ in 0..3 {
+            assert_eq!(
+                svc.submit(&q, QueryOptions::default()).unwrap().count,
+                baseline
+            );
+        }
+        let stats = svc.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.tier_ups, 1, "the resident cascade promoted once");
+        assert!(
+            stats.specialized_hits >= 3,
+            "warm hits served at the promoted tier (got {})",
+            stats.specialized_hits
+        );
+        assert_eq!(
+            stats.tier0_served + stats.specialized_hits,
+            4,
+            "every query was served at some tier"
+        );
+        // A path query through the same service stays on tier 0 (the
+        // promotion policy is cascade-only).
+        let path = catalog::paper_query(1);
+        let c1 = svc.submit(&path, QueryOptions::default()).unwrap().count;
+        assert_eq!(
+            svc.submit(&path, QueryOptions::default()).unwrap().count,
+            c1
+        );
+        let stats = svc.cache_stats();
+        assert_eq!(stats.tier_ups, 1, "the path entry never promotes");
+        assert_eq!(stats.tier0_served, 2);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | rank | class        | lock                                       | nests inside        |
 //! |------|--------------|--------------------------------------------|---------------------|
 //! | 2    | `ServiceAdmission` | `service::Inner::queue` (admission queue) | — (outermost) |
+//! | 3    | `PlanTierUp` | `compile::CompiledPlan` tier transitions (PR 7) | — (leaf: taken from claim loops and stat sweeps holding nothing) |
 //! | 4    | `ServicePlanCache` | `service::Inner::cache` (canonical plan cache) | — (never held across engine locks) |
 //! | 6    | `ServiceArenaPool` | `pool::ArenaPool` (reusable warp arenas) | — (never held across engine locks) |
 //! | 10   | `GlobalSlot` | `Board::slots[b]` (per-block steal slot)   | — (outermost engine lock) |

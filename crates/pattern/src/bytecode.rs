@@ -1,0 +1,899 @@
+//! Bytecode lowering of a [`MatchPlan`] (PR 7, DESIGN.md §4h).
+//!
+//! A [`MatchPlan`] describes each level's candidate sets as structured
+//! [`SetDef`]s: a base operand plus a chain of set operations. The engine's
+//! claim loop used to re-interpret that structure on every claim — match on
+//! the base variant, walk the op vector, re-derive ping/pong staging and the
+//! final masked write. [`PlanBytecode::lower`] performs that interpretation
+//! exactly once, producing a flat stream of fixed-width [`Instr`]s whose
+//! order *is* the execution order. The kernel's tier-0 dispatch loop then
+//! just walks `instrs_at(level)` and issues one set-operation call per
+//! instruction; tier-1 monomorphized bodies pattern-match the stream shape
+//! ([`SpecShape`]) instead of the plan.
+//!
+//! The lowering is semantics-preserving by construction: each instruction
+//! corresponds 1:1 to a set-operation call the plan-walking interpreter
+//! would have made, with identical operands, masks and staging-buffer
+//! choices. The engine gates this with metric-bit-identity tests (counts,
+//! simulated instructions, lane utilization) over q1..q24.
+//!
+//! Streams are validated at lower time by [`PlanBytecode::verify`] — a
+//! malformed stream (out-of-range set ids, forward dependencies, chains
+//! past [`MAX_PATTERN_SIZE`]) is rejected with a named [`BytecodeError`]
+//! instead of debug-asserting inside the dispatch loop.
+
+use crate::pattern::MAX_PATTERN_SIZE;
+use crate::plan::{Base, LabelMask, MatchPlan, OpKind};
+use crate::symmetry::Bound;
+use stmatch_graph::Label;
+
+/// Sentinel for "no set reference" in [`Instr::dep`] and [`LevelMeta::cand`].
+pub const NO_SET: u16 = u16::MAX;
+
+/// Instruction opcodes. Each maps to exactly one set-operation call shape in
+/// the kernel's dispatch loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpCode {
+    /// Materialize the (mask-filtered) neighbor list of the vertex at order
+    /// position `pos` straight into the arena slab of set `dst`. Encodes a
+    /// chain-free `Base::Neighbors` set; always `last`.
+    MaterializeBase,
+    /// Materialize the *unfiltered* neighbor list of the vertex at `pos`
+    /// into the ping staging buffer, opening a chain that subsequent
+    /// [`OpCode::ChainStep`]s consume. Encodes a `Base::Neighbors` set with
+    /// a non-empty op chain; never `last`.
+    BeginChain,
+    /// Combine previously computed set `dep` (an arena slab, resolved
+    /// through `dep_level`'s unroll cursor) with the neighbor list at `pos`
+    /// under `kind`. When `last`, the masked result lands in `dst`'s arena
+    /// slab; otherwise the unfiltered result opens a chain in ping.
+    ApplyFromSet,
+    /// Combine the open chain value (ping) with the neighbor list at `pos`
+    /// under `kind`. When `last`, the masked result lands in `dst`'s arena
+    /// slab and closes the chain; otherwise it goes to pong and the staging
+    /// buffers swap.
+    ChainStep,
+}
+
+/// One fixed-width bytecode instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instr {
+    /// What to execute.
+    pub code: OpCode,
+    /// Combining operator (meaningful for `ApplyFromSet` / `ChainStep`;
+    /// `Intersect` otherwise).
+    pub kind: OpKind,
+    /// Order position of the neighbor-list operand.
+    pub pos: u8,
+    /// Destination set id. Every instruction of a set's program carries the
+    /// same `dst`; only the `last` one writes to its arena slab.
+    pub dst: u16,
+    /// Input set id for `ApplyFromSet`; [`NO_SET`] otherwise.
+    pub dep: u16,
+    /// Level at which `dep` was computed (selects its unroll slot).
+    pub dep_level: u8,
+    /// True on the final instruction of a set's program: the write that
+    /// applies `mask` and lands in the arena.
+    pub last: bool,
+    /// Label filter for the produced elements ([`LabelMask::ALL`] on
+    /// non-final steps).
+    pub mask: LabelMask,
+}
+
+/// Per-level side table: everything the claim loop needs besides the
+/// instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelMeta {
+    /// Candidate set iterated at this level ([`NO_SET`] at level 0).
+    pub cand: u16,
+    /// Level at which the candidate set is computed (lifted sets are
+    /// computed at an earlier level and re-read).
+    pub cand_level: u8,
+    /// Required data-vertex label (None when unlabeled).
+    pub label: Option<Label>,
+    /// Label needing an exact match-time check because the mask cannot
+    /// represent it (see `MatchPlan::residual_label_check`).
+    pub resid: Option<Label>,
+}
+
+/// Shapes the tier-1 specializer recognizes. Detected once at lower time
+/// from the instruction stream itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecShape {
+    /// One single-`Intersect` `ApplyFromSet` per level, each consuming the
+    /// previous level's candidate — the clique cascade (q8 and friends).
+    Cascade,
+    /// Every instruction is a chain-free `MaterializeBase` with an all-pass
+    /// mask — path/star plans whose levels need no combining ops.
+    Path,
+    /// Anything else; served by the tier-0 dispatch loop.
+    General,
+}
+
+/// Named lower-time validation failures (satellite: mirrors
+/// `EngineConfig::validate()`'s style — reject early, by name, instead of
+/// debug-asserting per claim).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BytecodeError {
+    /// `level_ptr` must be monotonically non-decreasing and span the stream.
+    LevelPtrNotMonotonic { level: usize },
+    /// An instruction's destination set id is outside `0..num_sets`.
+    SetOutOfRange { instr: usize, set: u16 },
+    /// An `ApplyFromSet` dependency is out of range or not yet computed
+    /// (forward reference) at the point it is read.
+    DepOutOfRange { instr: usize, dep: u16 },
+    /// The recorded `dep_level` disagrees with where `dep` was written.
+    DepLevelMismatch { instr: usize, dep: u16 },
+    /// A neighbor-operand position is not strictly below its level.
+    PosOutOfRange { instr: usize, pos: u8 },
+    /// A set's program chains more ops than [`MAX_PATTERN_SIZE`].
+    ChainTooLong { set: u16 },
+    /// A `ChainStep` with no open chain to consume.
+    DanglingChainStep { instr: usize },
+    /// A level ends (or a new set's program begins) with a chain still open.
+    UnterminatedChain { level: usize },
+    /// Two `last` instructions target the same set.
+    DuplicateWrite { set: u16 },
+    /// A set is never written by any `last` instruction.
+    MissingWrite { set: u16 },
+    /// A non-final instruction carries a restrictive mask (masks are only
+    /// applied on the final arena write).
+    MaskedIntermediate { instr: usize },
+    /// A level's candidate reference is out of range or computed too late.
+    CandidateOutOfRange { level: usize },
+}
+
+impl std::fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BytecodeError::LevelPtrNotMonotonic { level } => {
+                write!(f, "bytecode: level_ptr not monotonic at level {level}")
+            }
+            BytecodeError::SetOutOfRange { instr, set } => {
+                write!(f, "bytecode: instr {instr} targets out-of-range set {set}")
+            }
+            BytecodeError::DepOutOfRange { instr, dep } => {
+                write!(
+                    f,
+                    "bytecode: instr {instr} reads unwritten/out-of-range set {dep}"
+                )
+            }
+            BytecodeError::DepLevelMismatch { instr, dep } => {
+                write!(
+                    f,
+                    "bytecode: instr {instr} records wrong dep_level for set {dep}"
+                )
+            }
+            BytecodeError::PosOutOfRange { instr, pos } => {
+                write!(
+                    f,
+                    "bytecode: instr {instr} operand position {pos} not below its level"
+                )
+            }
+            BytecodeError::ChainTooLong { set } => {
+                write!(
+                    f,
+                    "bytecode: set {set} chains past MAX_PATTERN_SIZE ({MAX_PATTERN_SIZE})"
+                )
+            }
+            BytecodeError::DanglingChainStep { instr } => {
+                write!(
+                    f,
+                    "bytecode: instr {instr} is a ChainStep with no open chain"
+                )
+            }
+            BytecodeError::UnterminatedChain { level } => {
+                write!(f, "bytecode: level {level} leaves a chain unterminated")
+            }
+            BytecodeError::DuplicateWrite { set } => {
+                write!(f, "bytecode: set {set} written twice")
+            }
+            BytecodeError::MissingWrite { set } => {
+                write!(f, "bytecode: set {set} never written")
+            }
+            BytecodeError::MaskedIntermediate { instr } => {
+                write!(
+                    f,
+                    "bytecode: non-final instr {instr} carries a restrictive mask"
+                )
+            }
+            BytecodeError::CandidateOutOfRange { level } => {
+                write!(f, "bytecode: level {level} candidate reference invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BytecodeError {}
+
+/// A lowered plan: flat instruction stream plus per-level side tables.
+///
+/// Construction via [`PlanBytecode::lower`] always verifies; the fields stay
+/// private so a verified stream cannot be silently edited (the test-only
+/// [`mutation`] module is the sanctioned back door).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanBytecode {
+    /// The flat stream, grouped by level ascending; within a level,
+    /// execution order (dependencies precede dependents, chain programs are
+    /// contiguous).
+    instrs: Vec<Instr>,
+    /// `instrs[level_ptr[l]..level_ptr[l+1]]` runs when entering level `l`.
+    level_ptr: Vec<u32>,
+    /// Per-level candidate/label metadata, indexed by level.
+    levels: Vec<LevelMeta>,
+    /// Flattened symmetry bounds; `bounds[bound_ptr[l]..bound_ptr[l+1]]`
+    /// guards level `l`. Same element type as `MatchPlan::bounds`.
+    bounds: Vec<(usize, Bound)>,
+    bound_ptr: Vec<u32>,
+    /// Number of sets the arena must hold (`NUM_SETS`).
+    num_sets: u16,
+    /// Detected specialization shape.
+    shape: SpecShape,
+}
+
+impl PlanBytecode {
+    /// Lowers `plan` into a verified instruction stream.
+    ///
+    /// Encoding rules (mirroring the plan-walking interpreter exactly):
+    ///
+    /// | set definition            | emitted program                                  |
+    /// |---------------------------|--------------------------------------------------|
+    /// | `Neighbors(p)`, no ops    | `MaterializeBase(p, mask)`                       |
+    /// | `Neighbors(p)` + n ops    | `BeginChain(p)` then n `ChainStep`s              |
+    /// | `Set(d)` + 1 op           | `ApplyFromSet(d, op, mask, last)`                |
+    /// | `Set(d)` + n ops          | `ApplyFromSet(d, op0)` then n−1 `ChainStep`s     |
+    ///
+    /// Only the final instruction of each program carries the set's label
+    /// mask and the `last` flag (the arena write); intermediates stage
+    /// unfiltered values through ping/pong.
+    pub fn lower(plan: &MatchPlan) -> Result<PlanBytecode, BytecodeError> {
+        let k = plan.num_levels();
+        let sets = plan.sets();
+        let mut instrs = Vec::new();
+        let mut level_ptr = Vec::with_capacity(k + 1);
+        for level in 0..k {
+            level_ptr.push(instrs.len() as u32);
+            for sid in plan.sets_at_level(level) {
+                let def = &sets[sid];
+                let dst = sid as u16;
+                match def.base {
+                    Base::Neighbors(pos) if def.ops.is_empty() => instrs.push(Instr {
+                        code: OpCode::MaterializeBase,
+                        kind: OpKind::Intersect,
+                        pos,
+                        dst,
+                        dep: NO_SET,
+                        dep_level: 0,
+                        last: true,
+                        mask: def.mask,
+                    }),
+                    Base::Neighbors(pos) => {
+                        instrs.push(Instr {
+                            code: OpCode::BeginChain,
+                            kind: OpKind::Intersect,
+                            pos,
+                            dst,
+                            dep: NO_SET,
+                            dep_level: 0,
+                            last: false,
+                            mask: LabelMask::ALL,
+                        });
+                        Self::push_chain(&mut instrs, dst, def.mask, &def.ops);
+                    }
+                    Base::Set(dep) => {
+                        let first = def.ops[0];
+                        let one = def.ops.len() == 1;
+                        instrs.push(Instr {
+                            code: OpCode::ApplyFromSet,
+                            kind: first.kind,
+                            pos: first.pos,
+                            dst,
+                            dep,
+                            dep_level: sets[dep as usize].level,
+                            last: one,
+                            mask: if one { def.mask } else { LabelMask::ALL },
+                        });
+                        if !one {
+                            Self::push_chain(&mut instrs, dst, def.mask, &def.ops[1..]);
+                        }
+                    }
+                }
+            }
+        }
+        level_ptr.push(instrs.len() as u32);
+
+        let mut levels = Vec::with_capacity(k);
+        let mut bounds = Vec::new();
+        let mut bound_ptr = Vec::with_capacity(k + 1);
+        for l in 0..k {
+            bound_ptr.push(bounds.len() as u32);
+            bounds.extend_from_slice(plan.bounds(l));
+            let (cand, cand_level) = match plan.candidate_set(l) {
+                Some(cid) => (cid, sets[cid as usize].level),
+                None => (NO_SET, 0),
+            };
+            levels.push(LevelMeta {
+                cand,
+                cand_level,
+                label: plan.level_label(l),
+                resid: plan.residual_label_check(l),
+            });
+        }
+        bound_ptr.push(bounds.len() as u32);
+
+        let mut bc = PlanBytecode {
+            instrs,
+            level_ptr,
+            levels,
+            bounds,
+            bound_ptr,
+            num_sets: plan.num_sets() as u16,
+            shape: SpecShape::General,
+        };
+        bc.shape = bc.detect_shape();
+        bc.verify()?;
+        Ok(bc)
+    }
+
+    fn push_chain(
+        instrs: &mut Vec<Instr>,
+        dst: u16,
+        mask: LabelMask,
+        ops: &[crate::plan::ChainOp],
+    ) {
+        let n = ops.len();
+        for (i, op) in ops.iter().enumerate() {
+            let last = i + 1 == n;
+            instrs.push(Instr {
+                code: OpCode::ChainStep,
+                kind: op.kind,
+                pos: op.pos,
+                dst,
+                dep: NO_SET,
+                dep_level: 0,
+                last,
+                mask: if last { mask } else { LabelMask::ALL },
+            });
+        }
+    }
+
+    /// Validates the stream with a small abstract machine: walks every level
+    /// tracking the open-chain state and the set of already-written slabs,
+    /// rejecting the first structural violation by name.
+    pub fn verify(&self) -> Result<(), BytecodeError> {
+        let k = self.levels.len();
+        let num_sets = self.num_sets as usize;
+        if self.level_ptr.len() != k + 1
+            || self.bound_ptr.len() != k + 1
+            || self.level_ptr[0] != 0
+            || *self.level_ptr.last().unwrap() as usize != self.instrs.len()
+        {
+            return Err(BytecodeError::LevelPtrNotMonotonic { level: 0 });
+        }
+        // `written[s]` = Some(level) once set s's arena slab has been
+        // produced; dependency reads must refer back to one of these.
+        let mut written: Vec<Option<u8>> = vec![None; num_sets];
+        for level in 0..k {
+            let (lo, hi) = (self.level_ptr[level], self.level_ptr[level + 1]);
+            if lo > hi {
+                return Err(BytecodeError::LevelPtrNotMonotonic { level });
+            }
+            // Open-chain state: Some((dst, steps so far)).
+            let mut chain: Option<(u16, usize)> = None;
+            for i in lo as usize..hi as usize {
+                let ins = self.instrs[i];
+                if ins.dst as usize >= num_sets {
+                    return Err(BytecodeError::SetOutOfRange {
+                        instr: i,
+                        set: ins.dst,
+                    });
+                }
+                if (ins.pos as usize) >= level.max(1) || (ins.pos as usize) >= MAX_PATTERN_SIZE {
+                    return Err(BytecodeError::PosOutOfRange {
+                        instr: i,
+                        pos: ins.pos,
+                    });
+                }
+                if !ins.last && !ins.mask.is_all() {
+                    return Err(BytecodeError::MaskedIntermediate { instr: i });
+                }
+                match ins.code {
+                    OpCode::ChainStep => {
+                        let Some((dst, steps)) = chain else {
+                            return Err(BytecodeError::DanglingChainStep { instr: i });
+                        };
+                        if dst != ins.dst {
+                            return Err(BytecodeError::DanglingChainStep { instr: i });
+                        }
+                        if steps + 1 > MAX_PATTERN_SIZE {
+                            return Err(BytecodeError::ChainTooLong { set: dst });
+                        }
+                        chain = if ins.last {
+                            None
+                        } else {
+                            Some((dst, steps + 1))
+                        };
+                    }
+                    code => {
+                        if chain.is_some() {
+                            return Err(BytecodeError::UnterminatedChain { level });
+                        }
+                        if code == OpCode::ApplyFromSet {
+                            let dep = ins.dep as usize;
+                            if dep >= num_sets {
+                                return Err(BytecodeError::DepOutOfRange {
+                                    instr: i,
+                                    dep: ins.dep,
+                                });
+                            }
+                            match written[dep] {
+                                // Same-level deps are legal (within a level,
+                                // dependencies precede dependents).
+                                Some(at) if at as usize <= level => {}
+                                _ => {
+                                    return Err(BytecodeError::DepOutOfRange {
+                                        instr: i,
+                                        dep: ins.dep,
+                                    })
+                                }
+                            }
+                            if written[dep] != Some(ins.dep_level) {
+                                return Err(BytecodeError::DepLevelMismatch {
+                                    instr: i,
+                                    dep: ins.dep,
+                                });
+                            }
+                        } else if ins.dep != NO_SET {
+                            return Err(BytecodeError::DepOutOfRange {
+                                instr: i,
+                                dep: ins.dep,
+                            });
+                        }
+                        let opens = matches!(code, OpCode::BeginChain)
+                            || (code == OpCode::ApplyFromSet && !ins.last);
+                        if opens {
+                            chain = Some((ins.dst, 1));
+                        }
+                    }
+                }
+                if ins.last {
+                    if written[ins.dst as usize].is_some() {
+                        return Err(BytecodeError::DuplicateWrite { set: ins.dst });
+                    }
+                    written[ins.dst as usize] = Some(level as u8);
+                }
+            }
+            if chain.is_some() {
+                return Err(BytecodeError::UnterminatedChain { level });
+            }
+        }
+        if let Some(s) = written.iter().position(Option::is_none) {
+            return Err(BytecodeError::MissingWrite { set: s as u16 });
+        }
+        for (l, meta) in self.levels.iter().enumerate().skip(1) {
+            let cand = meta.cand as usize;
+            if cand >= num_sets
+                || written[cand] != Some(meta.cand_level)
+                || meta.cand_level as usize > l
+            {
+                return Err(BytecodeError::CandidateOutOfRange { level: l });
+            }
+        }
+        Ok(())
+    }
+
+    fn detect_shape(&self) -> SpecShape {
+        let k = self.levels.len();
+        if self
+            .levels
+            .iter()
+            .any(|m| m.resid.is_some() || m.label.is_some())
+        {
+            return SpecShape::General;
+        }
+        let is_cascade = k >= 3
+            && (1..k).all(|l| {
+                let prog = self.instrs_at(l);
+                let [ins] = prog else { return false };
+                let meta = self.levels[l];
+                if ins.dst != meta.cand || meta.cand_level as usize != l || !ins.mask.is_all() {
+                    return false;
+                }
+                if l == 1 {
+                    ins.code == OpCode::MaterializeBase && ins.pos == 0
+                } else {
+                    ins.code == OpCode::ApplyFromSet
+                        && ins.kind == OpKind::Intersect
+                        && ins.last
+                        && ins.pos as usize == l - 1
+                        && ins.dep == self.levels[l - 1].cand
+                        && ins.dep_level as usize == l - 1
+                }
+            });
+        if is_cascade {
+            return SpecShape::Cascade;
+        }
+        let is_path = !self.instrs.is_empty()
+            && self
+                .instrs
+                .iter()
+                .all(|ins| ins.code == OpCode::MaterializeBase && ins.mask.is_all());
+        if is_path {
+            return SpecShape::Path;
+        }
+        SpecShape::General
+    }
+
+    /// The instructions to execute when entering `level`.
+    #[inline]
+    pub fn instrs_at(&self, level: usize) -> &[Instr] {
+        &self.instrs[self.level_ptr[level] as usize..self.level_ptr[level + 1] as usize]
+    }
+
+    /// The whole stream, grouped by level.
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// `(candidate set id, level it is computed at)` for `level` (≥ 1).
+    #[inline]
+    pub fn candidate(&self, level: usize) -> (usize, usize) {
+        let meta = self.levels[level];
+        (meta.cand as usize, meta.cand_level as usize)
+    }
+
+    /// Per-level metadata.
+    #[inline]
+    pub fn level_meta(&self, level: usize) -> LevelMeta {
+        self.levels[level]
+    }
+
+    /// Symmetry bounds guarding `level`.
+    #[inline]
+    pub fn bounds(&self, level: usize) -> &[(usize, Bound)] {
+        &self.bounds[self.bound_ptr[level] as usize..self.bound_ptr[level + 1] as usize]
+    }
+
+    /// Number of levels (= pattern size).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of arena sets the stream writes.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets as usize
+    }
+
+    /// Detected tier-1 shape.
+    #[inline]
+    pub fn shape(&self) -> SpecShape {
+        self.shape
+    }
+
+    /// Resident footprint of the stream plus side tables, for budget
+    /// accounting and diagnostics.
+    pub fn byte_size(&self) -> usize {
+        self.instrs.len() * std::mem::size_of::<Instr>()
+            + self.level_ptr.len() * std::mem::size_of::<u32>()
+            + self.levels.len() * std::mem::size_of::<LevelMeta>()
+            + self.bounds.len() * std::mem::size_of::<(usize, Bound)>()
+            + self.bound_ptr.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Seeded-mutation hooks for the kill-test suite (tests only, mirroring
+/// `service::mutation`): each helper produces a *well-formed but
+/// semantically wrong* stream — it still passes [`PlanBytecode::verify`], so
+/// only the golden-count/metric gates can catch it. Never called from
+/// production paths.
+pub mod mutation {
+    use super::{OpCode, PlanBytecode, SpecShape};
+    use crate::plan::OpKind;
+
+    /// Swaps the [`OpKind`] of the first combining instruction
+    /// (`Intersect` ↔ `Difference`), modelling an encoder that writes the
+    /// wrong opcode. Returns false when the stream has no combining
+    /// instruction to corrupt (pure materialization plans).
+    pub fn swap_first_op_kind(bc: &mut PlanBytecode) -> bool {
+        for ins in &mut bc.instrs {
+            if matches!(ins.code, OpCode::ApplyFromSet | OpCode::ChainStep) {
+                ins.kind = match ins.kind {
+                    OpKind::Intersect => OpKind::Difference,
+                    OpKind::Difference => OpKind::Intersect,
+                };
+                // A corrupted cascade no longer matches its detected shape;
+                // demote so tier-1 cannot paper over the wrong opcode.
+                bc.shape = SpecShape::General;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::plan::{MatchPlan, PlanOptions};
+
+    fn lower_query(q: usize) -> (MatchPlan, PlanBytecode) {
+        let plan = MatchPlan::compile(&catalog::paper_query(q), PlanOptions::default());
+        let bc = PlanBytecode::lower(&plan).expect("lowering a compiled plan");
+        (plan, bc)
+    }
+
+    #[test]
+    fn all_paper_queries_lower_and_verify() {
+        for q in 1..=24 {
+            let (plan, bc) = lower_query(q);
+            assert_eq!(bc.num_levels(), plan.num_levels(), "q{q}");
+            assert_eq!(bc.num_sets(), plan.num_sets(), "q{q}");
+            bc.verify().unwrap_or_else(|e| panic!("q{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn side_tables_agree_with_plan_accessors() {
+        for q in 1..=24 {
+            let (plan, bc) = lower_query(q);
+            for l in 0..plan.num_levels() {
+                assert_eq!(bc.bounds(l), plan.bounds(l), "q{q} level {l} bounds");
+                let meta = bc.level_meta(l);
+                assert_eq!(meta.label, plan.level_label(l), "q{q} level {l} label");
+                assert_eq!(
+                    meta.resid,
+                    plan.residual_label_check(l),
+                    "q{q} level {l} resid"
+                );
+                match plan.candidate_set(l) {
+                    Some(cid) => {
+                        assert_eq!(bc.candidate(l).0, cid as usize, "q{q} level {l} cand");
+                        assert_eq!(
+                            bc.candidate(l).1,
+                            plan.sets()[cid as usize].level as usize,
+                            "q{q} level {l} cand level"
+                        );
+                    }
+                    None => assert_eq!(meta.cand, NO_SET, "q{q} level {l}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_programs_mirror_set_defs() {
+        for q in 1..=24 {
+            let (plan, bc) = lower_query(q);
+            for level in 0..plan.num_levels() {
+                let prog = bc.instrs_at(level);
+                // One program per set, in set order; programs are contiguous
+                // and end with exactly one `last` write per set.
+                let expected: usize = plan
+                    .sets_at_level(level)
+                    .map(|sid| {
+                        let def = &plan.sets()[sid];
+                        match def.base {
+                            Base::Neighbors(_) if def.ops.is_empty() => 1,
+                            Base::Neighbors(_) => 1 + def.ops.len(),
+                            Base::Set(_) => def.ops.len(),
+                        }
+                    })
+                    .sum();
+                assert_eq!(prog.len(), expected, "q{q} level {level}");
+                let writes: Vec<u16> = prog.iter().filter(|i| i.last).map(|i| i.dst).collect();
+                let want: Vec<u16> = plan.sets_at_level(level).map(|s| s as u16).collect();
+                assert_eq!(writes, want, "q{q} level {level} write order");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_detected_for_dominant_plans() {
+        // q8 is the 5-clique: a pure intersect cascade.
+        let (_, bc) = lower_query(8);
+        assert_eq!(bc.shape(), SpecShape::Cascade);
+        // q1 is the 5-path: all levels materialize plain neighbor lists.
+        let (_, bc) = lower_query(1);
+        assert_eq!(bc.shape(), SpecShape::Path);
+        // Triangle (3-clique) is the smallest cascade.
+        let plan = MatchPlan::compile(&catalog::triangle(), PlanOptions::default());
+        assert_eq!(
+            PlanBytecode::lower(&plan).unwrap().shape(),
+            SpecShape::Cascade
+        );
+        // q6 mixes intersections and differences: general.
+        let (_, bc) = lower_query(6);
+        assert_eq!(bc.shape(), SpecShape::General);
+    }
+
+    #[test]
+    fn labeled_plans_are_never_specialized() {
+        let p = catalog::triangle().with_labels(&[1, 1, 1]);
+        let plan = MatchPlan::compile(&p, PlanOptions::default());
+        let bc = PlanBytecode::lower(&plan).unwrap();
+        assert_eq!(bc.shape(), SpecShape::General);
+    }
+
+    #[test]
+    fn verifier_rejects_out_of_range_set() {
+        let (_, mut bc) = lower_query(8);
+        let bad = bc.num_sets + 3;
+        bc.instrs[0].dst = bad;
+        assert!(matches!(
+            bc.verify(),
+            Err(BytecodeError::SetOutOfRange { set, .. }) if set == bad
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_forward_dependency() {
+        let (_, mut bc) = lower_query(8);
+        let i = bc
+            .instrs
+            .iter()
+            .position(|x| x.code == OpCode::ApplyFromSet)
+            .expect("clique cascade has ApplyFromSet");
+        bc.instrs[i].dep = bc.instrs[i].dst; // self-reference: unwritten at read time
+        assert!(matches!(
+            bc.verify(),
+            Err(BytecodeError::DepOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_wrong_dep_level() {
+        let (_, mut bc) = lower_query(8);
+        let i = bc
+            .instrs
+            .iter()
+            .position(|x| x.code == OpCode::ApplyFromSet)
+            .expect("cascade");
+        bc.instrs[i].dep_level += 1;
+        assert!(matches!(
+            bc.verify(),
+            Err(BytecodeError::DepLevelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_position_at_or_above_level() {
+        let (_, mut bc) = lower_query(8);
+        bc.instrs[0].pos = MAX_PATTERN_SIZE as u8; // level-1 instr: pos must be 0
+        assert!(matches!(
+            bc.verify(),
+            Err(BytecodeError::PosOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_dangling_and_overlong_chains() {
+        // q16 (5-house, naive chains under code motion still chain on some
+        // level) may not chain; build a naive plan which surely does.
+        let plan = MatchPlan::compile(
+            &catalog::paper_query(8),
+            PlanOptions {
+                code_motion: false,
+                ..PlanOptions::default()
+            },
+        );
+        let bc = PlanBytecode::lower(&plan).expect("naive plans lower too");
+        let i = bc
+            .instrs
+            .iter()
+            .position(|x| x.code == OpCode::ChainStep)
+            .expect("naive clique plan carries chains");
+        // Dangling: promote a mid-chain step to a fresh program head's slot.
+        let mut dangling = bc.clone();
+        dangling.instrs[i - 1].last = true;
+        // i-1 was BeginChain/non-last; forcing last makes step i dangle
+        // (and may also duplicate a write — either named error is a catch,
+        // but chain integrity must be flagged before dispatch ever runs).
+        assert!(dangling.verify().is_err());
+        // Overlong: inflate the recorded chain by redirecting level_ptr is
+        // invasive; instead append ChainSteps past the cap.
+        let dst = bc.instrs[i].dst;
+        let level = (0..bc.num_levels())
+            .find(|&l| {
+                let lo = bc.level_ptr[l] as usize;
+                let hi = bc.level_ptr[l + 1] as usize;
+                (lo..hi).contains(&i)
+            })
+            .unwrap();
+        let end = bc.level_ptr[level + 1] as usize;
+        let tail = Instr {
+            code: OpCode::ChainStep,
+            kind: OpKind::Intersect,
+            pos: 0,
+            dst,
+            dep: NO_SET,
+            dep_level: 0,
+            last: false,
+            mask: LabelMask::ALL,
+        };
+        // Re-open the chain at the end of the level and run it past the cap.
+        let mut overlong = bc.clone();
+        let insert_at = end;
+        let mut prog = vec![
+            Instr {
+                code: OpCode::BeginChain,
+                kind: OpKind::Intersect,
+                pos: 0,
+                dst,
+                dep: NO_SET,
+                dep_level: 0,
+                last: false,
+                mask: LabelMask::ALL,
+            };
+            1
+        ];
+        prog.extend(std::iter::repeat_n(tail, MAX_PATTERN_SIZE + 1));
+        let n = prog.len() as u32;
+        overlong.instrs.splice(insert_at..insert_at, prog);
+        for p in overlong.level_ptr.iter_mut().skip(level + 1) {
+            *p += n;
+        }
+        assert!(matches!(
+            overlong.verify(),
+            Err(BytecodeError::ChainTooLong { .. }) | Err(BytecodeError::DuplicateWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_masked_intermediate_and_duplicate_write() {
+        // Code-motion plans have at most one op per set (no intermediates);
+        // a naive clique plan stages whole chains through ping/pong.
+        let plan = MatchPlan::compile(
+            &catalog::paper_query(8),
+            PlanOptions {
+                code_motion: false,
+                ..PlanOptions::default()
+            },
+        );
+        let mut bc = PlanBytecode::lower(&plan).unwrap();
+        let i = bc
+            .instrs
+            .iter()
+            .position(|x| !x.last)
+            .expect("naive plans have staged intermediates");
+        bc.instrs[i].mask = LabelMask::single(3);
+        assert!(matches!(
+            bc.verify(),
+            Err(BytecodeError::MaskedIntermediate { .. })
+        ));
+
+        let (_, mut bc) = lower_query(8);
+        let dup = bc.instrs[0];
+        bc.instrs.insert(1, dup);
+        for p in bc.level_ptr.iter_mut().skip(2) {
+            *p += 1;
+        }
+        assert!(matches!(
+            bc.verify(),
+            Err(BytecodeError::DuplicateWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn mutation_swaps_exactly_one_opcode_and_stays_well_formed() {
+        let (_, mut bc) = lower_query(8);
+        let before = bc.clone();
+        assert!(mutation::swap_first_op_kind(&mut bc));
+        assert_eq!(bc.verify(), Ok(()), "mutated stream must still verify");
+        let diffs: Vec<usize> = before
+            .instrs
+            .iter()
+            .zip(&bc.instrs)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 1, "exactly one instruction changed");
+        // Pure path plans have nothing to corrupt.
+        let (_, mut path) = lower_query(1);
+        assert!(!mutation::swap_first_op_kind(&mut path));
+    }
+}

@@ -16,6 +16,7 @@
 //!   encoding of Fig. 9b and the merged multi-label intermediate sets of
 //!   Fig. 10b.
 
+pub mod bytecode;
 pub mod catalog;
 pub mod iso;
 pub mod order;
@@ -23,5 +24,6 @@ pub mod pattern;
 pub mod plan;
 pub mod symmetry;
 
+pub use bytecode::{BytecodeError, Instr, OpCode, PlanBytecode, SpecShape};
 pub use pattern::{Pattern, MAX_PATTERN_SIZE};
 pub use plan::{LabelMask, MatchPlan, OpKind, PlanOptions, SetDef};

@@ -37,6 +37,12 @@ pub enum LockClass {
     /// across a kernel launch, while engine locks are taken deep inside
     /// one — so "service before engine" is the only safe order.
     ServiceAdmission,
+    /// A compiled plan's tier-transition lock (`compile::CompiledPlan`).
+    /// Ranked below the plan cache: tier-ups fire from kernel claim loops
+    /// holding nothing, while stat sweeps clone entries *out* of the cache
+    /// before reading tier state — so this lock is never requested while
+    /// `ServicePlanCache` is held.
+    PlanTierUp,
     /// The match service's canonical-form plan cache (`service::Inner::cache`).
     ServicePlanCache,
     /// A pool worker's reusable-arena pool (`pool::ArenaPool`).
@@ -58,6 +64,7 @@ impl LockClass {
     pub fn rank(self) -> u32 {
         match self {
             LockClass::ServiceAdmission => 2,
+            LockClass::PlanTierUp => 3,
             LockClass::ServicePlanCache => 4,
             LockClass::ServiceArenaPool => 6,
             LockClass::GlobalSlot => 10,
@@ -72,6 +79,7 @@ impl LockClass {
     pub fn name(self) -> &'static str {
         match self {
             LockClass::ServiceAdmission => "ServiceAdmission",
+            LockClass::PlanTierUp => "PlanTierUp",
             LockClass::ServicePlanCache => "ServicePlanCache",
             LockClass::ServiceArenaPool => "ServiceArenaPool",
             LockClass::GlobalSlot => "GlobalSlot",
@@ -82,9 +90,10 @@ impl LockClass {
         }
     }
 
-    fn all() -> [LockClass; 8] {
+    fn all() -> [LockClass; 9] {
         [
             LockClass::ServiceAdmission,
+            LockClass::PlanTierUp,
             LockClass::ServicePlanCache,
             LockClass::ServiceArenaPool,
             LockClass::GlobalSlot,
@@ -98,9 +107,9 @@ impl LockClass {
 
 /// The declared hierarchy, lowest rank first — rendered into diagnostics so
 /// a violation message carries the rule it broke.
-pub const DECLARED_HIERARCHY: &str = "ServiceAdmission(2) < ServicePlanCache(4) < \
-     ServiceArenaPool(6) < GlobalSlot(10) < Requeue(20) < Mirror(30) < DeathLog(40) < \
-     Collector(50)";
+pub const DECLARED_HIERARCHY: &str = "ServiceAdmission(2) < PlanTierUp(3) < \
+     ServicePlanCache(4) < ServiceArenaPool(6) < GlobalSlot(10) < Requeue(20) < \
+     Mirror(30) < DeathLog(40) < Collector(50)";
 
 thread_local! {
     /// Locks this thread currently holds, in acquisition order.

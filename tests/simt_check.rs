@@ -428,6 +428,71 @@ fn service_concurrent_submissions_produce_no_diagnostics() {
     );
 }
 
+/// All checkers over the service's *tier-up* path (PR 7): plan
+/// compilation on with a threshold low enough that the resident q8
+/// cascade promotes while other clients are hitting the same cache entry
+/// — the exact write the `tier-state[p]` shadow cell and `PlanTierUp`
+/// lock class (rank 3, between `ServiceAdmission` and
+/// `ServicePlanCache`) exist to order. Concurrent `cache_stats` sweeps
+/// ride along: they clone compiled plans out of the cache lock and then
+/// read tier state, which would deadlock-cycle if anyone nested the
+/// locks the other way. Zero error diagnostics allowed; counts stay at
+/// the goldens; the tier counters must show the promotion happened.
+#[test]
+fn service_tier_up_races_produce_no_diagnostics() {
+    let _g = serial();
+    simt_check::enable(CheckConfig::all());
+    let mut engine_cfg = EngineConfig::full().with_grid(grid());
+    engine_cfg.compile.enabled = true;
+    engine_cfg.compile.tier_up_after = 64;
+    let svc = stmatch_core::MatchService::new(
+        std::sync::Arc::new(fixture()),
+        stmatch_core::ServiceConfig::new(engine_cfg)
+            .with_workers(2)
+            .with_batch_max(4),
+    );
+    // Edge-induced goldens from tests/golden_counts.rs: q8 is the
+    // promotable cascade; q1 (path) and q6 (general) stay tier 0.
+    const GOLDEN: &[(usize, u64)] = &[(1, 119531), (6, 2884), (8, 4)];
+    let svc_ref = &svc;
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(move || {
+                for &(qi, want) in GOLDEN {
+                    let out = svc_ref
+                        .submit(&catalog::paper_query(qi), Default::default())
+                        .expect("clean query");
+                    assert_eq!(out.count, want, "q{qi} drifted under instrumentation");
+                }
+            });
+        }
+        s.spawn(move || {
+            // Stat sweeps racing the tier-ups: each takes the cache lock,
+            // drops it, then the per-plan tier locks.
+            for _ in 0..16 {
+                let _ = svc_ref.cache_stats();
+                std::thread::yield_now();
+            }
+        });
+    });
+    let stats = svc.cache_stats();
+    assert_eq!(stats.tier_ups, 1, "the q8 entry must promote exactly once");
+    assert_eq!(
+        stats.tier0_served + stats.specialized_hits,
+        9,
+        "every submission served at some tier"
+    );
+    drop(svc);
+    let diags = simt_check::drain();
+    simt_check::disable();
+    let errs = errors(&diags);
+    assert!(
+        errs.is_empty(),
+        "false positives on the tier-up path:\n{}",
+        errs.join("\n")
+    );
+}
+
 /// Mutation kill, race detector, service edition:
 /// `cache_insert_without_lock` inserts a plan through the raw mutex,
 /// bypassing the tracked `ServicePlanCache` lock. A prior blocking submit
