@@ -60,14 +60,15 @@ echo "==> smoke:bytecode(grep): OK"
 # be contained and recovered, and the run must finish well under its cap.
 run "smoke:faults" cargo run --release --offline -p stmatch-bench --bin faults_check
 
-# Concurrency-analysis gate: q1/q6 clean + seeded-fault runs with every
-# simt-check checker enabled must stay free of error diagnostics (zero
-# false positives), and the three seeded mutations must be CAUGHT — the bin
+# Concurrency-analysis gate: q1/q6 clean, seeded-fault, and sharded runs
+# with every simt-check checker enabled must stay free of error
+# diagnostics (zero false positives), and the seeded mutations must be CAUGHT — the bin
 # exits 1 on findings, so the mutation legs invert its exit code and then
 # grep for the expected diagnostic (a timeout kill must not pass as a
 # catch).
 run "smoke:check" cargo run --release --offline -p stmatch-bench --bin simt_check
-for mut in lock-drop:"data race" lock-invert:"cycle" cache-drop:"data race"; do
+for mut in lock-drop:"data race" lock-invert:"cycle" cache-drop:"data race" \
+           rail-drop:"data race on rail"; do
     name=${mut%%:*}; expect=${mut#*:}
     echo "==> smoke:check(mutate=${name}): expecting a caught mutation"
     log=$(mktemp)
@@ -86,6 +87,13 @@ for mut in lock-drop:"data race" lock-invert:"cycle" cache-drop:"data race"; do
     rm -f "${log}"
     echo "==> smoke:check(mutate=${name}): OK"
 done
+
+# Sharded-execution gate: with the knob off the engine must stay
+# bit-identical to the baseline (golden counts, zero rail metrics); a
+# clean 4-shard run and the seeded 1-of-4 / 3-of-4 shard-kill legs must
+# land the exact goldens with the dead shards' work recovered over the
+# rail and a deterministic FAULT_SEED reproduce line on every report.
+run "smoke:shard" cargo run --release --offline -p stmatch-bench --bin shard_check
 
 # Resident-service gate: cold/cache-hit submissions must reproduce the
 # golden counts, a naive-schedule cache hit must be metric-exact against

@@ -6,9 +6,9 @@
 //! and exits 1 if an error-severity finding fires or a count drifts: the
 //! zero-false-positive contract, enforced on every CI run.
 //!
-//! `--mutate=lock-drop` / `--mutate=lock-invert` replay the seeded
-//! concurrency bugs of `stmatch_core::steal::mutation`, and
-//! `--mutate=cache-drop` replays `stmatch_core::service::mutation`'s
+//! `--mutate=lock-drop` / `--mutate=lock-invert` / `--mutate=rail-drop`
+//! replay the seeded concurrency bugs of `stmatch_core::steal::mutation`,
+//! and `--mutate=cache-drop` replays `stmatch_core::service::mutation`'s
 //! untracked plan-cache insert; each exits **1 when the checker catches
 //! the bug** (printing the diagnostics and their reproduce lines) and 0
 //! if the mutation escaped. CI inverts the exit code: a silent checker
@@ -21,7 +21,7 @@
 use std::time::{Duration, Instant};
 
 use simt_check::{CheckConfig, Diagnostic, Severity};
-use stmatch_core::steal::{mutation, Board};
+use stmatch_core::steal::{mutation, Board, ShardRail};
 use stmatch_core::{Engine, EngineConfig, FaultPlan};
 use stmatch_gpusim::{GridConfig, SharedBudget};
 use stmatch_graph::gen;
@@ -41,11 +41,14 @@ fn main() {
     let mut mutate: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.strip_prefix("--mutate=") {
-            Some(m @ ("lock-drop" | "lock-invert" | "cache-drop")) => mutate = Some(m.to_string()),
+            Some(m @ ("lock-drop" | "lock-invert" | "cache-drop" | "rail-drop")) => {
+                mutate = Some(m.to_string())
+            }
             _ => {
                 eprintln!(
                     "simt_check: unknown argument {arg:?} (usage: simt_check \
-                     [--mutate=lock-drop|--mutate=lock-invert|--mutate=cache-drop])"
+                     [--mutate=lock-drop|--mutate=lock-invert|--mutate=cache-drop|\
+                     --mutate=rail-drop])"
                 );
                 std::process::exit(2);
             }
@@ -111,6 +114,37 @@ fn run_clean_gate(cfg: CheckConfig) {
             }
         }
     }
+    // Sharded sweep: four grids trading work over the ShardRail (rank 8),
+    // clean and under a seeded whole-shard kill. The checker must stay
+    // silent while the cross-shard steal and requeue paths run hot.
+    let scfg = EngineConfig::full()
+        .with_grid(grid)
+        .with_shard(true)
+        .with_shards(4);
+    let kill = FaultPlan::seeded_shard_kill(FAULT_SEED, 4, 1);
+    for (qi, golden) in GOLDEN {
+        let q = catalog::paper_query(qi);
+        for (label, fault) in [("sharded", None), ("shard-kill", Some(kill.clone()))] {
+            let mut engine = Engine::new(scfg);
+            if let Some(p) = fault {
+                engine = engine.with_fault_plan(p);
+            }
+            let t = Instant::now();
+            let out = engine.run_sharded(&g, &q).expect("sharded launch");
+            let wall = t.elapsed();
+            if out.outcome.count != golden {
+                eprintln!(
+                    "check q{qi} {label}: count {} != golden {golden}",
+                    out.outcome.count
+                );
+                failed = true;
+            }
+            if wall > WALL_CAP {
+                eprintln!("check q{qi} {label}: took {wall:?} (cap {WALL_CAP:?})");
+                failed = true;
+            }
+        }
+    }
     let diags = simt_check::drain();
     let errors = diags
         .iter()
@@ -118,14 +152,16 @@ fn run_clean_gate(cfg: CheckConfig) {
         .count();
     print_diags(&diags);
     if errors > 0 {
-        eprintln!("check: {errors} error diagnostic(s) on clean/faulty runs (false positives)");
+        eprintln!(
+            "check: {errors} error diagnostic(s) on clean/faulty/sharded runs (false positives)"
+        );
         failed = true;
     }
     if failed {
         std::process::exit(1);
     }
     println!(
-        "check: OK (q1/q6 clean+faulty under SIMT_CHECK={}, {} warning(s), 0 errors)",
+        "check: OK (q1/q6 clean+faulty+sharded under SIMT_CHECK={}, {} warning(s), 0 errors)",
         cfg.spec(),
         diags.len() - errors
     );
@@ -163,6 +199,20 @@ fn run_mutation(which: &str, cfg: CheckConfig) {
             assert!(board.try_claim_global(1).is_some());
             board.mark_idle(1);
             let _ = mutation::push_global_inverted(&board, 0);
+        }
+        "rail-drop" => {
+            // A worker claims from the rail under the tracked lock
+            // (rank 8); the host thread then claims with the acquisition
+            // deleted. As with lock-drop, thread join is invisible to the
+            // checker, so only the rail lock could have ordered the two
+            // accesses to the `rail[id]` shadow cell.
+            let rail = ShardRail::new(&[0, 50, 100], 10, true);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _ = rail.claim(0);
+                });
+            });
+            let _ = mutation::rail_claim_without_lock(&rail);
         }
         "cache-drop" => {
             // A blocking submit makes a service worker write the plan

@@ -68,6 +68,12 @@ pub struct EngineConfig {
     /// default: the kernel then walks the plan per claim exactly as
     /// pre-compilation revisions did, bit-identically.
     pub compile: CompileTuning,
+    /// Sharded multi-grid execution (see `shard` and DESIGN.md §4i):
+    /// work-aware partitioning of the level-0 domain, cross-shard range
+    /// stealing, and shard-level fault recovery. Disabled by default: the
+    /// engine and `run_multi_device` then behave bit-identically to
+    /// pre-sharding revisions.
+    pub shard: ShardTuning,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +94,39 @@ impl Default for EngineConfig {
             hub_bitmap: HubBitmapTuning::default(),
             recovery: RecoveryPolicy::default(),
             compile: CompileTuning::default(),
+            shard: ShardTuning::default(),
+        }
+    }
+}
+
+/// Sharding knob: whether a run is split over several concurrently running
+/// grids ("shards"), how many, and which balancing features are on.
+///
+/// Sharding never changes match results — the shards partition the level-0
+/// domain exactly, and shard-death recovery is count-invariant (see
+/// `shard` and DESIGN.md §4i).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardTuning {
+    /// Route runs through the sharded multi-grid driver (default `false`).
+    pub enabled: bool,
+    /// Number of shards (concurrent grids) per run (default 4).
+    pub shards: usize,
+    /// Partition the level-0 domain by per-vertex work weights
+    /// (degree/intersection skew) instead of contiguous equal slices
+    /// (default `true`).
+    pub work_aware: bool,
+    /// Let idle shards steal level-0 ranges from loaded ones over the
+    /// cross-shard rail (default `true`).
+    pub cross_steal: bool,
+}
+
+impl Default for ShardTuning {
+    fn default() -> Self {
+        ShardTuning {
+            enabled: false,
+            shards: 4,
+            work_aware: true,
+            cross_steal: true,
         }
     }
 }
@@ -231,6 +270,20 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with sharded execution switched on or off.
+    pub fn with_shard(mut self, enabled: bool) -> Self {
+        self.shard.enabled = enabled;
+        self
+    }
+
+    /// Returns a copy with sharded execution on at the given shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shard.enabled = true;
+        self.shard.shards = shards;
+        self
+    }
+
     /// Validates internal consistency; every launch entry point calls this
     /// before building warp state, so a malformed config fails loudly at
     /// the API boundary instead of corrupting a lane mapping deep in the
@@ -250,6 +303,7 @@ impl EngineConfig {
         );
         assert!(self.max_degree_slab >= 1, "max_degree_slab must be >= 1");
         assert!(self.chunk_size >= 1, "chunk_size must be >= 1");
+        assert!(self.shard.shards >= 1, "shard count must be >= 1");
         // `compile` needs no range check here: every CompileTuning value is
         // admissible, and malformed *streams* are rejected at lower time by
         // `PlanBytecode::verify` with a named BytecodeError (same fail-loud
@@ -283,6 +337,14 @@ mod tests {
         assert_eq!(c.compile.tier_up_after, 4096);
         assert!(c.compile.specialize);
         assert!(c.with_compile(true).compile.enabled);
+        // Sharding also defaults off (bit-identical baseline) with the
+        // balancing features armed for when it is switched on.
+        assert!(!c.shard.enabled);
+        assert_eq!(c.shard.shards, 4);
+        assert!(c.shard.work_aware);
+        assert!(c.shard.cross_steal);
+        assert!(c.with_shard(true).shard.enabled);
+        assert_eq!(c.with_shards(8).shard.shards, 8);
     }
 
     #[test]

@@ -27,10 +27,10 @@ use crate::fault::{FaultPlan, FaultReport, WarpDeath};
 use crate::kernel::WarpKernel;
 use crate::pool::{ArenaPool, WarmSlot};
 use crate::recover::{self, DowngradeStep};
-use crate::steal::{Board, StealPayload};
+use crate::steal::{Board, ShardRail, StealPayload};
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 use stmatch_gpusim::{Grid, GridMetrics, LaunchError, MemoryBudget, SharedBudget};
 use stmatch_graph::{Graph, HubBitmapIndex, VertexId};
@@ -82,6 +82,12 @@ pub struct MatchOutcome {
     /// hub-bitmap acceleration owns the set operations. A run that tiers
     /// up mid-launch reports the *final* tier.
     pub served_tier: Option<u8>,
+    /// The half-open range of level-0 *virtual* indices this run never
+    /// claimed, in the run's own index space (strided for partitioned
+    /// runs). `Some` only when the run stopped early (`timed_out`), so
+    /// partial counts are auditable: the caller knows exactly which slice
+    /// of the outermost loop the count omits.
+    pub l0_uncovered: Option<(usize, usize)>,
 }
 
 impl MatchOutcome {
@@ -135,6 +141,25 @@ struct LaunchStats {
     timed_out: bool,
     report: FaultReport,
     spill_events: u64,
+    /// Next unclaimed level-0 virtual index when the launch ended.
+    cursor: usize,
+    /// End of the level-0 virtual domain the launch was responsible for.
+    domain: usize,
+}
+
+/// Per-shard execution context threaded into the launch path by the
+/// sharding driver ([`crate::shard`]): the cross-shard work rail, this
+/// grid's shard index on it, and the level-0 permutation mapping the
+/// rail's virtual indices back to vertex ids. A launch carrying one runs
+/// exactly one pass — stranded work goes to the rail (for sibling shards
+/// or the driver's recovery rounds) instead of a local salvage relaunch.
+pub(crate) struct ShardCtx<'a> {
+    /// The rail shared by every shard of the run.
+    pub rail: &'a Arc<ShardRail>,
+    /// This grid's shard index.
+    pub shard: usize,
+    /// Level-0 permutation: `map[virtual_index] = vertex_id`.
+    pub map: &'a [VertexId],
 }
 
 impl Engine {
@@ -180,6 +205,29 @@ impl Engine {
         &self.cfg
     }
 
+    /// The fault plan attached via [`Engine::with_fault_plan`], if any
+    /// (the sharding driver re-scopes it per shard grid).
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The wall-clock budget attached via [`Engine::with_timeout`], if any.
+    pub(crate) fn timeout_budget(&self) -> Option<std::time::Duration> {
+        self.timeout
+    }
+
+    /// One sharded grid pass for the driver in [`crate::shard`]: level-0
+    /// work comes off the context's rail (not a local chunk dispenser),
+    /// and stranded payloads are handed back to the rail on exit.
+    pub(crate) fn run_sharded_pass(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        shard: &ShardCtx<'_>,
+    ) -> Result<MatchOutcome, LaunchError> {
+        self.run_inner(graph, plan, 0, 1, None, None, None, Some(shard))
+    }
+
     /// Compiles the plan for `pattern` under this engine's options.
     pub fn compile(&self, pattern: &Pattern) -> MatchPlan {
         MatchPlan::compile(
@@ -213,7 +261,7 @@ impl Engine {
         plan: &MatchPlan,
     ) -> Result<Enumeration, LaunchError> {
         let collector = Mutex::new(Vec::new());
-        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector), None, None)?;
+        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector), None, None, None)?;
         // Warps emit flat k-strided records; chunk them into per-embedding
         // vectors here, off the hot path.
         let k = plan.num_levels();
@@ -248,7 +296,7 @@ impl Engine {
         plan: &MatchPlan,
         warm: &WarmSlot,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, Some(warm), None)
+        self.run_inner(graph, plan, 0, 1, None, Some(warm), None, None)
     }
 
     /// [`Engine::run_plan`] against a caller-held [`CompiledPlan`] whose
@@ -262,7 +310,7 @@ impl Engine {
         plan: &MatchPlan,
         compiled: &CompiledPlan,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, None, Some(compiled))
+        self.run_inner(graph, plan, 0, 1, None, None, Some(compiled), None)
     }
 
     /// [`Engine::run_plan_warm`] with a caller-held [`CompiledPlan`] (see
@@ -274,7 +322,7 @@ impl Engine {
         warm: &WarmSlot,
         compiled: Option<&CompiledPlan>,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, Some(warm), compiled)
+        self.run_inner(graph, plan, 0, 1, None, Some(warm), compiled, None)
     }
 
     /// Matches only the level-0 vertices `v` with `v % devices == device` —
@@ -288,7 +336,7 @@ impl Engine {
         device: usize,
         devices: usize,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, device, devices, None, None, None)
+        self.run_inner(graph, plan, device, devices, None, None, None, None)
     }
 
     /// Degradation-ladder driver: attempts the launch at the configured
@@ -305,6 +353,7 @@ impl Engine {
         collector: Option<&Mutex<Vec<VertexId>>>,
         warm: Option<&WarmSlot>,
         ext: Option<&CompiledPlan>,
+        shard: Option<&ShardCtx<'_>>,
     ) -> Result<MatchOutcome, LaunchError> {
         assert!(devices >= 1 && device < devices);
         self.cfg.validate();
@@ -338,7 +387,7 @@ impl Engine {
             // Planning failures happen before any warp runs, so retrying
             // here can never double-count (and never touches `collector`).
             match self.attempt(
-                &cfg, graph, plan, hubs, compiled, device, devices, collector, warm,
+                &cfg, graph, plan, hubs, compiled, device, devices, collector, warm, shard,
             ) {
                 Ok(mut outcome) => {
                     outcome.downgrades = downgrades;
@@ -375,6 +424,7 @@ impl Engine {
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
         warm: Option<&WarmSlot>,
+        shard: Option<&ShardCtx<'_>>,
     ) -> Result<MatchOutcome, LaunchError> {
         let grid = Grid::new(cfg.grid)?;
         // A warm slot only serves launches at its exact geometry; after a
@@ -401,7 +451,7 @@ impl Engine {
         let stack_bytes = plan.num_sets() * cfg.unroll * cfg.max_degree_slab * 4 * num_warps;
         self.memory.try_alloc(stack_bytes)?;
         let stats = self.launch(
-            cfg, graph, plan, hubs, compiled, &grid, stop, device, devices, collector, warm,
+            cfg, graph, plan, hubs, compiled, &grid, stop, device, devices, collector, warm, shard,
         );
         self.memory.free(stack_bytes);
         Ok(MatchOutcome {
@@ -421,6 +471,8 @@ impl Engine {
             // Snapshot after the launch: a mid-run tier-up is reported at
             // the tier the plan ended up on.
             served_tier: compiled.map(|c| c.tier().index()),
+            l0_uncovered: (stats.timed_out && stats.cursor < stats.domain)
+                .then_some((stats.cursor, stats.domain)),
         })
     }
 
@@ -438,6 +490,7 @@ impl Engine {
         devices: usize,
         collector: Option<&Mutex<Vec<VertexId>>>,
         warm: Option<&WarmSlot>,
+        shard: Option<&ShardCtx<'_>>,
     ) -> LaunchStats {
         let n = graph.num_vertices();
         // Device partitioning is *strided*: device d owns the vertices
@@ -446,7 +499,11 @@ impl Engine {
         // spreads the skew so all devices get comparable work (the paper
         // "divides the outermost loop iterations across GPUs"). The board
         // dispenses virtual indices; the kernel maps them to vertex ids.
-        let device_count = if n > device {
+        // Sharded grids own no local range at all: every level-0 index
+        // comes off the cross-shard rail.
+        let device_count = if shard.is_some() {
+            0
+        } else if n > device {
             (n - device).div_ceil(devices)
         } else {
             0
@@ -479,6 +536,9 @@ impl Engine {
                 (cursor, device_count),
                 cfg.chunk_size,
             );
+            if let Some(sc) = shard {
+                board.attach_rail(Arc::clone(sc.rail), sc.shard);
+            }
             if !preload.is_empty() {
                 board.preload(std::mem::take(&mut preload));
             }
@@ -489,8 +549,20 @@ impl Engine {
             let arenas = warm.map(WarmSlot::arenas);
             let body = |warp: &mut stmatch_gpusim::Warp| {
                 self.warp_body(
-                    cfg, graph, plan, hubs, compiled, &board, faults, device, devices, collector,
-                    &deaths, arenas, warp,
+                    cfg,
+                    graph,
+                    plan,
+                    hubs,
+                    compiled,
+                    &board,
+                    faults,
+                    device,
+                    devices,
+                    shard.map(|sc| sc.map),
+                    collector,
+                    &deaths,
+                    arenas,
+                    warp,
                 );
             };
             let (pass_metrics, escaped) = match warm {
@@ -508,6 +580,25 @@ impl Engine {
             timed_out = timed_out || aborted;
             cursor = board.chunk_cursor();
             let leftovers = board.take_leftovers();
+            if let Some(sc) = shard {
+                // Sharded grids run exactly one pass: stranded payloads go
+                // back to the rail, where live sibling shards (or the
+                // driver's recovery rounds, see `crate::shard`) pick them
+                // up. A timed-out run is partial by contract and keeps the
+                // plain-engine accounting instead.
+                if aborted {
+                    report.unrecovered += leftovers.len();
+                } else if !leftovers.is_empty() {
+                    sc.rail.push_requeue(leftovers);
+                }
+                if report.deaths.len() >= cfg.grid.total_warps() {
+                    // The whole shard died; record it on the rail so the
+                    // driver knows a recovery round may be needed even if
+                    // siblings steal the orphaned range meanwhile.
+                    sc.rail.mark_shard_dead(sc.shard);
+                }
+                break;
+            }
             let work_remains = !leftovers.is_empty() || cursor < device_count;
             if aborted || !work_remains {
                 // Timed-out (or containment-failed) runs are partial by
@@ -531,6 +622,8 @@ impl Engine {
             timed_out,
             report,
             spill_events,
+            cursor,
+            domain: device_count,
         }
     }
 
@@ -550,6 +643,7 @@ impl Engine {
         faults: Option<&FaultPlan>,
         device: usize,
         devices: usize,
+        l0_map: Option<&[VertexId]>,
         collector: Option<&Mutex<Vec<VertexId>>>,
         deaths: &Mutex<Vec<WarpDeath>>,
         arenas: Option<&ArenaPool>,
@@ -569,6 +663,9 @@ impl Engine {
                 graph, plan, cfg, board, me, faults, hubs, recycled, compiled,
             );
             k.set_device_partition(device, devices);
+            if let Some(map) = l0_map {
+                k.set_level0_map(map);
+            }
             if collector.is_some() {
                 k.enable_enumeration();
             }
@@ -578,7 +675,14 @@ impl Engine {
                     break;
                 }
                 // --- Busy phase: acquire and run work. ---
-                if let Some((clo, chi)) = board.claim_chunk() {
+                if let Some((clo, chi, stolen)) = board.claim_chunk_tagged() {
+                    if stolen {
+                        // Fixed cost model: a cross-shard range travels
+                        // over the rail (device-to-device copy), dearer
+                        // than a same-grid global steal.
+                        warp.metrics_mut().shard_steal_receives += 1;
+                        warp.metrics_mut().simt_instructions += 512;
+                    }
                     let t = Instant::now();
                     kernel.install_chunk(clo, chi);
                     kernel.run(warp);
@@ -590,6 +694,18 @@ impl Engine {
                     // Same fixed cost model as a global-steal receive: the
                     // payload travels through global memory.
                     warp.metrics_mut().simt_instructions += 256;
+                    let t = Instant::now();
+                    kernel.install_payload(warp, &p);
+                    kernel.run(warp);
+                    warp.metrics_mut().busy_nanos += t.elapsed().as_nanos() as u64;
+                    continue;
+                }
+                if let Some(p) = board.claim_rail_requeued() {
+                    // A payload reclaimed from a dead sibling shard: the
+                    // stack crosses the rail, at cross-shard cost.
+                    warp.metrics_mut().requeue_claims += 1;
+                    warp.metrics_mut().shard_steal_receives += 1;
+                    warp.metrics_mut().simt_instructions += 512;
                     let t = Instant::now();
                     kernel.install_payload(warp, &p);
                     kernel.run(warp);

@@ -53,6 +53,16 @@ pub enum FaultKind {
         /// 1-based publish ordinal that triggers the poisoned panic.
         at_publish: u64,
     },
+    /// Kill an entire shard of a sharded run: the shard driver expands this
+    /// into a panic at claim `at_claim` for *every* warp of shard `shard`'s
+    /// grid (see [`FaultPlan::for_shard`]). The warp-level hooks ignore it,
+    /// so a plan carrying only shard kills is inert on single-grid runs.
+    ShardKill {
+        /// Shard index whose grid dies.
+        shard: usize,
+        /// 1-based claim ordinal at which every warp of the shard panics.
+        at_claim: u64,
+    },
 }
 
 /// One scheduled fault: a warp plus a trigger.
@@ -137,6 +147,97 @@ impl FaultPlan {
             kind: FaultKind::PoisonPublish { at_publish },
         });
         self
+    }
+
+    /// Schedules the death of whole shard `shard` at claim ordinal
+    /// `at_claim` (1-based): every warp of that shard's grid panics there.
+    /// Only the sharded driver interprets this (the `warp` field of the
+    /// stored fault is unused); single-grid runs ignore it.
+    pub fn shard_kill_at(mut self, shard: usize, at_claim: u64) -> FaultPlan {
+        assert!(at_claim >= 1, "claim ordinals are 1-based");
+        self.faults.push(Fault {
+            warp: 0,
+            kind: FaultKind::ShardKill { shard, at_claim },
+        });
+        self
+    }
+
+    /// Derives a shard-kill plan from a single seed: `kills` distinct
+    /// shards of a `shards`-shard run die, each at a claim ordinal in the
+    /// first handful of claims (so survivors inherit real unfinished
+    /// work). Deterministic per `(seed, shards, kills)`; the reproduce
+    /// line `FAULT_SEED=0x…` travels in the resulting [`FaultReport`] and
+    /// the sharded outcome.
+    pub fn seeded_shard_kill(seed: u64, shards: usize, kills: usize) -> FaultPlan {
+        assert!(shards >= 1);
+        assert!(kills <= shards, "cannot kill more shards than the run has");
+        let mut rng = SplitMix64::new(seed);
+        let mut victims: Vec<usize> = (0..shards).collect();
+        for i in 0..kills {
+            let j = i + (rng.next_u64() as usize) % (shards - i);
+            victims.swap(i, j);
+        }
+        let mut plan = FaultPlan::new();
+        for &s in victims.iter().take(kills) {
+            plan = plan.shard_kill_at(s, 1 + rng.next_u64() % 8);
+        }
+        plan.reproduce = Some(format!("FAULT_SEED=0x{seed:x}"));
+        plan
+    }
+
+    /// Restricts this plan to shard `shard` of a sharded run whose grids
+    /// have `total_warps` warps each: warp-level faults apply to every
+    /// shard's grid verbatim (each grid numbers its warps from 0), and a
+    /// matching [`FaultKind::ShardKill`] expands into a panic for every
+    /// warp of the shard. The reproduce line travels with each sub-plan.
+    pub fn for_shard(&self, shard: usize, total_warps: usize) -> FaultPlan {
+        let mut out = FaultPlan {
+            faults: Vec::new(),
+            reproduce: self.reproduce.clone(),
+        };
+        for f in &self.faults {
+            match f.kind {
+                FaultKind::ShardKill { shard: s, at_claim } if s == shard => {
+                    for w in 0..total_warps {
+                        out.faults.push(Fault {
+                            warp: w,
+                            kind: FaultKind::Panic { at_claim },
+                        });
+                    }
+                }
+                FaultKind::ShardKill { .. } => {}
+                _ => out.faults.push(*f),
+            }
+        }
+        out
+    }
+
+    /// A deterministic reproduce line for a sharded run: the seeded
+    /// `FAULT_SEED=0x…` line when present, otherwise a literal rendering
+    /// of the plan's shard kills (`SHARD_KILLS=shard@claim,…` — a
+    /// hand-built plan is its own reproduction recipe). `None` when the
+    /// plan neither was seeded nor kills shards.
+    pub fn shard_reproduce_line(&self) -> Option<String> {
+        if let Some(r) = &self.reproduce {
+            return Some(r.clone());
+        }
+        let kills: Vec<String> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::ShardKill { shard, at_claim } => Some(format!("{shard}@{at_claim}")),
+                _ => None,
+            })
+            .collect();
+        (!kills.is_empty()).then(|| format!("SHARD_KILLS={}", kills.join(",")))
+    }
+
+    /// True when the plan contains shard-kill faults (meaningful only on
+    /// the sharded route).
+    pub fn kills_shards(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::ShardKill { .. }))
     }
 
     /// Derives a plan from a single seed: `panics` warp deaths and
@@ -397,6 +498,42 @@ mod tests {
         warps.sort_unstable();
         warps.dedup();
         assert_eq!(warps.len(), 3);
+    }
+
+    #[test]
+    fn shard_kill_expands_per_shard_and_is_inert_at_warp_level() {
+        let plan = FaultPlan::seeded_shard_kill(0xabc, 4, 2);
+        assert_eq!(plan, FaultPlan::seeded_shard_kill(0xabc, 4, 2));
+        assert!(plan.kills_shards());
+        assert_eq!(plan.reproduce_line(), Some("FAULT_SEED=0xabc"));
+        // Distinct victim shards.
+        let mut victims: Vec<usize> = plan
+            .faults()
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::ShardKill { shard, .. } => Some(shard),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(victims.len(), 2);
+        victims.dedup();
+        assert_eq!(victims.len(), 2);
+        // Exactly the killed shards' sub-plans carry panics, one per warp.
+        let killed: Vec<usize> = (0..4)
+            .filter(|&s| !plan.for_shard(s, 6).is_empty())
+            .collect();
+        assert_eq!(killed.len(), 2);
+        let sub = plan.for_shard(killed[0], 6);
+        assert_eq!(sub.faults().len(), 6);
+        assert!(sub.injects_panics());
+        assert_eq!(sub.reproduce_line(), Some("FAULT_SEED=0xabc"));
+        // The warp-level hooks never fire on the raw plan.
+        plan.at_claim(0, 1);
+        plan.at_publish(0, 1);
+        // Warp-level faults replicate to every shard's sub-plan.
+        let mixed = FaultPlan::new().panic_at(1, 3).shard_kill_at(0, 2);
+        assert_eq!(mixed.for_shard(1, 4).faults().len(), 1);
+        assert_eq!(mixed.for_shard(0, 4).faults().len(), 5);
     }
 
     #[test]

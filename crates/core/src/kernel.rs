@@ -111,6 +111,10 @@ pub struct WarpKernel<'a> {
     /// `i` denotes data vertex `l0_base + i * l0_stride`.
     l0_base: usize,
     l0_stride: usize,
+    /// Level-0 permutation for sharded runs: virtual index `i` (after the
+    /// base/stride mapping) denotes data vertex `l0_map[i]`. `None` keeps
+    /// the identity, bit-identical to pre-sharding revisions.
+    l0_map: Option<&'a [VertexId]>,
     /// Ping/pong scratch for multi-op set chains; the final chain op
     /// writes straight into the arena, so these only hold intermediates.
     ping: Vec<Vec<VertexId>>,
@@ -235,6 +239,7 @@ impl<'a> WarpKernel<'a> {
             publishes: 0,
             l0_base: 0,
             l0_stride: 1,
+            l0_map: None,
             emit: None,
             pending_matches: 0,
             emit_mark: 0,
@@ -281,6 +286,14 @@ impl<'a> WarpKernel<'a> {
         debug_assert!(stride >= 1);
         self.l0_base = base;
         self.l0_stride = stride;
+    }
+
+    /// Installs the sharded level-0 permutation: virtual index `i` maps to
+    /// data vertex `map[i]`. Chunk ranges and reclaimed payloads stay in
+    /// virtual index space, so they are portable across every shard
+    /// sharing the same map.
+    pub fn set_level0_map(&mut self, map: &'a [VertexId]) {
+        self.l0_map = Some(map);
     }
 
     /// Periodic cooperative cancellation check on the claim paths: cheap
@@ -539,7 +552,11 @@ impl<'a> WarpKernel<'a> {
                 warp.metrics_mut().simt_instructions += 256;
             }
             let v = if l == 0 {
-                (self.l0_base + idx * self.l0_stride) as VertexId
+                let vi = self.l0_base + idx * self.l0_stride;
+                match self.l0_map {
+                    Some(map) => map[vi],
+                    None => vi as VertexId,
+                }
             } else {
                 self.candidate_list(l, 0)[idx]
             };

@@ -50,14 +50,19 @@ pub mod pool;
 pub mod recover;
 pub mod service;
 pub mod setops;
+pub mod shard;
 pub mod steal;
 
 pub use compile::{CompiledPlan, Tier};
-pub use config::{CompileTuning, EngineConfig, HubBitmapTuning};
+pub use config::{CompileTuning, EngineConfig, HubBitmapTuning, ShardTuning};
 pub use engine::{Engine, Enumeration, MatchOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
-pub use multi::{run_multi_device, MultiDeviceOutcome};
+pub use multi::{run_multi_device, MultiDeviceOutcome, UncoveredRange};
 pub use pool::{ArenaPool, WarmSlot};
-pub use recover::{DowngradeStep, RecoveryPolicy};
-pub use service::{CacheStats, MatchService, QueryOptions, ServiceConfig, ServiceError, Ticket};
+pub use recover::{DowngradeStep, RecoveryPolicy, ShardStep};
+pub use service::{
+    CacheStats, MatchService, Priority, QueryOptions, ServiceConfig, ServiceError, Ticket,
+};
+pub use shard::{ShardPlan, ShardedOutcome};
+pub use steal::RailStats;
 pub use stmatch_gpusim::LaunchError;

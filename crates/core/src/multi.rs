@@ -1,31 +1,70 @@
-//! Multi-device execution (Fig. 11).
+//! Multi-device execution (Fig. 11) — facade over two routes.
 //!
 //! The paper runs on multiple GPUs "by duplicating the input graph and
-//! dividing the outermost loop iterations across GPUs". We reproduce the
-//! same partitioning: each simulated device receives a contiguous slice of
-//! the level-0 vertex range and runs a full grid on it. Devices are
-//! *simulated sequentially* (this host cannot run several grids truly in
-//! parallel without oversubscription skewing results), and the reported
-//! multi-device time is the maximum per-device time — exactly the quantity
-//! that determines wall clock on real hardware.
+//! dividing the outermost loop iterations across GPUs". This module keeps
+//! that contract behind one entry point, [`run_multi_device`], with the
+//! route picked by [`EngineConfig::shard`](crate::EngineConfig):
+//!
+//! * **Strided partitions** (knob off, the historical default): each
+//!   simulated device receives a strided slice of the level-0 vertex
+//!   range and runs a full grid on it. Devices are *simulated
+//!   sequentially* (this host cannot run several grids truly in parallel
+//!   without oversubscription skewing results), and the reported
+//!   multi-device time is the maximum per-device time — exactly the
+//!   quantity that determines wall clock on real hardware. Slices are
+//!   fixed at launch: a device that finishes early cannot help a loaded
+//!   one, and a died/failed device strands its slice.
+//! * **Sharded grids** (knob on): the [`crate::shard`] subsystem — one
+//!   grid per shard over a shared work rail, with work-aware splits,
+//!   cross-shard stealing and shard-death recovery. `devices` becomes the
+//!   shard count; per-shard outcomes fill [`MultiDeviceOutcome::devices`]
+//!   and the full shard bookkeeping rides along in
+//!   [`MultiDeviceOutcome::sharded`]. Counts are identical to the strided
+//!   route (both cover the same domain exactly).
+//!
+//! Either way, an aborted run is *auditable*: the outcome lists the
+//! level-0 ranges its partial count never covered
+//! ([`MultiDeviceOutcome::uncovered`]).
 
 use crate::engine::{Engine, MatchOutcome};
+use crate::shard::ShardedOutcome;
 use stmatch_gpusim::LaunchError;
 use stmatch_graph::Graph;
 use stmatch_pattern::Pattern;
+
+/// A half-open range of level-0 *virtual* indices an aborted run never
+/// covered. For the strided route the indices live in the owning device's
+/// own stride space (`vertex = device + index * devices`); for the
+/// sharded route they index the run's [`ShardPlan::order`]
+/// (`vertex = order[index]`) and belong to the rail, not one device.
+///
+/// [`ShardPlan::order`]: crate::shard::ShardPlan
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UncoveredRange {
+    /// The device that owned the range, or `None` for rail-resident
+    /// ranges of a sharded run (portable, owned by no single device).
+    pub device: Option<usize>,
+    /// First uncovered virtual index.
+    pub lo: usize,
+    /// One past the last uncovered virtual index.
+    pub hi: usize,
+}
 
 /// Aggregated result of a multi-device run.
 #[derive(Clone, Debug)]
 pub struct MultiDeviceOutcome {
     /// Per-device outcomes, in device order. May be shorter than the
     /// requested device count when the run aborted partway (see
-    /// [`MultiDeviceOutcome::aborted`]).
+    /// [`MultiDeviceOutcome::aborted`]). On the sharded route these are
+    /// the round-0 per-shard outcomes (recovery rounds are folded into
+    /// `count` and [`MultiDeviceOutcome::sharded`]).
     pub devices: Vec<MatchOutcome>,
     /// Total matches across the *completed* devices.
     pub count: u64,
-    /// True when the run stopped before every device finished — either a
-    /// device timed out or a later device's launch failed. The count is
-    /// then a partial lower bound over `devices`.
+    /// True when the run stopped before covering the whole domain — a
+    /// device timed out, a later device's launch failed, or a sharded run
+    /// abandoned work. The count is then a partial lower bound and
+    /// [`MultiDeviceOutcome::uncovered`] lists what it omits.
     pub aborted: bool,
     /// The device whose launch failed, if any. Devices before it completed
     /// and their outcomes are retained; devices after it never ran.
@@ -35,6 +74,14 @@ pub struct MultiDeviceOutcome {
     ///
     /// [`failed_device`]: MultiDeviceOutcome::failed_device
     pub error: Option<LaunchError>,
+    /// Level-0 ranges the partial count never covered; empty whenever
+    /// `aborted` is false, so a partial count is always auditable down to
+    /// the exact slice of the outermost loop it omits.
+    pub uncovered: Vec<UncoveredRange>,
+    /// Full shard bookkeeping (rail traffic, recovery ladder, reproduce
+    /// line) when the sharded route served the run; `None` on the strided
+    /// route.
+    pub sharded: Option<ShardedOutcome>,
 }
 
 impl MultiDeviceOutcome {
@@ -58,7 +105,11 @@ impl MultiDeviceOutcome {
 }
 
 /// Runs `pattern` over `graph` partitioned across `devices` simulated
-/// devices with `engine`'s configuration.
+/// devices with `engine`'s configuration. With
+/// [`EngineConfig::shard`](crate::EngineConfig) enabled the run is served
+/// by the sharded route (`devices` = shard count, work-aware splits,
+/// cross-shard stealing, shard-death recovery); otherwise by fixed
+/// strided partitions.
 ///
 /// Fault tolerance across devices: if a device times out or a later
 /// device's launch fails, the outcomes of the devices that already
@@ -74,14 +125,28 @@ pub fn run_multi_device(
 ) -> Result<MultiDeviceOutcome, LaunchError> {
     assert!(devices >= 1);
     let plan = engine.compile(pattern);
-    let mut outcomes = Vec::with_capacity(devices);
+    if engine.config().shard.enabled {
+        return run_sharded_route(engine, graph, &plan, devices);
+    }
+    let n = graph.num_vertices();
+    // Virtual domain width of a strided device (see `Engine::launch`).
+    let domain = |d: usize| if n > d { (n - d).div_ceil(devices) } else { 0 };
+    let mut outcomes: Vec<MatchOutcome> = Vec::with_capacity(devices);
     let mut aborted = false;
     let mut failed_device = None;
     let mut error = None;
+    let mut uncovered: Vec<UncoveredRange> = Vec::new();
     for d in 0..devices {
         match engine.run_partition(graph, &plan, d, devices) {
             Ok(out) => {
                 let timed_out = out.timed_out;
+                if let Some((lo, hi)) = out.l0_uncovered {
+                    uncovered.push(UncoveredRange {
+                        device: Some(d),
+                        lo,
+                        hi,
+                    });
+                }
                 outcomes.push(out);
                 if timed_out {
                     // The wall-clock budget is for the whole run; don't
@@ -99,6 +164,21 @@ pub fn run_multi_device(
             }
         }
     }
+    // Devices the abort prevented from ever starting (including a failed
+    // device, which completed nothing) contribute their whole slice.
+    for d in outcomes.len()..devices {
+        if domain(d) > 0 {
+            uncovered.push(UncoveredRange {
+                device: Some(d),
+                lo: 0,
+                hi: domain(d),
+            });
+        }
+    }
+    if !aborted {
+        debug_assert!(uncovered.is_empty(), "complete runs cover everything");
+        uncovered.clear();
+    }
     let count = outcomes.iter().map(|o| o.count).sum();
     Ok(MultiDeviceOutcome {
         devices: outcomes,
@@ -106,6 +186,53 @@ pub fn run_multi_device(
         aborted,
         failed_device,
         error,
+        uncovered,
+        sharded: None,
+    })
+}
+
+/// The sharded route: rebuilds the engine with `devices` shards (keeping
+/// its timeout and fault plan) and adapts the [`ShardedOutcome`] to the
+/// facade's shape.
+fn run_sharded_route(
+    engine: &Engine,
+    graph: &Graph,
+    plan: &stmatch_pattern::MatchPlan,
+    devices: usize,
+) -> Result<MultiDeviceOutcome, LaunchError> {
+    let mut cfg = *engine.config();
+    cfg.shard.shards = devices;
+    let mut e = Engine::new(cfg);
+    if let Some(t) = engine.timeout_budget() {
+        e = e.with_timeout(t);
+    }
+    if let Some(fp) = engine.fault_plan() {
+        e = e.with_fault_plan(fp.clone());
+    }
+    let out = e.run_plan_sharded(graph, plan)?;
+    let aborted = out.outcome.timed_out
+        || out
+            .outcome
+            .fault
+            .as_ref()
+            .is_some_and(|f| !f.fully_recovered());
+    let uncovered = out
+        .unfinished
+        .iter()
+        .map(|&(lo, hi)| UncoveredRange {
+            device: None,
+            lo,
+            hi,
+        })
+        .collect();
+    Ok(MultiDeviceOutcome {
+        devices: out.per_shard.clone(),
+        count: out.outcome.count,
+        aborted,
+        failed_device: None,
+        error: None,
+        uncovered,
+        sharded: Some(out),
     })
 }
 
@@ -125,6 +252,26 @@ mod tests {
             let multi = run_multi_device(&engine, &g, &catalog::paper_query(6), devices).unwrap();
             assert_eq!(multi.count, single, "devices={devices}");
             assert_eq!(multi.devices.len(), devices);
+            assert!(multi.sharded.is_none(), "knob off stays on strided route");
+        }
+    }
+
+    #[test]
+    fn sharded_route_counts_match_single_device() {
+        let g = gen::preferential_attachment(100, 4, 5).degree_ordered();
+        let single = Engine::new(EngineConfig::default())
+            .run(&g, &catalog::paper_query(6))
+            .unwrap()
+            .count;
+        let engine = Engine::new(EngineConfig::default().with_shard(true));
+        for devices in [1, 2, 4] {
+            let multi = run_multi_device(&engine, &g, &catalog::paper_query(6), devices).unwrap();
+            assert_eq!(multi.count, single, "devices={devices}");
+            assert_eq!(multi.devices.len(), devices);
+            assert!(!multi.aborted);
+            assert!(multi.uncovered.is_empty());
+            let sharded = multi.sharded.as_ref().expect("sharded route bookkeeping");
+            assert_eq!(sharded.shards, devices);
         }
     }
 
@@ -136,6 +283,7 @@ mod tests {
         assert!(!multi.aborted);
         assert_eq!(multi.failed_device, None);
         assert!(multi.error.is_none());
+        assert!(multi.uncovered.is_empty());
     }
 
     #[test]
@@ -151,6 +299,34 @@ mod tests {
         assert_eq!(multi.devices.len(), 1);
         assert!(multi.devices[0].timed_out);
         assert_eq!(multi.failed_device, None, "timeout is not a launch error");
+    }
+
+    #[test]
+    fn aborted_run_lists_uncovered_ranges() {
+        use std::time::Duration;
+        let g = gen::erdos_renyi(90, 360, 21);
+        let devices = 4;
+        let engine = Engine::new(EngineConfig::default()).with_timeout(Duration::ZERO);
+        let multi = run_multi_device(&engine, &g, &catalog::paper_query(6), devices).unwrap();
+        assert!(multi.aborted);
+        // Device 0 timed out mid-slice; devices 1..4 never started. The
+        // uncovered list must account for every level-0 vertex the count
+        // omitted: the tail of device 0's strided domain plus the whole
+        // domain of each unstarted device.
+        let n = g.num_vertices();
+        let domain = |d: usize| (n - d).div_ceil(devices);
+        let claimed0 = multi.devices[0]
+            .l0_uncovered
+            .map_or(domain(0), |(lo, _)| lo);
+        let covered: usize = (0..devices).map(domain).sum::<usize>()
+            - multi.uncovered.iter().map(|r| r.hi - r.lo).sum::<usize>();
+        assert_eq!(covered, claimed0, "uncovered ranges audit the gap");
+        for d in 1..devices {
+            assert!(multi
+                .uncovered
+                .iter()
+                .any(|r| r.device == Some(d) && r.lo == 0 && r.hi == domain(d)));
+        }
     }
 
     #[test]
@@ -177,6 +353,15 @@ mod tests {
             .map(|d| d.elapsed_ms())
             .fold(0.0, f64::max);
         assert_eq!(multi.elapsed_ms(), max_ms);
-        assert!(multi.simulated_cycles() >= multi.devices[0].simulated_cycles().min(1));
+        // The aggregate must equal the true bottleneck: the max simulated
+        // cycles over *all* devices (not merely exceed device 0's).
+        let max_cycles = multi
+            .devices
+            .iter()
+            .map(|d| d.simulated_cycles())
+            .max()
+            .unwrap();
+        assert!(max_cycles > 0, "a triangle run does real work");
+        assert_eq!(multi.simulated_cycles(), max_cycles);
     }
 }

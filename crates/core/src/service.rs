@@ -51,6 +51,22 @@ use stmatch_gpusim::LaunchError;
 use stmatch_graph::Graph;
 use stmatch_pattern::{iso, MatchPlan, Pattern, PlanOptions};
 
+/// Admission lane of a query. High-priority requests dequeue ahead of
+/// every queued normal request, with one guardrail: a drain that would
+/// fill its whole batch from the high lane while normal requests wait
+/// reserves one slot for the *oldest* normal request. A sustained
+/// high-priority flood therefore delays the normal lane, but can never
+/// starve it — every drain makes normal-lane progress.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Dequeues ahead of queued normal requests (bounded by the
+    /// starvation reservation above).
+    High,
+}
+
 /// Per-query options carried through admission.
 #[derive(Clone, Debug, Default)]
 pub struct QueryOptions {
@@ -66,6 +82,8 @@ pub struct QueryOptions {
     /// Overrides the service engine's `induced` semantics for this query.
     /// Plans cache separately per semantics (the flag is part of the key).
     pub induced: Option<bool>,
+    /// Admission lane (see [`Priority`]).
+    pub priority: Priority,
 }
 
 /// Why a query failed. Always per-query: no variant implies anything
@@ -195,6 +213,50 @@ struct Request {
     reply: mpsc::Sender<Result<MatchOutcome, ServiceError>>,
 }
 
+/// The two-lane admission queue (see [`Priority`]). Both lanes are FIFO;
+/// the starvation guardrail lives in [`AdmissionQueue::drain`].
+#[derive(Default)]
+struct AdmissionQueue {
+    high: VecDeque<Request>,
+    normal: VecDeque<Request>,
+}
+
+impl AdmissionQueue {
+    fn push(&mut self, req: Request) {
+        match req.opts.priority {
+            Priority::High => self.high.push_back(req),
+            Priority::Normal => self.normal.push_back(req),
+        }
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.high.is_empty() && self.normal.is_empty()
+    }
+
+    /// Removes up to `max` requests: high lane first, but when the normal
+    /// lane is non-empty one slot of the batch is reserved for its oldest
+    /// request — the starvation-freedom invariant (`max >= 1` always
+    /// holds; `ServiceConfig::batch_max` is clamped).
+    fn drain(&mut self, max: usize) -> Vec<Request> {
+        let mut batch = Vec::new();
+        let high_cap = if self.normal.is_empty() { max } else { max - 1 };
+        while batch.len() < high_cap {
+            match self.high.pop_front() {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        while batch.len() < max {
+            match self.normal.pop_front() {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        batch
+    }
+}
+
 /// Cache key: the canonical labeled form plus the matching semantics the
 /// plan was compiled for. Two patterns map to the same key iff they are
 /// isomorphic (as labeled graphs) and ask for the same semantics.
@@ -234,7 +296,7 @@ struct Inner {
     /// Instance id scoping this service's lock indices and its plan-cache
     /// shadow cell, so concurrent services never alias in the checker.
     check_id: u32,
-    queue: Mutex<VecDeque<Request>>,
+    queue: Mutex<AdmissionQueue>,
     cache: Mutex<HashMap<PlanKey, CachedPlan>>,
     shutdown: AtomicBool,
     hits: AtomicU64,
@@ -245,7 +307,7 @@ struct Inner {
 }
 
 impl Inner {
-    fn lock_queue(&self) -> simt_check::Tracked<'_, VecDeque<Request>> {
+    fn lock_queue(&self) -> simt_check::Tracked<'_, AdmissionQueue> {
         simt_check::tracked_lock(
             &self.queue,
             simt_check::LockClass::ServiceAdmission,
@@ -341,10 +403,21 @@ impl Inner {
         if let Some(f) = opts.fault_plan.clone() {
             engine = engine.with_fault_plan(f);
         }
-        let ran = catch_unwind(AssertUnwindSafe(|| match (warm, compiled) {
-            (Some(w), _) => engine.run_plan_warm_compiled(&self.graph, plan, w, compiled),
-            (None, Some(c)) => engine.run_plan_compiled(&self.graph, plan, c),
-            (None, None) => engine.run_plan(&self.graph, plan),
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            if cfg.shard.enabled {
+                // Sharded route: the driver builds one grid per shard, so
+                // the worker's single-grid warm slot cannot serve it; the
+                // merged outcome keeps the service's count/metrics shape.
+                engine
+                    .run_plan_sharded(&self.graph, plan)
+                    .map(|s| s.outcome)
+            } else {
+                match (warm, compiled) {
+                    (Some(w), _) => engine.run_plan_warm_compiled(&self.graph, plan, w, compiled),
+                    (None, Some(c)) => engine.run_plan_compiled(&self.graph, plan, c),
+                    (None, None) => engine.run_plan(&self.graph, plan),
+                }
+            }
         }));
         match ran {
             Err(payload) => Err(ServiceError::QueryPanicked(crate::fault::describe_payload(
@@ -399,7 +472,7 @@ impl MatchService {
             graph,
             cfg,
             check_id: simt_check::next_object_id(),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(AdmissionQueue::default()),
             cache: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             hits: AtomicU64::new(0),
@@ -433,7 +506,7 @@ impl MatchService {
             admitted: Instant::now(),
             reply,
         };
-        self.inner.lock_queue().push_back(req);
+        self.inner.lock_queue().push(req);
         Ticket { rx }
     }
 
@@ -500,16 +573,7 @@ impl Drop for MatchService {
 fn worker_loop(inner: &Inner) {
     let warm = WarmSlot::new(inner.cfg.engine.grid).ok();
     loop {
-        let mut batch = Vec::new();
-        {
-            let mut q = inner.lock_queue();
-            while batch.len() < inner.cfg.batch_max {
-                match q.pop_front() {
-                    Some(r) => batch.push(r),
-                    None => break,
-                }
-            }
-        }
+        let batch = inner.lock_queue().drain(inner.cfg.batch_max);
         if batch.is_empty() {
             if inner.shutdown.load(Ordering::Acquire) {
                 break;
@@ -674,6 +738,127 @@ mod tests {
             .submit(&catalog::triangle(), QueryOptions::default())
             .unwrap();
         assert_eq!(ok.count, 20);
+    }
+
+    /// Builds a throwaway request whose deadline seconds act as an id tag
+    /// (never executed — only pushed through the admission queue).
+    fn tagged_request(priority: Priority, tag: u64) -> Request {
+        let (reply, _rx) = mpsc::channel();
+        Request {
+            pattern: catalog::triangle(),
+            opts: QueryOptions {
+                deadline: Some(Duration::from_secs(tag)),
+                priority,
+                ..QueryOptions::default()
+            },
+            admitted: Instant::now(),
+            reply,
+        }
+    }
+
+    fn tag(r: &Request) -> u64 {
+        r.opts.deadline.unwrap().as_secs()
+    }
+
+    #[test]
+    fn full_batch_reserves_a_slot_for_the_normal_lane() {
+        let mut q = AdmissionQueue::default();
+        for t in 0..6 {
+            q.push(tagged_request(Priority::High, t));
+        }
+        for t in 100..103 {
+            q.push(tagged_request(Priority::Normal, t));
+        }
+        // A drain the high lane could fill alone must still carry the
+        // oldest normal request — the starvation-freedom invariant.
+        let batch = q.drain(4);
+        assert_eq!(
+            batch.iter().map(tag).collect::<Vec<_>>(),
+            vec![0, 1, 2, 100],
+            "three high (FIFO) plus the oldest normal"
+        );
+        // Next drain: the remaining high requests, then the reserve again.
+        let batch = q.drain(4);
+        assert_eq!(
+            batch.iter().map(tag).collect::<Vec<_>>(),
+            vec![3, 4, 5, 101]
+        );
+        // High lane empty: the normal lane gets the whole batch.
+        let batch = q.drain(4);
+        assert_eq!(batch.iter().map(tag).collect::<Vec<_>>(), vec![102]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_lane_dequeues_ahead_of_earlier_normals() {
+        let mut q = AdmissionQueue::default();
+        q.push(tagged_request(Priority::Normal, 100));
+        q.push(tagged_request(Priority::High, 0));
+        // Admitted later, served first; the waiting normal keeps the
+        // reserved slot.
+        let batch = q.drain(2);
+        assert_eq!(batch.iter().map(tag).collect::<Vec<_>>(), vec![0, 100]);
+        // A batch of one never deadlocks the reservation arithmetic.
+        q.push(tagged_request(Priority::High, 1));
+        q.push(tagged_request(Priority::Normal, 101));
+        assert_eq!(q.drain(1).iter().map(tag).collect::<Vec<_>>(), vec![101]);
+        assert_eq!(q.drain(1).iter().map(tag).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn mixed_priority_flood_completes_everything() {
+        let graph = Arc::new(gen::erdos_renyi(40, 160, 7));
+        let cfg = small_cfg().with_workers(1).with_batch_max(2);
+        let expected = Engine::new(cfg.engine)
+            .run(&graph, &catalog::triangle())
+            .unwrap()
+            .count;
+        let svc = MatchService::new(Arc::clone(&graph), cfg);
+        let mut tickets = Vec::new();
+        for i in 0..12 {
+            let opts = QueryOptions {
+                priority: if i % 4 == 0 {
+                    Priority::Normal
+                } else {
+                    Priority::High
+                },
+                ..QueryOptions::default()
+            };
+            tickets.push(svc.enqueue(&catalog::triangle(), opts));
+        }
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().count, expected);
+        }
+    }
+
+    #[test]
+    fn sharded_route_serves_exact_counts() {
+        let graph = Arc::new(gen::preferential_attachment(100, 4, 5).degree_ordered());
+        let q = catalog::paper_query(6);
+        let expected = Engine::new(small_cfg().engine)
+            .run(&graph, &q)
+            .unwrap()
+            .count;
+        let mut cfg = small_cfg();
+        cfg.engine = cfg.engine.with_shards(2);
+        let svc = MatchService::new(Arc::clone(&graph), cfg);
+        let clean = svc.submit(&q, QueryOptions::default()).unwrap();
+        assert_eq!(clean.count, expected);
+        // A shard kill injected per query recovers exactly, and the
+        // worker survives to serve the next query.
+        let opts = QueryOptions {
+            fault_plan: Some(FaultPlan::seeded_shard_kill(0x7a, 2, 1)),
+            ..QueryOptions::default()
+        };
+        let faulted = svc.submit(&q, opts).unwrap();
+        assert_eq!(faulted.count, expected);
+        let report = faulted.fault.expect("a shard died");
+        assert!(report.fully_recovered());
+        assert!(report.reproduce.is_some());
+        assert_eq!(
+            svc.submit(&q, QueryOptions::default()).unwrap().count,
+            expected
+        );
     }
 
     #[test]

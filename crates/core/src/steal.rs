@@ -32,6 +32,7 @@
 //! | 3    | `PlanTierUp` | `compile::CompiledPlan` tier transitions (PR 7) | — (leaf: taken from claim loops and stat sweeps holding nothing) |
 //! | 4    | `ServicePlanCache` | `service::Inner::cache` (canonical plan cache) | — (never held across engine locks) |
 //! | 6    | `ServiceArenaPool` | `pool::ArenaPool` (reusable warp arenas) | — (never held across engine locks) |
+//! | 8    | `ShardRail`  | `ShardRail::state` (cross-shard work rail) | — (leaf: queried from claim loops holding nothing; the death path releases every board lock before pushing to the rail) |
 //! | 10   | `GlobalSlot` | `Board::slots[b]` (per-block steal slot)   | — (outermost engine lock) |
 //! | 20   | `Requeue`    | `Board::requeue` (reclaimed-work queue)    | `GlobalSlot`        |
 //! | 30   | `Mirror`     | `Mirror::state` (per-warp stealable stack) | `GlobalSlot`        |
@@ -53,8 +54,9 @@
 //! engine's recovery/collection locks are leaves acquired with nothing
 //! held.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 use stmatch_graph::VertexId;
 
@@ -154,6 +156,247 @@ pub struct StealPayload {
     pub hi: usize,
 }
 
+/// A chunk granted by the cross-shard rail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RailGrant {
+    /// Start of the granted level-0 range (virtual index into the shard
+    /// plan's level-0 order).
+    pub lo: usize,
+    /// End of the granted range.
+    pub hi: usize,
+    /// True when serving this claim required stealing a range from another
+    /// shard (charged the cross-shard latency by the caller).
+    pub stolen: bool,
+}
+
+/// Counters published by the rail, read after the sharded run joins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RailStats {
+    /// Cross-shard range steals (an idle shard took half of a loaded
+    /// shard's unclaimed tail).
+    pub cross_steals: u64,
+    /// Reclaimed payloads pushed onto the rail by dying shards.
+    pub requeue_pushes: u64,
+    /// Rail payloads claimed by surviving shards.
+    pub requeue_claims: u64,
+    /// Whole-shard deaths recorded this run.
+    pub shard_deaths: u64,
+}
+
+struct RailState {
+    /// Per-shard unclaimed level-0 ranges (virtual indices). A shard owns
+    /// the front of its own queue; cross-shard steals move the tail half of
+    /// a victim's last range.
+    queues: Vec<VecDeque<(usize, usize)>>,
+    /// Payloads reclaimed from dead shards, claimable by any survivor.
+    requeue: Vec<StealPayload>,
+    /// Shards whose grids died entirely (bookkeeping for reports; a dead
+    /// shard's unclaimed ranges stay in its queue, stealable by survivors
+    /// or drained by the driver's recovery rounds).
+    dead: Vec<bool>,
+    stats: RailStats,
+}
+
+/// The cross-shard work rail: one shared queue of level-0 ranges and
+/// reclaimed payloads connecting the per-shard [`Board`]s of a sharded run.
+///
+/// One mutex guards the whole rail (class `ShardRail`, rank 8 — below every
+/// board lock, see the module hierarchy table). A single lock avoids
+/// same-class nested acquisition when a steal touches two shard queues, and
+/// the rail is far off any per-iteration hot path: it is consulted once per
+/// level-0 chunk, not per candidate.
+pub struct ShardRail {
+    /// Process-unique instance id (shadow-cell identity for the race
+    /// checker).
+    check_id: u32,
+    chunk_size: usize,
+    /// Whether idle shards may steal ranges from loaded ones. Off, the rail
+    /// degenerates to per-shard dispensers plus the shared requeue.
+    cross_steal: bool,
+    state: Mutex<RailState>,
+}
+
+impl ShardRail {
+    /// Builds a rail whose shard `s` owns the range `[cuts[s], cuts[s+1])`.
+    pub fn new(cuts: &[usize], chunk_size: usize, cross_steal: bool) -> ShardRail {
+        assert!(cuts.len() >= 2, "need at least one shard");
+        assert!(chunk_size >= 1);
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be sorted");
+        let queues = cuts
+            .windows(2)
+            .map(|w| {
+                if w[0] < w[1] {
+                    VecDeque::from([(w[0], w[1])])
+                } else {
+                    VecDeque::new()
+                }
+            })
+            .collect::<Vec<_>>();
+        Self::with_queues(queues, Vec::new(), chunk_size, cross_steal)
+    }
+
+    /// Builds a rail from leftover work of a previous round (recovery
+    /// relaunch): `ranges` are distributed round-robin over `shards`.
+    pub fn from_parts(
+        shards: usize,
+        chunk_size: usize,
+        cross_steal: bool,
+        ranges: Vec<(usize, usize)>,
+        payloads: Vec<StealPayload>,
+    ) -> ShardRail {
+        assert!(shards >= 1);
+        let mut queues: Vec<VecDeque<(usize, usize)>> =
+            (0..shards).map(|_| VecDeque::new()).collect();
+        for (i, r) in ranges.into_iter().filter(|r| r.0 < r.1).enumerate() {
+            queues[i % shards].push_back(r);
+        }
+        Self::with_queues(queues, payloads, chunk_size, cross_steal)
+    }
+
+    fn with_queues(
+        queues: Vec<VecDeque<(usize, usize)>>,
+        requeue: Vec<StealPayload>,
+        chunk_size: usize,
+        cross_steal: bool,
+    ) -> ShardRail {
+        let shards = queues.len();
+        ShardRail {
+            check_id: simt_check::next_object_id(),
+            chunk_size,
+            cross_steal,
+            state: Mutex::new(RailState {
+                queues,
+                requeue,
+                dead: vec![false; shards],
+                stats: RailStats::default(),
+            }),
+        }
+    }
+
+    /// Number of shards this rail coordinates.
+    pub fn num_shards(&self) -> usize {
+        self.lock_state().queues.len()
+    }
+
+    /// Locks the rail state (class `ShardRail`, rank 8). Counts as a write
+    /// access to the `rail` shadow cell at the caller's line.
+    #[track_caller]
+    fn lock_state(&self) -> simt_check::Tracked<'_, RailState> {
+        let guard = simt_check::tracked_lock(&self.state, simt_check::LockClass::ShardRail, 0);
+        simt_check::note_write_at(
+            simt_check::Cell::rail(self.check_id),
+            std::panic::Location::caller(),
+        );
+        guard
+    }
+
+    /// Pops one chunk off the front range of `q`.
+    fn carve(q: &mut VecDeque<(usize, usize)>, chunk: usize) -> Option<(usize, usize)> {
+        let (lo, hi) = q.pop_front()?;
+        let mid = (lo + chunk).min(hi);
+        if mid < hi {
+            q.push_front((mid, hi));
+        }
+        Some((lo, mid))
+    }
+
+    /// Claims the next chunk for `shard`: its own queue first, then (when
+    /// cross-shard stealing is on) the tail half of the most-loaded other
+    /// shard's last range — Fig. 5's divide-and-copy lifted one level up,
+    /// between grids instead of between warps.
+    pub fn claim(&self, shard: usize) -> Option<RailGrant> {
+        let mut st = self.lock_state();
+        if let Some((lo, hi)) = Self::carve(&mut st.queues[shard], self.chunk_size) {
+            return Some(RailGrant {
+                lo,
+                hi,
+                stolen: false,
+            });
+        }
+        if !self.cross_steal {
+            return None;
+        }
+        // Victim: the shard with the most unclaimed vertices. Dead shards'
+        // queues stay claimable — stealing them *is* the live recovery path.
+        let victim = (0..st.queues.len())
+            .filter(|&v| v != shard && !st.queues[v].is_empty())
+            .max_by_key(|&v| st.queues[v].iter().map(|&(lo, hi)| hi - lo).sum::<usize>())?;
+        let (lo, hi) = st.queues[victim]
+            .pop_back()
+            .expect("victim checked non-empty");
+        // The victim keeps the front half; tiny ranges move whole.
+        let keep = (hi - lo) / 2;
+        let mid = lo + keep;
+        if keep > 0 {
+            st.queues[victim].push_back((lo, mid));
+        }
+        st.queues[shard].push_back((mid, hi));
+        st.stats.cross_steals += 1;
+        let (lo, hi) =
+            Self::carve(&mut st.queues[shard], self.chunk_size).expect("just moved a range here");
+        Some(RailGrant {
+            lo,
+            hi,
+            stolen: true,
+        })
+    }
+
+    /// Claims one reclaimed payload off the rail.
+    pub fn pop_requeue(&self) -> Option<StealPayload> {
+        let mut st = self.lock_state();
+        let p = st.requeue.pop()?;
+        st.stats.requeue_claims += 1;
+        Some(p)
+    }
+
+    /// Returns work reclaimed from a dead shard to the rail. Called by the
+    /// shard driver after that shard's grid joined — never from inside a
+    /// warp, so no board lock is ever held across this acquisition.
+    pub fn push_requeue(&self, payloads: Vec<StealPayload>) {
+        if payloads.is_empty() {
+            return;
+        }
+        let mut st = self.lock_state();
+        st.stats.requeue_pushes += payloads.len() as u64;
+        st.requeue.extend(payloads);
+    }
+
+    /// Records the death of a whole shard (every warp of its grid died).
+    pub fn mark_shard_dead(&self, shard: usize) {
+        let mut st = self.lock_state();
+        if !st.dead[shard] {
+            st.dead[shard] = true;
+            st.stats.shard_deaths += 1;
+        }
+    }
+
+    /// True while `shard`'s warps could still obtain work from the rail:
+    /// its own queue, the shared requeue, or (with stealing on) any other
+    /// shard's queue. Drives `Board::chunks_remain` — and through it the
+    /// per-board termination test — for rail-attached boards.
+    pub fn has_claimable(&self, shard: usize) -> bool {
+        let st = self.lock_state();
+        if !st.requeue.is_empty() || !st.queues[shard].is_empty() {
+            return true;
+        }
+        self.cross_steal && st.queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Post-join drain for the driver's recovery rounds: every unclaimed
+    /// range and every unclaimed payload still on the rail.
+    pub fn drain_remaining(&self) -> (Vec<(usize, usize)>, Vec<StealPayload>) {
+        let mut st = self.lock_state();
+        let ranges: Vec<(usize, usize)> = st.queues.iter_mut().flat_map(std::mem::take).collect();
+        let payloads = std::mem::take(&mut st.requeue);
+        (ranges, payloads)
+    }
+
+    /// Rail counters (read after the run joins).
+    pub fn stats(&self) -> RailStats {
+        self.lock_state().stats
+    }
+}
+
 /// Grid-wide coordination state shared by all warps of one launch.
 pub struct Board {
     /// Process-unique instance id (shadow-cell identity: a resident
@@ -192,6 +435,10 @@ pub struct Board {
     abort: AtomicBool,
     /// Optional wall-clock deadline for the launch.
     deadline: Option<Instant>,
+    /// Cross-shard attachment `(rail, my shard)`. When set, level-0 chunks
+    /// come from the shared rail instead of this board's own dispenser
+    /// (construct the board with an empty `(0, 0)` range).
+    rail: Option<(Arc<ShardRail>, usize)>,
 }
 
 impl Board {
@@ -231,7 +478,19 @@ impl Board {
             chunk_size,
             abort: AtomicBool::new(false),
             deadline: None,
+            rail: None,
         }
+    }
+
+    /// Attaches this board to a cross-shard rail as shard `shard`. The
+    /// board must have been built with an empty level-0 range — the rail
+    /// replaces the local dispenser entirely.
+    pub fn attach_rail(&mut self, rail: Arc<ShardRail>, shard: usize) {
+        assert!(
+            self.chunk_next.load(Ordering::Relaxed) >= self.num_vertices,
+            "rail-attached boards must not own a local level-0 range"
+        );
+        self.rail = Some((rail, shard));
     }
 
     /// Sets a wall-clock deadline; warps poll it via [`Board::check_deadline`]
@@ -300,6 +559,16 @@ impl Board {
     /// Claims the next level-0 chunk `[lo, hi)` of the vertex universe
     /// (Fig. 4's `getCandidates` at level 0).
     pub fn claim_chunk(&self) -> Option<(usize, usize)> {
+        self.claim_chunk_tagged().map(|(lo, hi, _)| (lo, hi))
+    }
+
+    /// [`Board::claim_chunk`], additionally reporting whether serving the
+    /// claim required a cross-shard steal (always false for boards without
+    /// a rail) so the caller can charge the cross-shard latency.
+    pub fn claim_chunk_tagged(&self) -> Option<(usize, usize, bool)> {
+        if let Some((rail, shard)) = &self.rail {
+            return rail.claim(*shard).map(|g| (g.lo, g.hi, g.stolen));
+        }
         loop {
             // Relaxed CAS loop: the dispenser is a pure counter — chunk
             // ownership is established by the CAS itself and the claimed
@@ -315,18 +584,32 @@ impl Board {
                 .compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
-                return Some((lo, hi));
+                return Some((lo, hi, false));
             }
         }
     }
 
     /// True while unclaimed level-0 chunks remain.
     pub fn chunks_remain(&self) -> bool {
+        if let Some((rail, shard)) = &self.rail {
+            // Rail work (own queue, stealable victims, reclaimed payloads)
+            // is not counted in `pending`; the termination test sees it
+            // through this branch instead.
+            return rail.has_claimable(*shard);
+        }
         // Relaxed: the cursor is monotone, so a stale read can only claim
         // "chunks remain" when they are already gone — the caller then
         // issues a real `claim_chunk` (CAS) and learns the truth; spurious
         // non-termination for one spin iteration, never missed work.
         self.chunk_next.load(Ordering::Relaxed) < self.num_vertices
+    }
+
+    /// Claims a payload reclaimed from a dead *shard* off the cross-shard
+    /// rail (the caller already counts as busy; rail payloads are outside
+    /// this board's `pending` count — see [`Board::chunks_remain`]).
+    pub fn claim_rail_requeued(&self) -> Option<StealPayload> {
+        let (rail, _) = self.rail.as_ref()?;
+        rail.pop_requeue()
     }
 
     /// Marks warp `id` idle (sets its bitmap bit, decrements the busy
@@ -480,16 +763,31 @@ impl Board {
 
     /// Claims a payload pushed to `block`'s slot, transitioning the caller
     /// busy in the same critical section.
+    ///
+    /// Plain grids serve only the caller's own block: `finished()` is
+    /// stable there, so a pushed payload always has a live claimant in its
+    /// target block. Rail-attached grids widen the scan to every block
+    /// (own block first): a late rail requeue can leave a single warp in
+    /// the loop after its siblings exited with their idle bits still set —
+    /// the push detector then targets an *exited* block, and a payload
+    /// parked on that slot would strand `pending` above zero forever,
+    /// spinning the last warp on a termination test that can never pass.
     pub fn try_claim_global(&self, me: usize) -> Option<StealPayload> {
-        let block = me / self.warps_per_block;
-        let mut slot = self.lock_slot(block);
-        let payload = slot.take()?;
-        // Become busy *before* decrementing pending (SeqCst both) so
-        // `finished()` can never observe both counters at zero while work
-        // is in flight.
-        self.mark_busy(me);
-        self.pending.fetch_sub(1, Ordering::SeqCst);
-        Some(payload)
+        let my_block = me / self.warps_per_block;
+        let blocks = self.is_idle.len();
+        let widen = self.rail.is_some();
+        for b in std::iter::once(my_block).chain((0..blocks).filter(|&b| widen && b != my_block)) {
+            let mut slot = self.lock_slot(b);
+            if let Some(payload) = slot.take() {
+                // Become busy *before* decrementing pending (SeqCst both)
+                // so `finished()` can never observe both counters at zero
+                // while work is in flight.
+                self.mark_busy(me);
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(payload);
+            }
+        }
+        None
     }
 
     // --- Fault containment and recovery ------------------------------
@@ -577,11 +875,21 @@ impl Board {
     }
 
     /// Post-launch drain: any work still requeued (every warp has
-    /// returned, so no claim can race this). The engine hands leftovers to
-    /// a salvage relaunch or reports them unrecovered.
+    /// returned, so no claim can race this), plus anything still parked in
+    /// a global slot — a warp that pushed to an *exited* block and then
+    /// died leaves its payload in the slot with no claimant, and a
+    /// requeue-only drain would silently drop that work. The engine hands
+    /// leftovers to a salvage relaunch or reports them unrecovered.
     pub fn take_leftovers(&self) -> Vec<StealPayload> {
-        let mut q = self.lock_requeue();
-        let out = std::mem::take(&mut *q);
+        let mut out = {
+            let mut q = self.lock_requeue();
+            std::mem::take(&mut *q)
+        };
+        for b in 0..self.is_idle.len() {
+            if let Some(p) = self.lock_slot(b).take() {
+                out.push(p);
+            }
+        }
         // SeqCst: post-join bookkeeping; the thread join already ordered
         // everything, the strong ordering just keeps the counter protocol
         // uniform.
@@ -686,6 +994,19 @@ pub mod mutation {
             return true;
         }
         false
+    }
+
+    /// Mutation **rail-drop**: a cross-shard rail claim with the
+    /// `ShardRail::lock_state` acquisition deleted. No acquire event
+    /// reaches the checker, so the access carries no happens-before edge to
+    /// any tracked rail access — the race detector must report it, naming
+    /// the `rail[id]` cell and both sites.
+    pub fn rail_claim_without_lock(rail: &ShardRail) -> Option<(usize, usize)> {
+        let mut st = rail.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // The access event fires at *this* line (the mutation site).
+        simt_check::note_write(simt_check::Cell::rail(rail.check_id));
+        let q = st.queues.iter_mut().find(|q| !q.is_empty())?;
+        ShardRail::carve(q, rail.chunk_size)
     }
 }
 
@@ -926,6 +1247,111 @@ mod tests {
         assert!(b2.claim_requeued_busy().is_some());
         assert!(b2.claim_requeued_busy().is_some());
         assert!(b2.claim_requeued_busy().is_none());
+    }
+
+    #[test]
+    fn rail_serves_own_range_then_steals() {
+        let rail = ShardRail::new(&[0, 50, 100], 10, true);
+        // Shard 0 drains its own range first, chunk by chunk.
+        for lo in (0..50).step_by(10) {
+            let g = rail.claim(0).unwrap();
+            assert_eq!((g.lo, g.hi, g.stolen), (lo, lo + 10, false));
+        }
+        // Next claim steals the tail half of shard 1's untouched range.
+        let g = rail.claim(0).unwrap();
+        assert_eq!((g.lo, g.hi, g.stolen), (75, 85, true));
+        // The follow-up claim continues from the moved range, un-stolen.
+        let g = rail.claim(0).unwrap();
+        assert_eq!((g.lo, g.hi, g.stolen), (85, 95, false));
+        assert_eq!(rail.stats().cross_steals, 1);
+        // Everything is eventually claimed exactly once.
+        let mut covered = [false; 100];
+        for (lo, hi) in [(0, 50), (75, 95)] {
+            covered[lo..hi].fill(true);
+        }
+        for shard in [0, 1] {
+            while let Some(g) = rail.claim(shard) {
+                for c in covered.iter_mut().take(g.hi).skip(g.lo) {
+                    assert!(!*c, "claimed twice");
+                    *c = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        assert!(!rail.has_claimable(0));
+    }
+
+    #[test]
+    fn rail_without_cross_steal_keeps_shards_apart() {
+        let rail = ShardRail::new(&[0, 50, 100], 10, false);
+        while rail.claim(0).is_some() {}
+        assert!(!rail.has_claimable(0), "no stealing: shard 0 is done");
+        assert!(rail.has_claimable(1));
+        let (ranges, payloads) = rail.drain_remaining();
+        assert_eq!(ranges, vec![(50, 100)]);
+        assert!(payloads.is_empty());
+    }
+
+    #[test]
+    fn rail_requeue_blocks_termination_and_roundtrips() {
+        let rail = ShardRail::new(&[0, 10], 10, true);
+        while rail.claim(0).is_some() {}
+        assert!(!rail.has_claimable(0));
+        rail.mark_shard_dead(0);
+        rail.push_requeue(vec![StealPayload {
+            target: 0,
+            matched: vec![],
+            lo: 3,
+            hi: 7,
+        }]);
+        assert!(rail.has_claimable(0), "requeued payload must be claimable");
+        let p = rail.pop_requeue().unwrap();
+        assert_eq!((p.lo, p.hi), (3, 7));
+        let s = rail.stats();
+        assert_eq!(s.requeue_pushes, 1);
+        assert_eq!(s.requeue_claims, 1);
+        assert_eq!(s.shard_deaths, 1);
+    }
+
+    #[test]
+    fn rail_attached_board_claims_through_rail() {
+        let rail = Arc::new(ShardRail::new(&[0, 20, 40], 10, true));
+        let mut b0 = Board::new(2, 2, 2, (0, 0), 10);
+        b0.attach_rail(rail.clone(), 0);
+        assert!(b0.chunks_remain());
+        assert_eq!(b0.claim_chunk_tagged(), Some((0, 10, false)));
+        assert_eq!(b0.claim_chunk(), Some((10, 20)));
+        // Own range drained: the next claim crosses into shard 1.
+        let (lo, hi, stolen) = b0.claim_chunk_tagged().unwrap();
+        assert!(stolen);
+        assert!(lo >= 20 && hi <= 40);
+        while b0.claim_chunk().is_some() {}
+        assert!(!b0.chunks_remain());
+        // A payload pushed by a dying sibling shard reaches this board.
+        rail.push_requeue(vec![StealPayload {
+            target: 0,
+            matched: vec![],
+            lo: 1,
+            hi: 2,
+        }]);
+        assert!(b0.chunks_remain(), "rail payload must block termination");
+        assert!(b0.claim_rail_requeued().is_some());
+        assert!(!b0.chunks_remain());
+    }
+
+    #[test]
+    fn rail_from_parts_distributes_leftovers() {
+        let rail = ShardRail::from_parts(2, 5, false, vec![(0, 5), (7, 9), (9, 9)], Vec::new());
+        assert_eq!(rail.num_shards(), 2);
+        assert_eq!(
+            rail.claim(0).map(|g| (g.lo, g.hi, g.stolen)),
+            Some((0, 5, false))
+        );
+        assert_eq!(
+            rail.claim(1).map(|g| (g.lo, g.hi, g.stolen)),
+            Some((7, 9, false))
+        );
+        assert!(rail.claim(0).is_none(), "empty range was dropped");
     }
 
     #[test]

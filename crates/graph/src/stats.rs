@@ -51,6 +51,28 @@ impl GraphStats {
     }
 }
 
+/// Per-vertex work weights for level-0 domain partitioning.
+///
+/// The cost of rooting the search at `v` is dominated by `v`'s degree (the
+/// level-1 candidate list) and by how many of those candidates survive the
+/// level-2 intersection — approximated per neighbor `u` by
+/// `min(deg(u), deg(v))`, the set-intersection bound. The `1 +` floor keeps
+/// isolated vertices from weighing zero, so every vertex lands in some
+/// shard's accounting.
+pub fn level0_weights(g: &Graph) -> Vec<u64> {
+    g.vertices()
+        .map(|v| {
+            let dv = g.degree(v) as u64;
+            let isect: u64 = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| (g.degree(u) as u64).min(dv))
+                .sum();
+            1 + dv + isect
+        })
+        .collect()
+}
+
 impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -92,6 +114,20 @@ mod tests {
         assert_eq!(s.num_vertices, 0);
         assert_eq!(s.max_degree, 0);
         assert_eq!(s.frac_above_threshold, 0.0);
+    }
+
+    #[test]
+    fn level0_weights_track_skew() {
+        let g = gen::star(10);
+        let w = level0_weights(&g);
+        assert_eq!(w.len(), 11);
+        // Hub: deg 10, each neighbor contributes min(1, 10) = 1.
+        assert_eq!(w[0], 1 + 10 + 10);
+        // Leaf: deg 1, the hub neighbor contributes min(10, 1) = 1.
+        assert_eq!(w[1], 1 + 1 + 1);
+        // Isolated vertices still weigh 1.
+        let empty = crate::GraphBuilder::new(3).build();
+        assert_eq!(level0_weights(&empty), vec![1, 1, 1]);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum LockClass {
     ServicePlanCache,
     /// A pool worker's reusable-arena pool (`pool::ArenaPool`).
     ServiceArenaPool,
+    /// The cross-shard work rail (`shard::ShardRail::state`). Ranked below
+    /// every per-board lock: a shard queries the rail from its claim loop
+    /// holding nothing, and the death path releases the local requeue guard
+    /// before pushing reclaimed payloads onto the rail — so the rail is
+    /// never requested while a board lock is held.
+    ShardRail,
     /// Per-block global steal slot (`Board::slots[b]`).
     GlobalSlot,
     /// The engine-wide reclaimed-work queue (`Board::requeue`).
@@ -67,6 +73,7 @@ impl LockClass {
             LockClass::PlanTierUp => 3,
             LockClass::ServicePlanCache => 4,
             LockClass::ServiceArenaPool => 6,
+            LockClass::ShardRail => 8,
             LockClass::GlobalSlot => 10,
             LockClass::Requeue => 20,
             LockClass::Mirror => 30,
@@ -82,6 +89,7 @@ impl LockClass {
             LockClass::PlanTierUp => "PlanTierUp",
             LockClass::ServicePlanCache => "ServicePlanCache",
             LockClass::ServiceArenaPool => "ServiceArenaPool",
+            LockClass::ShardRail => "ShardRail",
             LockClass::GlobalSlot => "GlobalSlot",
             LockClass::Requeue => "Requeue",
             LockClass::Mirror => "Mirror",
@@ -90,12 +98,13 @@ impl LockClass {
         }
     }
 
-    fn all() -> [LockClass; 9] {
+    fn all() -> [LockClass; 10] {
         [
             LockClass::ServiceAdmission,
             LockClass::PlanTierUp,
             LockClass::ServicePlanCache,
             LockClass::ServiceArenaPool,
+            LockClass::ShardRail,
             LockClass::GlobalSlot,
             LockClass::Requeue,
             LockClass::Mirror,
@@ -108,8 +117,8 @@ impl LockClass {
 /// The declared hierarchy, lowest rank first — rendered into diagnostics so
 /// a violation message carries the rule it broke.
 pub const DECLARED_HIERARCHY: &str = "ServiceAdmission(2) < PlanTierUp(3) < \
-     ServicePlanCache(4) < ServiceArenaPool(6) < GlobalSlot(10) < Requeue(20) < \
-     Mirror(30) < DeathLog(40) < Collector(50)";
+     ServicePlanCache(4) < ServiceArenaPool(6) < ShardRail(8) < GlobalSlot(10) < \
+     Requeue(20) < Mirror(30) < DeathLog(40) < Collector(50)";
 
 thread_local! {
     /// Locks this thread currently holds, in acquisition order.

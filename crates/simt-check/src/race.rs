@@ -17,6 +17,7 @@
 //! | `arena[a].set[s]` | set slab `s` of stack-arena instance `a`     |
 //! | `plan-cache[s]` | the canonical-form plan cache of service instance `s` |
 //! | `tier-state[p]` | compiled plan `p`'s execution tier + tier-up counter |
+//! | `rail[r]`       | the cross-shard work rail of sharded run instance `r` |
 //!
 //! Board/arena/service instance ids come from [`crate::next_object_id`],
 //! so two concurrently live boards (e.g. two service pool workers
@@ -43,6 +44,7 @@ enum CellKind {
     ArenaSet,
     PlanCache,
     TierState,
+    Rail,
 }
 
 impl Cell {
@@ -107,6 +109,16 @@ impl Cell {
             b: 0,
         }
     }
+
+    /// The cross-shard work rail of sharded run instance `rail_id`
+    /// (from [`crate::next_object_id`]).
+    pub fn rail(rail_id: u32) -> Cell {
+        Cell {
+            kind: CellKind::Rail,
+            a: rail_id,
+            b: 0,
+        }
+    }
 }
 
 impl std::fmt::Display for Cell {
@@ -118,6 +130,7 @@ impl std::fmt::Display for Cell {
             CellKind::ArenaSet => write!(f, "arena[{}].set[{}]", self.a, self.b),
             CellKind::PlanCache => write!(f, "plan-cache[{}]", self.a),
             CellKind::TierState => write!(f, "tier-state[{}]", self.a),
+            CellKind::Rail => write!(f, "rail[{}]", self.a),
         }
     }
 }
