@@ -101,4 +101,63 @@ run "smoke:shard" cargo run --release --offline -p stmatch-bench --bin shard_che
 # per-query while the shared pool keeps serving exact counts.
 run "smoke:service" cargo run --release --offline -p stmatch-bench --bin service_check
 
+# Static-verifier gate (DESIGN.md §4j). Clean leg: q1..q24 on both golden
+# fixtures must verify with zero diagnostics (false positives fail CI),
+# and certified-spill-free plans must run with zero spills and a runtime
+# peak under the certificate's bound. Mutation legs: each seeded plan
+# corruption must be CAUGHT — the bin exits 1 printing the named
+# diagnostic, so the legs invert its exit code and grep for the expected
+# text (a timeout kill must not pass as a catch).
+run "smoke:verify" cargo run --release --offline -p stmatch-bench --bin verify_check
+for mut in dead-set:"dead set" drop-bound:"drops the symmetry bound" \
+           shard-overlap:"covered twice"; do
+    name=${mut%%:*}; expect=${mut#*:}
+    echo "==> smoke:verify(mutate=${name}): expecting a caught mutation"
+    log=$(mktemp)
+    if timeout --signal=KILL "${CAP}" \
+        cargo run --release --offline -p stmatch-bench --bin verify_check -- \
+        "--mutate=${name}" >"${log}" 2>&1; then
+        cat "${log}"
+        echo "==> smoke:verify(mutate=${name}): FAILED — mutation escaped"
+        exit 1
+    fi
+    if ! grep -q "${expect}" "${log}"; then
+        cat "${log}"
+        echo "==> smoke:verify(mutate=${name}): FAILED — no '${expect}' diagnostic"
+        exit 1
+    fi
+    if ! grep -q "reproduce:" "${log}"; then
+        cat "${log}"
+        echo "==> smoke:verify(mutate=${name}): FAILED — diagnostic lacks a reproduce line"
+        exit 1
+    fi
+    rm -f "${log}"
+    echo "==> smoke:verify(mutate=${name}): OK"
+done
+
+# Atomics-annotation lint: every `Ordering::` use in the engine crate must
+# carry a nearby comment naming its ordering and the invariant it upholds
+# (within the 10 preceding lines, or trailing on the use itself). Keeps
+# the memory-ordering story reviewable file-locally.
+echo "==> lint:atomics: scanning crates/core/src for unannotated atomics"
+awk '
+/Ordering::(Relaxed|Acquire|Release|AcqRel|SeqCst)/ {
+    line=$0
+    if (line ~ /^[[:space:]]*\/\//|| line ~ /use std::sync/) { push(line); next }
+    annotated=0
+    for (i=0;i<10;i++) {
+        c=buf[(idx-i+10)%10]
+        if (c ~ /\/\/.*(Relaxed|Acquire|Release|AcqRel|SeqCst)/) { annotated=1; break }
+    }
+    if (line ~ /\/\/.*(Relaxed|Acquire|Release|AcqRel|SeqCst)/) annotated=1
+    if (!annotated) { printf "%s:%d: unannotated atomic: %s\n", FILENAME, FNR, line; bad=1 }
+    push(line); next
+}
+{ push($0) }
+function push(l) { buf[idx%10]=l; idx++ }
+END { exit bad }
+' crates/core/src/*.rs \
+    || { echo "==> lint:atomics: FAILED — annotate the ordering invariant"; exit 1; }
+echo "==> lint:atomics: OK"
+
 echo "ci.sh: all phases passed"

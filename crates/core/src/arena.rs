@@ -32,14 +32,29 @@ use stmatch_graph::VertexId;
 /// One warp's candidate-set storage: a flat slab plus per-slot lengths.
 pub struct StackArena {
     /// The contiguous slab; slot `(set, u)` owns
-    /// `data[(set * unroll + u) * cap ..][..cap]`.
+    /// `data[slot_off[set * unroll + u] ..][..slot_cap[set * unroll + u]]`.
     data: Vec<VertexId>,
-    /// `Csize`: live length per slot. `len > cap` means the slot spilled.
+    /// `Csize`: live length per slot. `len > slot_cap` means the slot
+    /// spilled.
     len: Vec<u32>,
     /// Heap-side overflow per slot; holds the *entire* list when spilled.
     spill: Vec<Vec<VertexId>>,
+    /// Start offset of each slot's slab in `data` (uniform arenas:
+    /// `i * cap`; shaped arenas: prefix sums of the per-set capacities).
+    slot_off: Vec<usize>,
+    /// Capacity of each slot's slab. All `unroll` slots of one set share a
+    /// capacity, so set-op writers keep a scalar cap.
+    slot_cap: Vec<usize>,
+    /// The uniform (largest) slab capacity the arena was shaped from.
     cap: usize,
     unroll: usize,
+    /// Candidate cells currently live across every slot (slab + spill
+    /// elements), and the high-water mark since construction/reset. The
+    /// peak is folded in at [`ArenaWriter`] drop — once per set rewrite,
+    /// never per push — and surfaces as `MatchOutcome::peak_slab_cells`,
+    /// the observable the static `ResourceCert` bound is audited against.
+    live_cells: u64,
+    peak_cells: u64,
     /// Slab-overflow migrations since construction (observability: the
     /// engine surfaces the total as `MatchOutcome::spill_events`, and the
     /// degradation ladder's slab-shrink rung leans on this path).
@@ -77,15 +92,35 @@ fn view<'s>(
     data: &'s [VertexId],
     len: &[u32],
     spill: &'s [Vec<VertexId>],
-    cap: usize,
+    off: &[usize],
+    cap: &[usize],
     i: usize,
 ) -> &'s [VertexId] {
     let n = len[i] as usize;
-    if n <= cap {
-        &data[i * cap..i * cap + n]
+    if n <= cap[i] {
+        &data[off[i]..off[i] + n]
     } else {
         &spill[i]
     }
+}
+
+/// Per-slot offsets for `num_sets × unroll` slots under per-set capacities
+/// (`set_caps[set]` cells for each of the set's `unroll` slots), plus the
+/// total cell count.
+fn shape_offsets(set_caps: &[usize], unroll: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    let slots = set_caps.len().max(1) * unroll;
+    let mut off = Vec::with_capacity(slots);
+    let mut cap = Vec::with_capacity(slots);
+    let mut at = 0usize;
+    for set in 0..set_caps.len().max(1) {
+        let c = set_caps.get(set).copied().unwrap_or(0);
+        for _ in 0..unroll {
+            off.push(at);
+            cap.push(c);
+            at += c;
+        }
+    }
+    (off, cap, at)
 }
 
 impl StackArena {
@@ -93,13 +128,28 @@ impl StackArena {
     /// This is the *only* allocation of the arena's lifetime (absent
     /// spills); it happens once per warp per launch.
     pub fn new(num_sets: usize, unroll: usize, cap: usize) -> StackArena {
-        let slots = num_sets.max(1) * unroll;
+        Self::new_shaped(&vec![cap; num_sets.max(1)], unroll, cap)
+    }
+
+    /// Allocates a *shaped* arena: set `s`'s `unroll` slots each get
+    /// `set_caps[s]` cells instead of the uniform `cap`. This is the
+    /// consumer of the verifier's footprint hint — certified per-set bounds
+    /// shrink the slab below `NUM_SETS × UNROLL × MAX_DEGREE` without
+    /// changing spill behavior (a sound bound never overflows early).
+    /// `uniform_cap` records the capacity the shape was derived from.
+    pub fn new_shaped(set_caps: &[usize], unroll: usize, uniform_cap: usize) -> StackArena {
+        let (slot_off, slot_cap, cells) = shape_offsets(set_caps, unroll);
+        let slots = slot_cap.len();
         StackArena {
-            data: vec![0; slots * cap],
+            data: vec![0; cells],
             len: vec![0; slots],
             spill: vec![Vec::new(); slots],
-            cap,
+            slot_off,
+            slot_cap,
+            cap: uniform_cap,
             unroll,
+            live_cells: 0,
+            peak_cells: 0,
             events: 0,
             bits_ping: Vec::new(),
             bits_pong: Vec::new(),
@@ -122,9 +172,16 @@ impl StackArena {
     /// post-construction state so a recycled kernel's metrics are
     /// indistinguishable from a cold one's.
     pub fn reset(&mut self, num_sets: usize, unroll: usize, cap: usize) {
-        let slots = num_sets.max(1) * unroll;
+        self.reset_shaped(&vec![cap; num_sets.max(1)], unroll, cap);
+    }
+
+    /// [`StackArena::reset`] with per-set capacities (see
+    /// [`StackArena::new_shaped`]).
+    pub fn reset_shaped(&mut self, set_caps: &[usize], unroll: usize, uniform_cap: usize) {
+        let (slot_off, slot_cap, cells) = shape_offsets(set_caps, unroll);
+        let slots = slot_cap.len();
         self.data.clear();
-        self.data.resize(slots * cap, 0);
+        self.data.resize(cells, 0);
         self.len.clear();
         self.len.resize(slots, 0);
         self.spill.truncate(slots);
@@ -132,8 +189,12 @@ impl StackArena {
             s.clear();
         }
         self.spill.resize_with(slots, Vec::new);
-        self.cap = cap;
+        self.slot_off = slot_off;
+        self.slot_cap = slot_cap;
+        self.cap = uniform_cap;
         self.unroll = unroll;
+        self.live_cells = 0;
+        self.peak_cells = 0;
         self.events = 0;
         self.words.clear();
         self.words_stride = 0;
@@ -166,6 +227,22 @@ impl StackArena {
         self.events
     }
 
+    /// High-water mark of candidate cells live across every slot (slab and
+    /// spill elements) since construction/reset — the runtime observable
+    /// the static resource certificate's `peak_cells` bound is audited
+    /// against.
+    #[inline]
+    pub fn peak_slab_cells(&self) -> u64 {
+        self.peak_cells
+    }
+
+    /// Total cells the arena's flat slab allocates (the footprint the
+    /// shaped constructor shrinks).
+    #[inline]
+    pub fn slab_cells(&self) -> usize {
+        self.data.len()
+    }
+
     #[inline]
     fn idx(&self, set: usize, u: usize) -> usize {
         debug_assert!(u < self.unroll);
@@ -181,7 +258,8 @@ impl StackArena {
             &self.data,
             &self.len,
             &self.spill,
-            self.cap,
+            &self.slot_off,
+            &self.slot_cap,
             self.idx(set, u),
         )
     }
@@ -189,7 +267,8 @@ impl StackArena {
     /// True if slot `(set, u)` outgrew its slab and lives on the heap.
     #[inline]
     pub fn spilled(&self, set: usize, u: usize) -> bool {
-        self.len[self.idx(set, u)] as usize > self.cap
+        let i = self.idx(set, u);
+        self.len[i] as usize > self.slot_cap[i]
     }
 
     /// Splits the arena at `set`: a read view over every slot of sets
@@ -223,8 +302,9 @@ impl StackArena {
         // (the writer half streams into them exclusively until dropped).
         simt_check::note_write(simt_check::Cell::arena(self.check_id, set));
         let at = set * self.unroll;
+        let set_cap = self.slot_cap[at];
         let ws_stride = self.words_stride;
-        let (rd, wd) = self.data.split_at_mut(at * self.cap);
+        let (rd, wd) = self.data.split_at_mut(self.slot_off[at]);
         let (rl, wl) = self.len.split_at_mut(at);
         let (rs, ws) = self.spill.split_at_mut(at);
         let (rw, ww) = self.words.split_at_mut(at * ws_stride);
@@ -234,17 +314,20 @@ impl StackArena {
                 data: rd,
                 len: rl,
                 spill: rs,
-                cap: self.cap,
+                off: &self.slot_off[..at],
+                cap: &self.slot_cap[..at],
                 unroll: self.unroll,
                 words: rw,
                 words_valid: rv,
                 words_stride: ws_stride,
             },
             ArenaWriter {
-                data: &mut wd[..m * self.cap],
+                data: &mut wd[..m * set_cap],
                 len: &mut wl[..m],
                 spill: &mut ws[..m],
-                cap: self.cap,
+                cap: set_cap,
+                live: &mut self.live_cells,
+                peak: &mut self.peak_cells,
                 events: &mut self.events,
                 words: &mut ww[..m * ws_stride],
                 words_valid: &mut wv[..m],
@@ -261,7 +344,8 @@ pub struct ArenaRead<'a> {
     data: &'a [VertexId],
     len: &'a [u32],
     spill: &'a [Vec<VertexId>],
-    cap: usize,
+    off: &'a [usize],
+    cap: &'a [usize],
     unroll: usize,
     words: &'a [u64],
     words_valid: &'a [bool],
@@ -278,6 +362,7 @@ impl ArenaRead<'_> {
             self.data,
             self.len,
             self.spill,
+            self.off,
             self.cap,
             set * self.unroll + u,
         )
@@ -304,15 +389,27 @@ pub struct ArenaWriter<'a> {
     len: &'a mut [u32],
     spill: &'a mut [Vec<VertexId>],
     cap: usize,
+    live: &'a mut u64,
+    peak: &'a mut u64,
     events: &'a mut u64,
     words: &'a mut [u64],
     words_valid: &'a mut [bool],
     words_stride: usize,
 }
 
+impl Drop for ArenaWriter<'_> {
+    fn drop(&mut self) {
+        // Live cells only grow while a writer streams; folding the
+        // high-water mark in here keeps the accounting off the per-push
+        // path (one max per set rewrite).
+        *self.peak = (*self.peak).max(*self.live);
+    }
+}
+
 impl SetSink for ArenaWriter<'_> {
     #[inline]
     fn begin(&mut self, slot: usize, _capacity_hint: usize) {
+        *self.live -= self.len[slot] as u64;
         self.len[slot] = 0;
         // Any rewrite — bitmap path or not — obsoletes the slot's stored
         // row until a fresh seal lands.
@@ -339,6 +436,7 @@ impl SetSink for ArenaWriter<'_> {
             self.spill[slot].push(value);
         }
         self.len[slot] = (n + 1) as u32;
+        *self.live += 1;
     }
 
     #[inline]
@@ -349,6 +447,7 @@ impl SetSink for ArenaWriter<'_> {
             let base = slot * self.cap;
             self.data[base + n..base + end].copy_from_slice(values);
             self.len[slot] = end as u32;
+            *self.live += values.len() as u64;
         } else {
             // Crosses the slab boundary: per-value pushes handle the
             // spill migration.
@@ -424,6 +523,7 @@ mod tests {
         assert_eq!(r.slot(0, 0), &[2, 4, 6]);
         w.begin(0, 2);
         w.push(0, r.slot(0, 0)[1]);
+        drop((r, w)); // the writer's Drop folds the peak; end the borrow
         assert_eq!(a.slot(1, 0), &[4]);
     }
 
@@ -544,5 +644,72 @@ mod tests {
     fn zero_sets_still_constructs() {
         let a = StackArena::new(0, 4, 8);
         assert_eq!(a.slot(0, 0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn peak_cells_track_the_high_water_mark() {
+        let mut a = StackArena::new(2, 1, 4);
+        assert_eq!(a.peak_slab_cells(), 0);
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[1, 2, 3]);
+        }
+        {
+            let (_, mut w) = a.split_for_write(1, 1);
+            fill(&mut w, 0, &[4, 5]);
+        }
+        assert_eq!(a.peak_slab_cells(), 5);
+        // Rewriting set 0 smaller lowers live occupancy but not the peak.
+        {
+            let (_, mut w) = a.split_for_write(0, 1);
+            fill(&mut w, 0, &[9]);
+        }
+        assert_eq!(a.peak_slab_cells(), 5);
+        // Spilled elements count too: they are live candidate cells.
+        {
+            let (_, mut w) = a.split_for_write(1, 1);
+            fill(&mut w, 0, &[1, 2, 3, 4, 5, 6]);
+        }
+        assert_eq!(a.peak_slab_cells(), 7);
+        a.reset(2, 1, 4);
+        assert_eq!(a.peak_slab_cells(), 0);
+    }
+
+    #[test]
+    fn shaped_arena_packs_per_set_capacities() {
+        let mut a = StackArena::new_shaped(&[2, 5], 2, 5);
+        assert_eq!(a.slab_cells(), 2 * 2 + 5 * 2);
+        {
+            let (_, mut w) = a.split_for_write(0, 2);
+            fill(&mut w, 0, &[1, 2]);
+            fill(&mut w, 1, &[3]);
+        }
+        {
+            let (r, mut w) = a.split_for_write(1, 2);
+            assert_eq!(r.slot(0, 0), &[1, 2]);
+            assert_eq!(r.slot(0, 1), &[3]);
+            fill(&mut w, 0, &[7, 8, 9, 10, 11]);
+        }
+        assert_eq!(a.slot(0, 0), &[1, 2]);
+        assert_eq!(a.slot(1, 0), &[7, 8, 9, 10, 11]);
+        assert!(!a.spilled(1, 0), "within its shaped cap");
+        // Overflowing the *shaped* cap spills at that cap, not the uniform.
+        {
+            let (_, mut w) = a.split_for_write(0, 2);
+            fill(&mut w, 0, &[1, 2, 3]);
+        }
+        assert!(a.spilled(0, 0));
+        assert_eq!(a.slot(0, 0), &[1, 2, 3]);
+        assert_eq!(a.spill_events(), 1);
+        // A shaped reset recycles into a uniform geometry and back.
+        a.reset_shaped(&[4, 1, 3], 1, 4);
+        assert_eq!(a.slab_cells(), 8);
+        assert_eq!(a.spill_events(), 0);
+        {
+            let (_, mut w) = a.split_for_write(2, 1);
+            fill(&mut w, 0, &[6, 7, 8]);
+        }
+        assert_eq!(a.slot(2, 0), &[6, 7, 8]);
+        assert!(!a.spilled(2, 0));
     }
 }

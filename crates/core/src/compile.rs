@@ -35,7 +35,7 @@
 
 use crate::config::CompileTuning;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use stmatch_pattern::bytecode::{BytecodeError, PlanBytecode, SpecShape};
 use stmatch_pattern::MatchPlan;
 
@@ -75,6 +75,13 @@ pub struct CompiledPlan {
     /// Number of tier transitions performed (0 or 1 today; a counter so
     /// cache stats can sum over entries and future tiers can extend it).
     tier_ups: AtomicU64,
+    /// Per-set slab-capacity bounds from a *clean* static verification
+    /// (`stmatch_plan_verify::Verification::footprint_caps`). Write-once:
+    /// the first verifier to certify the plan publishes its hint; later
+    /// launches of the same cached plan reuse it. Consulted only when
+    /// `VerifyTuning::apply_hints` is on — otherwise arenas keep the
+    /// uniform geometry and runs stay bit-identical.
+    footprint: OnceLock<Vec<u32>>,
     /// Guards tier transitions and stat reads (class `PlanTierUp`).
     tier_lock: Mutex<()>,
     /// simt-check object id: names this plan's `tier-state` shadow cell and
@@ -103,6 +110,7 @@ impl CompiledPlan {
             claims: AtomicU64::new(0),
             tier: AtomicU8::new(u8::from(pre_specialize)),
             tier_ups: AtomicU64::new(0),
+            footprint: OnceLock::new(),
             tier_lock: Mutex::new(()),
             check_id: simt_check::next_object_id(),
         }
@@ -126,11 +134,28 @@ impl CompiledPlan {
         self.tuning
     }
 
+    /// Publishes per-set arena-capacity bounds from a clean verification.
+    /// Idempotent: the first hint wins (all verifiers of one canonical
+    /// plan compute the same bounds from the same graph profile, so a
+    /// lost race loses nothing).
+    pub fn set_footprint_hint(&self, caps: Vec<u32>) {
+        let _ = self.footprint.set(caps);
+    }
+
+    /// The published capacity hint, if a clean verification attached one.
+    #[inline]
+    pub fn footprint_hint(&self) -> Option<&[u32]> {
+        self.footprint.get().map(Vec::as_slice)
+    }
+
     /// Current tier, as seen by the dispatch loop: a relaxed snapshot.
     /// Reading a stale tier 0 is harmless (one more bytecode-dispatched
     /// level); both tiers are metric-identical by construction.
     #[inline]
     pub fn tier(&self) -> Tier {
+        // Relaxed: a stale tier is self-correcting (next level entry
+        // re-reads) and both tiers compute identical results, so no
+        // ordering with other memory is needed on this fast path.
         if self.tier.load(Ordering::Relaxed) == 0 {
             Tier::Bytecode
         } else {
@@ -145,6 +170,10 @@ impl CompiledPlan {
         if n == 0 {
             return;
         }
+        // Relaxed: the claim counter is a monotone tally with no data
+        // guarded behind it — the only consumer is the threshold test
+        // below, and a late-observed crossing merely delays promotion by
+        // one batch. The tier peek piggybacks on the same reasoning.
         let total = self.claims.fetch_add(n, Ordering::Relaxed) + n;
         if self.tier.load(Ordering::Relaxed) == 0
             && self.auto_promotes()
@@ -172,6 +201,9 @@ impl CompiledPlan {
         simt_check::note_write(simt_check::Cell::tier_state(self.check_id));
         // Double-checked under the lock: several claim loops can observe
         // the threshold crossing at once; only the first transitions.
+        // Relaxed suffices for all three accesses because the tier_lock
+        // mutex already orders them against every other locked section,
+        // and lock-free readers tolerate staleness (see `tier`).
         if self.tier.load(Ordering::Relaxed) == 0 {
             self.tier.store(1, Ordering::Relaxed);
             self.tier_ups.fetch_add(1, Ordering::Relaxed);
@@ -188,6 +220,9 @@ impl CompiledPlan {
             self.check_id as usize,
         );
         simt_check::note_read(simt_check::Cell::tier_state(self.check_id));
+        // Relaxed: the tier_lock held above orders these reads against
+        // every transition; the claims tally is advisory (concurrent
+        // claim loops may still be batching).
         (
             self.tier(),
             self.tier_ups.load(Ordering::Relaxed),

@@ -74,6 +74,11 @@ pub struct EngineConfig {
     /// engine and `run_multi_device` then behave bit-identically to
     /// pre-sharding revisions.
     pub shard: ShardTuning,
+    /// Static plan verification before launch (see `stmatch_plan_verify`
+    /// and DESIGN.md §4j): abstract-interpretation resource certificates,
+    /// bytecode liveness, and plan soundness checks. Disabled by default:
+    /// the engine then launches exactly as pre-verifier revisions did.
+    pub verify: VerifyTuning,
 }
 
 impl Default for EngineConfig {
@@ -95,8 +100,32 @@ impl Default for EngineConfig {
             recovery: RecoveryPolicy::default(),
             compile: CompileTuning::default(),
             shard: ShardTuning::default(),
+            verify: VerifyTuning::default(),
         }
     }
+}
+
+/// Static-verification knob: whether launches run the plan verifier first,
+/// and whether the resource certificate's per-set capacity hints reshape
+/// the warp arenas.
+///
+/// Verification never changes match results. With `apply_hints` off the
+/// run is bit-identical to an unverified one (the certificate only adds
+/// debug assertions and outcome metadata); with it on, only host-side slab
+/// packing changes — the simulated metrics stay identical because slab
+/// geometry is invisible to the instruction stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyTuning {
+    /// Run the static verifier before each launch (default `false`). A
+    /// plan with soundness diagnostics still launches — the verifier
+    /// reports, the caller decides — but the certificate is recorded and
+    /// audited against runtime spill/peak counters in debug builds.
+    pub enabled: bool,
+    /// Apply the certificate's per-set capacity bounds when sizing the
+    /// warp arenas (default `false`). Only certificates from *clean*
+    /// verifications are applied; any diagnostic disables shaping for
+    /// that run.
+    pub apply_hints: bool,
 }
 
 /// Sharding knob: whether a run is split over several concurrently running
@@ -270,6 +299,20 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with static plan verification switched on or off.
+    pub fn with_verify(mut self, enabled: bool) -> Self {
+        self.verify.enabled = enabled;
+        self
+    }
+
+    /// Returns a copy with verification on *and* certificate capacity
+    /// hints applied to arena sizing.
+    pub fn with_verify_hints(mut self) -> Self {
+        self.verify.enabled = true;
+        self.verify.apply_hints = true;
+        self
+    }
+
     /// Returns a copy with sharded execution switched on or off.
     pub fn with_shard(mut self, enabled: bool) -> Self {
         self.shard.enabled = enabled;
@@ -345,6 +388,13 @@ mod tests {
         assert!(c.shard.cross_steal);
         assert!(c.with_shard(true).shard.enabled);
         assert_eq!(c.with_shards(8).shard.shards, 8);
+        // Static verification defaults off (bit-identical baseline);
+        // capacity hints are a second, independent opt-in.
+        assert!(!c.verify.enabled);
+        assert!(!c.verify.apply_hints);
+        assert!(c.with_verify(true).verify.enabled);
+        assert!(!c.with_verify(true).verify.apply_hints);
+        assert!(c.with_verify_hints().verify.apply_hints);
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct MatchOutcome {
     /// Candidate-list slab overflows that spilled to the heap (see
     /// `arena`); nonzero after slab-shrinking downgrades on dense graphs.
     pub spill_events: u64,
+    /// Largest per-warp high-water mark of live candidate cells across
+    /// the run's stack arenas (see `arena`). With static verification on,
+    /// debug builds audit this against the certificate's
+    /// `ResourceCert::peak_cells` bound.
+    pub peak_slab_cells: u64,
     /// The execution tier the run's compiled plan sat at when the launch
     /// completed (`0` = bytecode dispatch, `1` = shape-specialized), or
     /// `None` when plan compilation was off — or routed around, as when
@@ -141,6 +146,7 @@ struct LaunchStats {
     timed_out: bool,
     report: FaultReport,
     spill_events: u64,
+    peak_cells: u64,
     /// Next unclaimed level-0 virtual index when the launch ended.
     cursor: usize,
     /// End of the level-0 virtual domain the launch was responsible for.
@@ -382,6 +388,28 @@ impl Engine {
         } else {
             None
         };
+        // Static pre-launch verification (DESIGN.md §4j): certify resource
+        // bounds and plan soundness once, outside the degradation loop (the
+        // plan never changes; a downgrade invalidates only the slab-cap
+        // premise, which the post-run audit guards against below). A clean
+        // certificate's capacity bounds are published on the compiled plan
+        // so `WarpKernel::with_arena` can shape the slabs when
+        // `VerifyTuning::apply_hints` asks for it.
+        let verification = cfg.verify.enabled.then(|| {
+            let profile = stmatch_plan_verify::GraphProfile::of(graph);
+            let slab_cap = cfg.max_degree_slab.min(graph.max_degree().max(1));
+            let repro = format!(
+                "Engine::run on graph '{}' ({} vertices) with \
+                 EngineConfig::with_verify(true), slab_cap {slab_cap}",
+                graph.name(),
+                graph.num_vertices(),
+            );
+            let v = stmatch_plan_verify::verify_plan(plan, &profile, slab_cap, &repro);
+            if let (Some(caps), Some(c)) = (v.footprint_caps(), compiled) {
+                c.set_footprint_hint(caps);
+            }
+            v
+        });
         let mut downgrades: Vec<DowngradeStep> = Vec::new();
         loop {
             // Planning failures happen before any warp runs, so retrying
@@ -391,6 +419,27 @@ impl Engine {
             ) {
                 Ok(mut outcome) => {
                     outcome.downgrades = downgrades;
+                    // Runtime audit of the static certificate: the launch
+                    // ran at the certified slab capacity (no downgrades),
+                    // so a spill under a spill-free cert — or a peak above
+                    // the abstract bound — is a verifier soundness bug.
+                    if let Some(v) = verification
+                        .as_ref()
+                        .filter(|_| outcome.downgrades.is_empty())
+                    {
+                        if v.cert.spill_free {
+                            debug_assert_eq!(
+                                outcome.spill_events, 0,
+                                "certificate claims spill-freedom but the run spilled"
+                            );
+                        }
+                        debug_assert!(
+                            outcome.peak_slab_cells <= v.cert.peak_cells(cfg.unroll),
+                            "runtime peak {} exceeds certified bound {}",
+                            outcome.peak_slab_cells,
+                            v.cert.peak_cells(cfg.unroll)
+                        );
+                    }
                     return Ok(outcome);
                 }
                 Err(err) => {
@@ -468,6 +517,7 @@ impl Engine {
             },
             downgrades: Vec::new(),
             spill_events: stats.spill_events,
+            peak_slab_cells: stats.peak_cells,
             // Snapshot after the launch: a mid-run tier-up is reported at
             // the tier the plan ended up on.
             served_tier: compiled.map(|c| c.tier().index()),
@@ -522,6 +572,7 @@ impl Engine {
         };
         let mut metrics = GridMetrics::default();
         let mut spill_events = 0u64;
+        let mut peak_cells = 0u64;
         let mut timed_out = false;
         // Salvage state threaded between passes: where the level-0 range
         // stops and which reclaimed payloads are still unfinished.
@@ -576,6 +627,7 @@ impl Engine {
                 report.deaths.push(d);
             }
             spill_events += board.spill_count();
+            peak_cells = peak_cells.max(board.peak_count());
             let aborted = board.aborted();
             timed_out = timed_out || aborted;
             cursor = board.chunk_cursor();
@@ -622,6 +674,7 @@ impl Engine {
             timed_out,
             report,
             spill_events,
+            peak_cells,
             cursor,
             domain: device_count,
         }
@@ -815,6 +868,7 @@ impl Engine {
         }
         if let Some(k) = kernel.as_mut() {
             board.add_spills(k.spill_events());
+            board.add_peak(k.peak_slab_cells());
             if let Some(p) = arenas {
                 // Return the arena for the next query on this slot — after
                 // the board bookkeeping above, before the collector leaf

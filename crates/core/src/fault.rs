@@ -468,6 +468,9 @@ pub struct SilenceGuard(());
 
 impl Drop for SilenceGuard {
     fn drop(&mut self) {
+        // SeqCst: the refcount serializes hook install/restore across
+        // threads; the last decrement must totally order before the
+        // hook swap below so no guard elsewhere still counts itself.
         if SILENCE_REFS.fetch_sub(1, Ordering::SeqCst) == 1 {
             let hook = SILENCE
                 .lock()
@@ -570,6 +573,7 @@ mod tests {
                 .unwrap_err();
             assert_eq!(msg, "real panic");
         }
+        // SeqCst: pairs with the guard Drop's SeqCst decrement.
         assert_eq!(SILENCE_REFS.load(Ordering::SeqCst), 0);
     }
 }

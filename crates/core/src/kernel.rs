@@ -204,12 +204,34 @@ impl<'a> WarpKernel<'a> {
         // fixed `max_degree_slab` per slot (see `run_inner`); allocating
         // tighter just packs the slabs densely for the cache.
         let cap = cfg.max_degree_slab.min(g.max_degree().max(1));
-        let mut storage = match recycle {
-            Some(mut arena) => {
+        // Certificate-shaped slabs: a clean static verification may have
+        // published per-set capacity bounds on the compiled plan. The
+        // bounds are sound upper bounds on candidate-list sizes, so
+        // clamping each slab to `min(bound, cap)` packs the arena tighter
+        // without introducing a single new spill — a set either fit its
+        // bound (≤ shaped cap) or would have spilled at `cap` anyway.
+        // Bitmap-domain runs keep uniform geometry (set-bit rows assume
+        // it), matching the `compiled` gating below.
+        let shaped: Option<Vec<usize>> = if cfg.verify.apply_hints && hubs.is_none() {
+            compiled.and_then(|c| c.footprint_hint()).map(|caps| {
+                (0..plan.num_sets())
+                    .map(|s| caps.get(s).map_or(cap, |&b| (b as usize).clamp(1, cap)))
+                    .collect()
+            })
+        } else {
+            None
+        };
+        let mut storage = match (recycle, &shaped) {
+            (Some(mut arena), Some(set_caps)) => {
+                arena.reset_shaped(set_caps, unroll, cap);
+                arena
+            }
+            (Some(mut arena), None) => {
                 arena.reset(plan.num_sets(), unroll, cap);
                 arena
             }
-            None => StackArena::new(plan.num_sets(), unroll, cap),
+            (None, Some(set_caps)) => StackArena::new_shaped(set_caps, unroll, cap),
+            (None, None) => StackArena::new(plan.num_sets(), unroll, cap),
         };
         if let Some(hx) = hubs {
             // Result-row storage so bitmap-domain results cascade to
@@ -350,6 +372,13 @@ impl<'a> WarpKernel<'a> {
     /// Candidate-list spill events (slab overflows) observed so far.
     pub fn spill_events(&self) -> u64 {
         self.storage.spill_events()
+    }
+
+    /// High-water mark of live candidate cells across this warp's arena —
+    /// the runtime observable audited against the static certificate's
+    /// `ResourceCert::peak_cells` bound.
+    pub fn peak_slab_cells(&self) -> u64 {
+        self.storage.peak_slab_cells()
     }
 
     /// Surrenders the kernel's arena for recycling (warm-pool path),

@@ -54,7 +54,7 @@ pub mod shard;
 pub mod steal;
 
 pub use compile::{CompiledPlan, Tier};
-pub use config::{CompileTuning, EngineConfig, HubBitmapTuning, ShardTuning};
+pub use config::{CompileTuning, EngineConfig, HubBitmapTuning, ShardTuning, VerifyTuning};
 pub use engine::{Engine, Enumeration, MatchOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
 pub use multi::{run_multi_device, MultiDeviceOutcome, UncoveredRange};

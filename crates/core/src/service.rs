@@ -42,14 +42,16 @@ use crate::engine::{Engine, MatchOutcome};
 use crate::fault::FaultPlan;
 use crate::pool::WarmSlot;
 use crate::recover::RecoveryPolicy;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 use stmatch_gpusim::LaunchError;
 use stmatch_graph::Graph;
 use stmatch_pattern::{iso, MatchPlan, Pattern, PlanOptions};
+use stmatch_plan_verify::{GraphProfile, Verification};
 
 /// Admission lane of a query. High-priority requests dequeue ahead of
 /// every queued normal request, with one guardrail: a drain that would
@@ -189,6 +191,13 @@ pub struct CacheStats {
     /// Queries served at tier 1 — specialization hits: warm cache entries
     /// whose promoted tier paid off on a later submission.
     pub specialized_hits: u64,
+    /// Cache entries that went through static verification (at most one
+    /// verification per canonical entry; zero when
+    /// `EngineConfig::verify` is off).
+    pub verified: u64,
+    /// Total diagnostics those verifications raised (0 = every cached
+    /// plan is certified clean).
+    pub diagnostics: u64,
 }
 
 /// A pending reply: hold it and [`wait`](Ticket::wait) when the result is
@@ -287,6 +296,11 @@ impl PlanKey {
 struct CachedPlan {
     plan: Arc<MatchPlan>,
     compiled: Option<Arc<CompiledPlan>>,
+    /// Static verification verdict, computed exactly once per canonical
+    /// entry when `EngineConfig::verify` is on (the graph is resident, so
+    /// the certificate stays valid for the service's lifetime). Served
+    /// runs skip engine-side re-verification and audit against this.
+    verification: Option<Arc<Verification>>,
 }
 
 /// State shared between clients and workers.
@@ -304,6 +318,13 @@ struct Inner {
     /// Queries served at each tier (from `MatchOutcome::served_tier`).
     tier0_served: AtomicU64,
     tier1_served: AtomicU64,
+    /// Cache entries verified / diagnostics raised (verification runs
+    /// once per canonical entry; see `CachedPlan::verification`).
+    verified: AtomicU64,
+    diags: AtomicU64,
+    /// Degree profile of the shared graph, computed at most once for the
+    /// service's lifetime (the graph is immutable).
+    profile: OnceLock<GraphProfile>,
 }
 
 impl Inner {
@@ -323,16 +344,26 @@ impl Inner {
         )
     }
 
+    /// The shared graph's degree profile (for the static verifier),
+    /// computed on first use.
+    fn graph_profile(&self) -> &GraphProfile {
+        self.profile.get_or_init(|| GraphProfile::of(&self.graph))
+    }
+
     /// Cached-or-compiled plan for `pattern`. The fast path is one lock
-    /// acquisition and a map probe; the miss path compiles outside the
-    /// lock and inserts through the entry API, so two racers compiling
-    /// the same canonical form still land exactly one entry.
+    /// acquisition and a map probe; the miss path compiles (and, with the
+    /// verify knob on, statically verifies) outside the lock and inserts
+    /// through the entry API, so two racers compiling the same canonical
+    /// form still land exactly one entry — and the verified/diagnostic
+    /// counters tick only for the entry that lands.
     fn plan_for(&self, pattern: &Pattern, induced: bool) -> CachedPlan {
         let key = PlanKey::new(pattern, induced);
         {
             let cache = self.lock_cache();
             simt_check::note_read(simt_check::Cell::plan_cache(self.check_id));
             if let Some(entry) = cache.get(&key) {
+                // Relaxed: pure statistic, no ordering with cache state
+                // (which the tracked lock above already serializes).
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return entry.clone();
             }
@@ -355,13 +386,52 @@ impl Inner {
                         .expect("plans produced by MatchPlan::compile always lower"),
                 )
             });
+        // Static verification, once per canonical entry (DESIGN.md §4j):
+        // the service's graph is resident and immutable, so the
+        // certificate computed here stays valid for every later hit.
+        // Clean certificates publish their capacity hint on the resident
+        // compiled plan, so warm hits launch with shaped arenas whenever
+        // `VerifyTuning::apply_hints` is on.
+        let verification = self.cfg.engine.verify.enabled.then(|| {
+            let slab_cap = self
+                .cfg
+                .engine
+                .max_degree_slab
+                .min(self.graph.max_degree().max(1));
+            let repro = format!(
+                "MatchService::submit of pattern '{}' (induced={induced}) on graph '{}' \
+                 with EngineConfig::with_verify(true), slab_cap {slab_cap}",
+                pattern.name(),
+                self.graph.name(),
+            );
+            let v = stmatch_plan_verify::verify_plan(&plan, self.graph_profile(), slab_cap, &repro);
+            if let (Some(caps), Some(c)) = (v.footprint_caps(), compiled.as_deref()) {
+                c.set_footprint_hint(caps);
+            }
+            Arc::new(v)
+        });
+        // Relaxed: pure statistic, see the hit counter above.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.lock_cache();
         simt_check::note_write(simt_check::Cell::plan_cache(self.check_id));
-        cache
-            .entry(key)
-            .or_insert(CachedPlan { plan, compiled })
-            .clone()
+        match cache.entry(key) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(slot) => {
+                if let Some(v) = &verification {
+                    // Relaxed: statistics tied to the entry that landed;
+                    // readers see them via cache_stats' tracked lock.
+                    self.verified.fetch_add(1, Ordering::Relaxed);
+                    self.diags
+                        .fetch_add(v.diagnostics.len() as u64, Ordering::Relaxed);
+                }
+                slot.insert(CachedPlan {
+                    plan,
+                    compiled,
+                    verification,
+                })
+                .clone()
+            }
+        }
     }
 
     /// Runs one admitted query to a reply. Every failure mode maps to a
@@ -388,6 +458,15 @@ impl Inner {
         let compiled = entry.compiled.as_deref();
         let mut cfg = self.cfg.engine;
         cfg.induced = induced;
+        if cfg.verify.enabled && !cfg.shard.enabled {
+            // Verification already ran once for this canonical entry (and
+            // published any capacity hint on the resident compiled plan);
+            // re-verifying per launch would only repeat it. The sharded
+            // route keeps the flag: its shard-cover check is per run.
+            // `apply_hints` stays as configured — the kernel gates arena
+            // shaping on it alone.
+            cfg.verify.enabled = false;
+        }
         if let Some(r) = opts.recovery {
             cfg.recovery = r;
         }
@@ -426,9 +505,31 @@ impl Inner {
             Ok(Err(e)) => Err(ServiceError::Launch(e)),
             Ok(Ok(outcome)) => {
                 match outcome.served_tier {
+                    // Relaxed: pure statistics, read by cache_stats only.
                     Some(0) => drop(self.tier0_served.fetch_add(1, Ordering::Relaxed)),
                     Some(_) => drop(self.tier1_served.fetch_add(1, Ordering::Relaxed)),
                     None => {}
+                }
+                // Runtime audit of the cached certificate (mirrors the
+                // engine's own audit, which the served route skips): valid
+                // only when the launch ran at the certified slab capacity.
+                if let Some(v) = entry
+                    .verification
+                    .as_ref()
+                    .filter(|_| outcome.downgrades.is_empty())
+                {
+                    if v.cert.spill_free {
+                        debug_assert_eq!(
+                            outcome.spill_events, 0,
+                            "cached certificate claims spill-freedom but the run spilled"
+                        );
+                    }
+                    debug_assert!(
+                        outcome.peak_slab_cells <= v.cert.peak_cells(cfg.unroll),
+                        "runtime peak {} exceeds cached certified bound {}",
+                        outcome.peak_slab_cells,
+                        v.cert.peak_cells(cfg.unroll)
+                    );
                 }
                 if outcome.timed_out {
                     Err(ServiceError::DeadlineExceeded {
@@ -479,6 +580,9 @@ impl MatchService {
             misses: AtomicU64::new(0),
             tier0_served: AtomicU64::new(0),
             tier1_served: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+            diags: AtomicU64::new(0),
+            profile: OnceLock::new(),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -496,6 +600,8 @@ impl MatchService {
     /// result. Deadlines start now.
     pub fn enqueue(&self, pattern: &Pattern, opts: QueryOptions) -> Ticket {
         let (reply, rx) = mpsc::channel();
+        // Acquire: pairs with the Release store in Drop, so a client that
+        // observes shutdown also observes every effect sequenced before it.
         if self.inner.shutdown.load(Ordering::Acquire) {
             let _ = reply.send(Err(ServiceError::ShuttingDown));
             return Ticket { rx };
@@ -534,6 +640,9 @@ impl MatchService {
             (cache.len(), compiled)
         };
         let tier_ups = compiled.iter().map(|c| c.profile().1).sum();
+        // Relaxed: all six counters are pure statistics; the tracked
+        // cache lock above already ordered this thread after the workers'
+        // cache (and counter) updates.
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
@@ -541,7 +650,21 @@ impl MatchService {
             tier_ups,
             tier0_served: self.inner.tier0_served.load(Ordering::Relaxed),
             specialized_hits: self.inner.tier1_served.load(Ordering::Relaxed),
+            verified: self.inner.verified.load(Ordering::Relaxed),
+            // Relaxed: statistics snapshot; the tracked cache lock above
+            // already ordered us after every entry that landed.
+            diagnostics: self.inner.diags.load(Ordering::Relaxed),
         }
+    }
+
+    /// The static verification verdict cached for `pattern` (under the
+    /// service's default `induced` semantics), creating — and verifying —
+    /// the cache entry if it does not exist yet. `None` when
+    /// `EngineConfig::verify` is off.
+    pub fn verification(&self, pattern: &Pattern) -> Option<Arc<Verification>> {
+        self.inner
+            .plan_for(pattern, self.inner.cfg.engine.induced)
+            .verification
     }
 
     /// The shared graph.
@@ -559,6 +682,8 @@ impl Drop for MatchService {
     /// Graceful shutdown: workers drain the queue (every admitted query
     /// gets a reply), then exit and are joined.
     fn drop(&mut self) {
+        // Release: publishes everything before shutdown to the Acquire
+        // loads in `enqueue` and the worker loop.
         self.inner.shutdown.store(true, Ordering::Release);
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -575,6 +700,8 @@ fn worker_loop(inner: &Inner) {
     loop {
         let batch = inner.lock_queue().drain(inner.cfg.batch_max);
         if batch.is_empty() {
+            // Acquire: pairs with Drop's Release store; checked only after
+            // an empty drain so every admitted query still gets a reply.
             if inner.shutdown.load(Ordering::Acquire) {
                 break;
             }
@@ -629,6 +756,7 @@ pub mod mutation {
                 CachedPlan {
                     plan,
                     compiled: None,
+                    verification: None,
                 },
             );
     }

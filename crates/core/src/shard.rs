@@ -123,6 +123,43 @@ impl ShardPlan {
             })
             .collect()
     }
+
+    /// Static exactly-once coverage check
+    /// ([`stmatch_plan_verify::check_shard_cover`]): the cuts must tile
+    /// `order` monotonically and `order` must visit each of the graph's
+    /// `num_vertices` vertices exactly once. Empty means the plan covers
+    /// the level-0 domain; diagnostics name the offending vertex or cut.
+    pub fn verify_cover(
+        &self,
+        num_vertices: usize,
+        repro: &str,
+    ) -> Vec<stmatch_plan_verify::Diagnostic> {
+        stmatch_plan_verify::check_shard_cover(&self.order, &self.cuts, num_vertices, repro)
+    }
+}
+
+/// Seeded shard-plan mutations for the static verifier's kill gate (see
+/// `ci.sh smoke:verify`): deliberately corrupt a [`ShardPlan`] the way a
+/// partitioning bug would, so the coverage check can be shown to catch it
+/// *by name*. Never called on production paths.
+pub mod mutation {
+    use super::ShardPlan;
+    use stmatch_graph::VertexId;
+
+    /// Makes shard boundaries overlap on a vertex: the first vertex of
+    /// shard 1's slice is overwritten with shard 0's first vertex, so one
+    /// vertex is owned twice and the overwritten one is never expanded.
+    /// Returns `(duplicated, orphaned)`, or `None` when the plan is too
+    /// small to mutate (fewer than two shards or two vertices).
+    pub fn overlap_cut(plan: &mut ShardPlan) -> Option<(VertexId, VertexId)> {
+        let at = *plan.cuts.get(1)?;
+        if plan.num_shards() < 2 || at == 0 || at >= plan.order.len() {
+            return None;
+        }
+        let duplicated = plan.order[0];
+        let orphaned = std::mem::replace(&mut plan.order[at], duplicated);
+        Some((duplicated, orphaned))
+    }
 }
 
 /// Result of a sharded run: the merged outcome plus shard-level
@@ -198,6 +235,27 @@ impl Engine {
             ShardPlan::contiguous(graph, shards)
         };
         let reproduce = self.fault_plan().and_then(FaultPlan::shard_reproduce_line);
+        if cfg.verify.enabled {
+            // Static coverage certificate for the split (DESIGN.md §4j):
+            // both built-in partitioners tile the domain by construction,
+            // so any diagnostic here is a partitioning bug — fail loudly
+            // in debug builds before a wrong count escapes.
+            let diags = splan.verify_cover(
+                graph.num_vertices(),
+                &format!(
+                    "Engine::run_plan_sharded on graph '{}' with {} shards, \
+                     work_aware={}, EngineConfig::with_verify(true)",
+                    graph.name(),
+                    shards,
+                    tuning.work_aware,
+                ),
+            );
+            debug_assert!(
+                diags.is_empty(),
+                "shard plan fails exactly-once coverage: {}",
+                diags[0]
+            );
+        }
 
         let rail = Arc::new(ShardRail::new(
             &splan.cuts,
@@ -359,6 +417,7 @@ fn merge_round(round: &[MatchOutcome], reproduce: Option<String>) -> MatchOutcom
         fault: None,
         downgrades: Vec::new(),
         spill_events: 0,
+        peak_slab_cells: 0,
         served_tier: first.served_tier,
         l0_uncovered: None,
     };
@@ -386,6 +445,9 @@ fn merge_into(merged: &mut MatchOutcome, round: &[MatchOutcome]) {
         merged.timed_out |= o.timed_out;
         merged.downgrades.extend(o.downgrades.iter().copied());
         merged.spill_events += o.spill_events;
+        // Max, not sum: the peak is a per-warp high-water mark, and the
+        // merged outcome reports the worst warp across every shard.
+        merged.peak_slab_cells = merged.peak_slab_cells.max(o.peak_slab_cells);
         if let Some(f) = &o.fault {
             let r = report_mut(merged);
             r.deaths.extend(f.deaths.iter().cloned());

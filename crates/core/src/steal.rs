@@ -55,7 +55,7 @@
 //! held.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 use stmatch_graph::VertexId;
@@ -426,6 +426,10 @@ pub struct Board {
     /// Candidate-list spill events reported by the kernels at exit
     /// (arena slabs outgrown; see `arena`).
     spills: AtomicUsize,
+    /// Max per-warp peak of live candidate cells reported by the kernels
+    /// at exit — the runtime half of the static verifier's resource audit
+    /// (see `arena` and `stmatch_plan_verify`).
+    peak_cells: AtomicU64,
     /// Level-0 chunk dispenser: next unclaimed vertex id.
     chunk_next: AtomicUsize,
     num_vertices: usize,
@@ -473,6 +477,7 @@ impl Board {
             deaths: AtomicUsize::new(0),
             requeue: Mutex::new(Vec::new()),
             spills: AtomicUsize::new(0),
+            peak_cells: AtomicU64::new(0),
             chunk_next: AtomicUsize::new(start),
             num_vertices: end,
             chunk_size,
@@ -487,6 +492,7 @@ impl Board {
     /// replaces the local dispenser entirely.
     pub fn attach_rail(&mut self, rail: Arc<ShardRail>, shard: usize) {
         assert!(
+            // Relaxed: `&mut self` means no concurrent dispenser traffic.
             self.chunk_next.load(Ordering::Relaxed) >= self.num_vertices,
             "rail-attached boards must not own a local level-0 range"
         );
@@ -579,6 +585,9 @@ impl Board {
                 return None;
             }
             let hi = (lo + self.chunk_size).min(self.num_vertices);
+            // Relaxed on both legs: the dispenser only hands out disjoint
+            // vertex ranges; no other memory is published alongside the
+            // claim, so the CAS needs atomicity, not ordering.
             if self
                 .chunk_next
                 .compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed)
@@ -861,6 +870,9 @@ impl Board {
     pub fn try_claim_requeued(&self, me: usize) -> Option<StealPayload> {
         let p = self.lock_requeue().pop()?;
         self.mark_busy(me);
+        // SeqCst: pending participates in the global termination protocol
+        // — the decrement must totally order with idle-mask publishes so
+        // quiescence detection never misses an in-flight item.
         self.pending.fetch_sub(1, Ordering::SeqCst);
         Some(p)
     }
@@ -929,6 +941,21 @@ impl Board {
         // Relaxed: see add_spills.
         self.spills.load(Ordering::Relaxed) as u64
     }
+
+    /// Max-combines one warp's peak of live candidate cells.
+    pub fn add_peak(&self, n: u64) {
+        if n > 0 {
+            // Relaxed: pure statistic (a monotone max), read after join
+            // for reporting — same contract as add_spills.
+            self.peak_cells.fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Largest per-warp peak of live candidate cells reported so far.
+    pub fn peak_count(&self) -> u64 {
+        // Relaxed: see add_peak.
+        self.peak_cells.load(Ordering::Relaxed)
+    }
 }
 
 /// Seeded concurrency-bug mutations for the `simt_check` kill gate.
@@ -978,6 +1005,9 @@ pub mod mutation {
         // slot acquisition (rank 10).
         let mut m = board.mirrors[me].lock();
         for b in 0..board.is_idle.len() {
+            // SeqCst loads/increment below: same termination-protocol
+            // orderings as the correct push_global — only the lock order
+            // is the seeded defect here.
             if b == my_block || board.is_idle[b].load(Ordering::SeqCst) != full {
                 continue;
             }
@@ -989,6 +1019,8 @@ pub mod mutation {
                 Some(level) => Board::split(&mut m, level),
                 None => return false,
             };
+            // SeqCst: termination-protocol increment, before the slot
+            // publish, exactly as in the correct push_global.
             board.pending.fetch_add(1, Ordering::SeqCst);
             *slot = Some(payload);
             return true;

@@ -73,6 +73,25 @@ pub fn level0_weights(g: &Graph) -> Vec<u64> {
         .collect()
 }
 
+/// The `min(k, n)` largest vertex degrees, descending.
+///
+/// This is the degree summary the static plan verifier's abstract
+/// interpretation runs on: a candidate set contained in the neighbor lists
+/// of `j` *distinct* matched vertices is no larger than the smallest of
+/// their degrees, which is at most `top_degrees(g, k)[j - 1]` — the `j`-th
+/// largest degree in the whole graph. O(n) selection + O(k log k) sort.
+pub fn top_degrees(g: &Graph, k: usize) -> Vec<usize> {
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let k = k.min(degrees.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    degrees.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    degrees.truncate(k);
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    degrees
+}
+
 impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -128,6 +147,16 @@ mod tests {
         // Isolated vertices still weigh 1.
         let empty = crate::GraphBuilder::new(3).build();
         assert_eq!(level0_weights(&empty), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn top_degrees_orders_and_clamps() {
+        let g = gen::star(5);
+        assert_eq!(top_degrees(&g, 3), vec![5, 1, 1]);
+        assert_eq!(top_degrees(&g, 100).len(), 6);
+        assert_eq!(top_degrees(&g, 0), Vec::<usize>::new());
+        let empty = crate::GraphBuilder::new(0).build();
+        assert!(top_degrees(&empty, 4).is_empty());
     }
 
     #[test]

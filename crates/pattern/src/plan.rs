@@ -553,6 +553,50 @@ impl MatchPlan {
     }
 }
 
+/// Seeded-mutation hooks for the verifier kill-test suite (tests and the
+/// `verify_check` bench legs only, mirroring `bytecode::mutation`): each
+/// helper produces a *structurally well-formed but wrong* plan — it still
+/// lowers and passes `PlanBytecode::verify`, so only the static analyses of
+/// `stmatch-plan-verify` (or the golden counts) can catch it. Never called
+/// from production paths.
+pub mod mutation {
+    use super::{Base, LabelMask, MatchPlan, SetDef};
+
+    /// Appends a set nothing ever reads: computed at the deepest level from
+    /// the level-0 neighbor list, never a candidate, never a dependency.
+    /// Models a code-motion pass that lifts a prefix and then forgets to
+    /// retire it. Returns the dead set's id.
+    pub fn insert_dead_set(plan: &mut MatchPlan) -> u16 {
+        let k = plan.order.len();
+        let level = k.saturating_sub(1) as u8;
+        let id = plan.sets.len() as u16;
+        // Appending at the tail of the deepest level keeps the grouped-by-
+        // level invariant; only the terminal level_ptr entry moves.
+        plan.sets.push(SetDef {
+            level,
+            base: Base::Neighbors(0),
+            ops: Vec::new(),
+            mask: LabelMask::ALL,
+            target_label: None,
+        });
+        plan.level_ptr[k] += 1;
+        id
+    }
+
+    /// Removes the last symmetry bound of the deepest bounded level,
+    /// modelling a plan whose symmetry-breaking predicate was dropped
+    /// between compilation and launch. Returns `(level, position)` of the
+    /// dropped bound, or `None` when the plan carries no bounds.
+    pub fn drop_symmetry_bound(plan: &mut MatchPlan) -> Option<(usize, usize)> {
+        for l in (0..plan.bounds.len()).rev() {
+            if let Some((pos, _)) = plan.bounds[l].pop() {
+                return Some((l, pos));
+            }
+        }
+        None
+    }
+}
+
 /// One entry of the compact encoding (Fig. 9b `set_ops`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CompactSetOp {
@@ -742,6 +786,41 @@ mod tests {
         assert!(compact.byte_size() < 200, "{} bytes", compact.byte_size());
         assert_eq!(compact.set_ops.len(), plan.num_sets());
         assert_eq!(*compact.row_ptr.last().unwrap(), plan.num_sets());
+    }
+
+    #[test]
+    fn mutations_stay_structurally_well_formed() {
+        use crate::PlanBytecode;
+        // Dead set: one extra set at the deepest level, stream still lowers
+        // and verifies (the corruption is semantic, not structural).
+        let mut plan = MatchPlan::compile(&catalog::paper_query(6), PlanOptions::default());
+        let before = plan.num_sets();
+        let id = mutation::insert_dead_set(&mut plan);
+        assert_eq!(plan.num_sets(), before + 1);
+        assert_eq!(id as usize, before);
+        assert_eq!(
+            plan.sets()[id as usize].level as usize,
+            plan.num_levels() - 1
+        );
+        PlanBytecode::lower(&plan).expect("dead-set plan lowers cleanly");
+
+        // Dropped bound: exactly one bound disappears, everything else holds.
+        let mut plan = MatchPlan::compile(&catalog::clique(4), PlanOptions::default());
+        let total = |p: &MatchPlan| {
+            (0..p.num_levels())
+                .map(|l| p.bounds(l).len())
+                .sum::<usize>()
+        };
+        let n = total(&plan);
+        assert!(n > 0);
+        let (level, pos) = mutation::drop_symmetry_bound(&mut plan).unwrap();
+        assert!(pos < level);
+        assert_eq!(total(&plan), n - 1);
+        PlanBytecode::lower(&plan).expect("dropped-bound plan lowers cleanly");
+
+        // No bounds to drop when symmetry breaking is off.
+        let mut plain = MatchPlan::compile(&catalog::clique(4), opts(false, true));
+        assert!(mutation::drop_symmetry_bound(&mut plain).is_none());
     }
 
     #[test]

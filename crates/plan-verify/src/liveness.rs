@@ -1,0 +1,197 @@
+//! Dataflow liveness over the lowered bytecode stream.
+//!
+//! The analysis is classic def/use over set slots, in *level space*: the
+//! `last` write of set `s` at level `d` is its definition (unique, enforced
+//! by [`PlanBytecode::verify`]'s `DuplicateWrite`/`MissingWrite` checks);
+//! uses are every `ApplyFromSet` that names `s` as its dependency plus
+//! every level that iterates `s` as its candidate. Because the kernel's
+//! recursion re-enters level `d` repeatedly, a set defined at `d` and last
+//! used at `u >= d` is live over the whole interval `[d, u]` — two sets can
+//! legally share one physical slab iff those intervals are disjoint.
+//!
+//! A set with no uses at all is *dead*: the stream still computes and
+//! writes it on every claim, and the arena reserves `unroll × cap` cells
+//! for it per warp. Plan compilation never emits one (candidates are used
+//! by construction and `fold_unshared_sets` collapses unused
+//! intermediates), so a dead set in a stream is evidence of plan
+//! corruption and is reported as a named diagnostic.
+
+use crate::diag::{DiagKind, Diagnostic};
+use stmatch_pattern::bytecode::{OpCode, PlanBytecode, NO_SET};
+
+/// Liveness facts for one set slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetLiveness {
+    /// Level of the set's unique `last` write.
+    pub def_level: usize,
+    /// Deepest level that reads the set (candidate iteration or
+    /// `ApplyFromSet` dependency); `None` for dead sets.
+    pub last_use_level: Option<usize>,
+}
+
+impl SetLiveness {
+    /// Live interval in level space, `def..=last_use` (dead sets collapse
+    /// to their definition level).
+    pub fn interval(&self) -> (usize, usize) {
+        (
+            self.def_level,
+            self.last_use_level.unwrap_or(self.def_level),
+        )
+    }
+}
+
+/// Result of the dataflow pass.
+#[derive(Clone, Debug)]
+pub struct LivenessReport {
+    /// Indexed by set id.
+    pub sets: Vec<SetLiveness>,
+    /// Ids of sets with no uses.
+    pub dead: Vec<u16>,
+    /// Fewest physical slabs that could hold every live interval (greedy
+    /// interval coloring) — the slot-reuse headroom `num_sets -
+    /// min_slots` quantifies how much of the arena is reuse-eligible.
+    pub min_slots: usize,
+}
+
+/// Runs the def/use analysis over `bc`.
+pub fn analyze(bc: &PlanBytecode) -> LivenessReport {
+    let n = bc.num_sets();
+    let k = bc.num_levels();
+    let mut def = vec![0usize; n];
+    let mut last_use: Vec<Option<usize>> = vec![None; n];
+    let note_use = |set: usize, level: usize, last_use: &mut Vec<Option<usize>>| {
+        let slot = &mut last_use[set];
+        *slot = Some(slot.map_or(level, |prev| prev.max(level)));
+    };
+    for level in 0..k {
+        for ins in bc.instrs_at(level) {
+            if ins.last {
+                def[ins.dst as usize] = level;
+            }
+            if ins.code == OpCode::ApplyFromSet && ins.dep != NO_SET {
+                note_use(ins.dep as usize, level, &mut last_use);
+            }
+        }
+    }
+    for level in 1..k {
+        let (cand, _) = bc.candidate(level);
+        if cand < n {
+            note_use(cand, level, &mut last_use);
+        }
+    }
+    let sets: Vec<SetLiveness> = (0..n)
+        .map(|s| SetLiveness {
+            def_level: def[s],
+            last_use_level: last_use[s],
+        })
+        .collect();
+    let dead: Vec<u16> = (0..n)
+        .filter(|&s| last_use[s].is_none())
+        .map(|s| s as u16)
+        .collect();
+    LivenessReport {
+        min_slots: min_slots(&sets),
+        sets,
+        dead,
+    }
+}
+
+/// Greedy interval-graph coloring: sweep intervals by start level, reuse a
+/// slot whose interval ended strictly before the new start.
+fn min_slots(sets: &[SetLiveness]) -> usize {
+    let mut intervals: Vec<(usize, usize)> = sets.iter().map(SetLiveness::interval).collect();
+    intervals.sort_unstable();
+    let mut slot_ends: Vec<usize> = Vec::new();
+    for (start, end) in intervals {
+        match slot_ends.iter_mut().find(|e| **e < start) {
+            Some(e) => *e = end,
+            None => slot_ends.push(end),
+        }
+    }
+    slot_ends.len()
+}
+
+/// Converts the report's dead sets into named diagnostics.
+pub fn dead_set_diagnostics(report: &LivenessReport, repro: &str) -> Vec<Diagnostic> {
+    report
+        .dead
+        .iter()
+        .map(|&s| {
+            let level = report.sets[s as usize].def_level as u8;
+            Diagnostic::new(
+                DiagKind::DeadSet { set: s, level },
+                format!(
+                    "plan-verify: dead set {s} written at level {level} is never \
+                     read by any candidate iteration or dependency"
+                ),
+                repro,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmatch_pattern::plan::{MatchPlan, PlanOptions};
+    use stmatch_pattern::{catalog, PlanBytecode};
+
+    fn lower(q: usize) -> PlanBytecode {
+        let plan = MatchPlan::compile(&catalog::paper_query(q), PlanOptions::default());
+        PlanBytecode::lower(&plan).expect("paper plans lower")
+    }
+
+    #[test]
+    fn no_paper_query_has_dead_sets() {
+        for q in 1..=24 {
+            let bc = lower(q);
+            let report = analyze(&bc);
+            assert!(report.dead.is_empty(), "q{q}: dead sets {:?}", report.dead);
+            assert!(report.min_slots <= bc.num_sets());
+            for (s, l) in report.sets.iter().enumerate() {
+                let (d, u) = l.interval();
+                assert!(d <= u, "q{q} set {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_cascade_intervals_chain() {
+        // q8 = K5: set l-1 is defined at level l and last used at level
+        // l+1 (as the next cascade step's dependency and candidate).
+        let bc = lower(8);
+        let report = analyze(&bc);
+        assert_eq!(report.sets[0].def_level, 1);
+        assert_eq!(report.sets[0].last_use_level, Some(2));
+        // Overlapping chain intervals leave little reuse headroom.
+        assert!(report.min_slots >= 2);
+    }
+
+    #[test]
+    fn lifted_star_set_lives_to_the_last_level() {
+        // q2 (star-ish 5-pattern) shares lifted sets across levels; every
+        // candidate's last use is at least its deepest iterating level.
+        let plan = MatchPlan::compile(&catalog::star3(), PlanOptions::default());
+        let bc = PlanBytecode::lower(&plan).unwrap();
+        let report = analyze(&bc);
+        // One shared set iterated at levels 1..=3.
+        assert_eq!(bc.num_sets(), 1);
+        assert_eq!(report.sets[0].def_level, 1);
+        assert_eq!(report.sets[0].last_use_level, Some(3));
+        assert_eq!(report.min_slots, 1);
+    }
+
+    #[test]
+    fn dead_set_mutation_is_named() {
+        let mut plan = MatchPlan::compile(&catalog::paper_query(6), PlanOptions::default());
+        let dead = stmatch_pattern::plan::mutation::insert_dead_set(&mut plan);
+        let bc = PlanBytecode::lower(&plan).expect("mutated plan still lowers");
+        let report = analyze(&bc);
+        assert_eq!(report.dead, vec![dead]);
+        let diags = dead_set_diagnostics(&report, "cargo test -p stmatch-plan-verify");
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(diags[0].kind, DiagKind::DeadSet { set, .. } if set == dead));
+        assert!(diags[0].message.contains(&format!("dead set {dead}")));
+        assert!(diags[0].to_string().contains("reproduce:"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Static-verifier soundness: the resource certificate's claims must
+//! hold against the *actual* runtime counters, on arbitrary random
+//! graphs, for every catalog plan, across slab configurations — and the
+//! verifier must catch seeded plan corruptions *by name*, not merely
+//! "something looks off".
+//!
+//! Three legs:
+//!
+//! * property — on seeded random graphs × catalog patterns, the runtime
+//!   `peak_slab_cells` never exceeds `ResourceCert::peak_cells(unroll)`,
+//!   and a `spill_free` certificate implies zero `spill_events`. Small
+//!   `max_degree_slab` values are drawn too, exercising certificates
+//!   that (soundly) refuse the spill-free claim;
+//! * mutation kill tests — `insert_dead_set`, `drop_symmetry_bound`, and
+//!   `overlap_cut` must each surface a diagnostic naming the exact
+//!   set/level/vertex that was corrupted, with a `reproduce:` line;
+//! * service — [`MatchService`] verifies once per canonical cache entry,
+//!   exposes verified/diagnostic counters in `cache_stats`, and hands
+//!   the cached certificate back through `verification()`.
+
+use std::sync::Arc;
+use stmatch_core::shard::{self, ShardPlan};
+use stmatch_core::{Engine, EngineConfig, MatchService, QueryOptions, ServiceConfig};
+use stmatch_gpusim::GridConfig;
+use stmatch_graph::{gen, Graph};
+use stmatch_pattern::catalog;
+use stmatch_pattern::plan::{mutation, MatchPlan, PlanOptions};
+use stmatch_plan_verify::{verify_plan, DiagKind, GraphProfile};
+use stmatch_testkit::prop::forall;
+use stmatch_testkit::rng::Rng;
+
+fn grid() -> GridConfig {
+    GridConfig {
+        num_blocks: 2,
+        warps_per_block: 2,
+        shared_mem_per_block: 100 * 1024,
+    }
+}
+
+/// Maps a shrinkable `(n, density, seed)` triple onto a small random
+/// graph, clamping out-of-range (possibly shrunk) values.
+fn make_graph(n: usize, density: usize, seed: u64) -> Graph {
+    let n = n.clamp(2, 40);
+    gen::erdos_renyi(n, n * density.min(3), seed)
+}
+
+fn make_pattern(idx: usize) -> stmatch_pattern::Pattern {
+    match idx % 8 {
+        0 => catalog::triangle(),
+        1 => catalog::wedge(),
+        2 => catalog::square(),
+        3 => catalog::diamond(),
+        4 => catalog::k4(),
+        5 => catalog::paper_query(2),
+        6 => catalog::paper_query(6),
+        _ => catalog::paper_query(8),
+    }
+}
+
+/// Certificate vs reality: the static peak bound dominates the runtime
+/// high-water mark, and spill-freedom is never claimed falsely — across
+/// random graphs, catalog plans, and slab capacities small enough to
+/// force the verifier into the "may spill" verdict.
+#[test]
+fn runtime_peak_never_exceeds_certified_bound() {
+    forall(
+        "runtime_peak_never_exceeds_certified_bound",
+        |rng| {
+            (
+                rng.gen_range(4usize..40),
+                rng.gen_range(1usize..4),
+                rng.gen_range(0u64..1000),
+                rng.gen_range(0usize..8),
+                // Slab capacities from pathologically tiny (certificates
+                // must refuse spill-freedom) up past any fixture degree.
+                rng.gen_range(2usize..64),
+            )
+        },
+        |&(n, density, seed, pidx, slab)| {
+            let g = make_graph(n, density, seed);
+            let p = make_pattern(pidx);
+            let plan = MatchPlan::compile(&p, PlanOptions::default());
+            let mut cfg = EngineConfig::default().with_grid(grid()).with_verify(true);
+            cfg.max_degree_slab = slab.max(2);
+            // Mirror the engine's effective slab sizing so the checked
+            // certificate is the one the launch actually runs under.
+            let slab_cap = cfg.max_degree_slab.min(g.max_degree().max(1));
+            let profile = GraphProfile::of(&g);
+            let v = verify_plan(&plan, &profile, slab_cap, "tests/plan_verify.rs property");
+            if !v.diagnostics.is_empty() {
+                return Err(format!(
+                    "false positive on a catalog plan: {}",
+                    v.diagnostics[0]
+                ));
+            }
+            let out = Engine::new(cfg).run(&g, &p).map_err(|e| e.to_string())?;
+            let bound = v.cert.peak_cells(cfg.unroll);
+            if out.peak_slab_cells > bound {
+                return Err(format!(
+                    "{}: runtime peak {} cells exceeds certified bound {bound}",
+                    p.name(),
+                    out.peak_slab_cells
+                ));
+            }
+            if v.cert.spill_free && out.spill_events != 0 {
+                return Err(format!(
+                    "{}: {} spills under a spill-free certificate (slab_cap {slab_cap})",
+                    p.name(),
+                    out.spill_events
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Tight slabs must sometimes yield non-spill-free certificates — if the
+/// verifier always said "spill free" the property above would be vacuous.
+#[test]
+fn tight_slabs_refuse_the_spill_free_claim() {
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let profile = GraphProfile::of(&g);
+    let plan = MatchPlan::compile(&catalog::paper_query(6), PlanOptions::default());
+    let tight = verify_plan(&plan, &profile, 2, "tests/plan_verify.rs tight");
+    assert!(
+        !tight.cert.spill_free,
+        "2-cell slabs certified spill-free on a max-degree-{} graph",
+        profile.max_degree
+    );
+    let roomy = verify_plan(&plan, &profile, 4096, "tests/plan_verify.rs roomy");
+    assert!(roomy.cert.spill_free, "4096-cell slabs must be spill-free");
+    assert!(roomy.is_clean());
+}
+
+/// Kill test 1: a set written but never read must be reported as exactly
+/// that set, with the level that defines it.
+#[test]
+fn mutation_dead_set_is_caught_by_name() {
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let profile = GraphProfile::of(&g);
+    let mut plan = MatchPlan::compile(&catalog::paper_query(6), PlanOptions::default());
+    let set = mutation::insert_dead_set(&mut plan);
+    let v = verify_plan(&plan, &profile, 4096, "tests/plan_verify.rs dead-set");
+    let hit = v
+        .diagnostics
+        .iter()
+        .find(|d| matches!(d.kind, DiagKind::DeadSet { set: s, .. } if s == set))
+        .unwrap_or_else(|| panic!("dead set {set} not named in {:?}", v.diagnostics));
+    assert!(hit.message.contains(&format!("dead set {set}")));
+    assert!(
+        hit.reproduce.contains("dead-set"),
+        "diagnostic must carry its reproduce line"
+    );
+}
+
+/// Kill test 2: deleting one symmetry-break bound must be reported at
+/// its exact (level, position), as duplicate counting.
+#[test]
+fn mutation_dropped_symmetry_bound_is_caught_by_name() {
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let profile = GraphProfile::of(&g);
+    let mut plan = MatchPlan::compile(&catalog::paper_query(8), PlanOptions::default());
+    let (level, pos) = mutation::drop_symmetry_bound(&mut plan)
+        .expect("the K5 plan carries symmetry bounds to drop");
+    let v = verify_plan(&plan, &profile, 4096, "tests/plan_verify.rs drop-bound");
+    assert!(
+        v.diagnostics.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::MissingSymmetryBound { level: l, pos: p, .. } if l == level && p == pos
+        )),
+        "dropped bound at level {level} pos {pos} not named in {:?}",
+        v.diagnostics
+    );
+}
+
+/// Kill test 3: corrupting a shard cut so one vertex is owned twice and
+/// another by nobody must name both vertices.
+#[test]
+fn mutation_overlapping_shard_cut_is_caught_by_name() {
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let mut splan = ShardPlan::work_aware(&g, 4);
+    let (dup, orphan) = shard::mutation::overlap_cut(&mut splan).expect("4-shard plan is mutable");
+    let diags = splan.verify_cover(g.num_vertices(), "tests/plan_verify.rs shard-overlap");
+    assert!(
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::ShardOverlap { vertex, .. } if vertex == dup)),
+        "duplicated vertex {dup} not named in {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::ShardGap { vertex } if vertex == orphan)),
+        "orphaned vertex {orphan} not named in {diags:?}"
+    );
+    // An untouched plan must pass the same check.
+    let clean = ShardPlan::work_aware(&g, 4).verify_cover(g.num_vertices(), "clean");
+    assert!(clean.is_empty(), "clean shard plan flagged: {clean:?}");
+}
+
+/// The service verifies once per canonical cache entry: repeated and
+/// equivalent submissions reuse the cached certificate, the counters in
+/// `cache_stats` track entries (not submissions), and `verification()`
+/// hands the certificate out.
+#[test]
+fn service_verifies_once_per_canonical_plan() {
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let expected = Engine::new(EngineConfig::default().with_grid(grid()))
+        .run(&g, &catalog::paper_query(6))
+        .unwrap()
+        .count;
+    let svc = MatchService::new(
+        Arc::new(g),
+        ServiceConfig::new(
+            EngineConfig::default()
+                .with_grid(grid())
+                .with_compile(true)
+                .with_verify(true),
+        )
+        .with_workers(2),
+    );
+    let q = catalog::paper_query(6);
+    for _ in 0..3 {
+        let out = svc.submit(&q, QueryOptions::default()).unwrap();
+        assert_eq!(out.count, expected, "verified service run drifted");
+        assert_eq!(out.spill_events, 0, "certified-clean plan spilled");
+    }
+    let stats = svc.cache_stats();
+    assert_eq!(stats.verified, 1, "one canonical entry → one verification");
+    assert_eq!(stats.diagnostics, 0, "clean plan raised diagnostics");
+    let v = svc.verification(&q).expect("verify knob is on");
+    assert!(v.is_clean());
+    assert!(v.cert.spill_free);
+    // Asking for the certificate again must not re-verify.
+    let _ = svc.verification(&q);
+    assert_eq!(svc.cache_stats().verified, 1);
+    // A different canonical plan gets its own verification.
+    let _ = svc
+        .submit(&catalog::triangle(), QueryOptions::default())
+        .unwrap();
+    assert_eq!(svc.cache_stats().verified, 2);
+}
+
+/// With the knob off (the default) nothing is verified and the stats
+/// stay zero — verification is strictly opt-in.
+#[test]
+fn service_verification_is_opt_in() {
+    let g = gen::preferential_attachment(48, 4, 3).degree_ordered();
+    let svc = MatchService::new(
+        Arc::new(g),
+        ServiceConfig::new(EngineConfig::default().with_grid(grid())).with_workers(1),
+    );
+    svc.submit(&catalog::triangle(), QueryOptions::default())
+        .unwrap();
+    let stats = svc.cache_stats();
+    assert_eq!(stats.verified, 0);
+    assert_eq!(stats.diagnostics, 0);
+    assert!(svc.verification(&catalog::triangle()).is_none());
+}

@@ -104,6 +104,9 @@ fn run_arena(
             tuning,
             &mut sink,
         );
+        // ArenaWriter's Drop folds peak stats back into the arena, so the
+        // writer must end before the slots are read out.
+        drop(sink);
         *out.lock().unwrap() = (0..slots.len())
             .map(|u| arena.slot(0, u).to_vec())
             .collect();
