@@ -135,6 +135,16 @@ for mut in dead-set:"dead set" drop-bound:"drops the symmetry bound" \
     echo "==> smoke:verify(mutate=${name}): OK"
 done
 
+# Incremental-matching gate (DESIGN.md §4k). Off leg: the delta knob
+# defaults off and flipping it leaves full runs bit-identical (golden
+# counts, identical instruction totals with stealing disabled). Stream and
+# service legs: cumulative MatchDeltas over seeded update streams must
+# reconcile exactly with full recomputation after every batch, through
+# both the engine API and MatchService::apply_batch/submit_watch. Timing
+# leg: regenerates BENCH_PR10.json and fails if the amortized per-batch
+# delta work at batch 16 is not >= 10x below one full recount.
+run "smoke:delta" cargo run --release --offline -p stmatch-bench --bin delta_check
+
 # Atomics-annotation lint: every `Ordering::` use in the engine crate must
 # carry a nearby comment naming its ordering and the invariant it upholds
 # (within the 10 preceding lines, or trailing on the use itself). Keeps

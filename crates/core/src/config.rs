@@ -79,6 +79,13 @@ pub struct EngineConfig {
     /// bytecode liveness, and plan soundness checks. Disabled by default:
     /// the engine then launches exactly as pre-verifier revisions did.
     pub verify: VerifyTuning,
+    /// Batch-dynamic incremental matching (see `delta` and DESIGN.md §4k):
+    /// `Engine::run_delta` enumerates the match delta of an edge batch from
+    /// anchored launches over the affected frontier, and `MatchService`
+    /// gains `apply_batch`/`submit_watch`. Disabled by default: one-shot
+    /// runs never consult this knob, so every existing path stays
+    /// bit-identical.
+    pub delta: DeltaTuning,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +108,47 @@ impl Default for EngineConfig {
             compile: CompileTuning::default(),
             shard: ShardTuning::default(),
             verify: VerifyTuning::default(),
+            delta: DeltaTuning::default(),
+        }
+    }
+}
+
+/// Incremental-matching knob: whether `Engine::run_delta` and the service's
+/// `apply_batch`/`submit_watch` surface are armed, and how delta launches
+/// are shaped.
+///
+/// Off by default and consulted by **no** one-shot code path, so existing
+/// runs are bit-identical with the knob off. Delta mode itself is exact
+/// (oracle-tested against full recomputation), but it is a *different*
+/// workload: anchored two-vertex domains on tiny grids, with symmetry
+/// breaking replaced by automorphism division.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaTuning {
+    /// Arm incremental matching (default `false`). `Engine::run_delta`
+    /// panics without it; the service only accepts `apply_batch` /
+    /// `submit_watch` when its engine config has it on.
+    pub enabled: bool,
+    /// Grid geometry for anchored delta launches. Each stage pins the
+    /// level-0 domain to the two endpoints of one updated edge, so the
+    /// default is a single warp — launching the full grid would park
+    /// dozens of warps per stage.
+    pub grid: GridConfig,
+    /// Service only: fold the overlay into a fresh CSR after this many
+    /// applied batches (0 = never compact). Compaction re-indexes vertices
+    /// that became hubs and resets per-query patch-lookup overhead.
+    pub compact_every: u32,
+}
+
+impl Default for DeltaTuning {
+    fn default() -> Self {
+        DeltaTuning {
+            enabled: false,
+            grid: GridConfig {
+                num_blocks: 1,
+                warps_per_block: 1,
+                ..GridConfig::default()
+            },
+            compact_every: 64,
         }
     }
 }
@@ -313,6 +361,12 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with incremental (delta) matching switched on or off.
+    pub fn with_delta(mut self, enabled: bool) -> Self {
+        self.delta.enabled = enabled;
+        self
+    }
+
     /// Returns a copy with sharded execution switched on or off.
     pub fn with_shard(mut self, enabled: bool) -> Self {
         self.shard.enabled = enabled;
@@ -347,6 +401,10 @@ impl EngineConfig {
         assert!(self.max_degree_slab >= 1, "max_degree_slab must be >= 1");
         assert!(self.chunk_size >= 1, "chunk_size must be >= 1");
         assert!(self.shard.shards >= 1, "shard count must be >= 1");
+        assert!(
+            self.delta.grid.num_blocks >= 1 && self.delta.grid.warps_per_block >= 1,
+            "delta grid must have at least one warp"
+        );
         // `compile` needs no range check here: every CompileTuning value is
         // admissible, and malformed *streams* are rejected at lower time by
         // `PlanBytecode::verify` with a named BytecodeError (same fail-loud
@@ -395,6 +453,13 @@ mod tests {
         assert!(c.with_verify(true).verify.enabled);
         assert!(!c.with_verify(true).verify.apply_hints);
         assert!(c.with_verify_hints().verify.apply_hints);
+        // Incremental matching defaults off (bit-identical baseline: no
+        // one-shot path consults the knob) with a one-warp anchored grid.
+        assert!(!c.delta.enabled);
+        assert_eq!(c.delta.grid.num_blocks, 1);
+        assert_eq!(c.delta.grid.warps_per_block, 1);
+        assert_eq!(c.delta.compact_every, 64);
+        assert!(c.with_delta(true).delta.enabled);
     }
 
     #[test]

@@ -168,6 +168,19 @@ pub(crate) struct ShardCtx<'a> {
     pub map: &'a [VertexId],
 }
 
+/// Anchored-launch context threaded into the launch path by the delta
+/// engine ([`crate::delta`]): the level-0 domain collapses to the two
+/// endpoints of one updated data edge (`map`), and level 1 is pinned to
+/// the paired endpoint (`pins`, keyed by the matched level-0 vertex so
+/// pins survive stealing). Never combined with sharding — an anchored
+/// domain of two vertices has nothing to partition.
+pub(crate) struct AnchorCtx<'a> {
+    /// Level-0 domain: the anchor edge's endpoints, `[a, b]`.
+    pub map: &'a [VertexId],
+    /// Level-1 pins: `[(a, b), (b, a)]` — one entry per orientation.
+    pub pins: &'a [(VertexId, VertexId)],
+}
+
 impl Engine {
     /// Creates an engine with the given configuration and an unlimited
     /// device-memory budget.
@@ -231,7 +244,22 @@ impl Engine {
         plan: &MatchPlan,
         shard: &ShardCtx<'_>,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, None, None, Some(shard))
+        self.run_inner(graph, plan, 0, 1, None, None, None, Some(shard), None)
+    }
+
+    /// One anchored launch for the delta engine in [`crate::delta`]: the
+    /// level-0 domain is the anchor context's two endpoints and level 1 is
+    /// pinned to the paired endpoint, so the run counts exactly the
+    /// embeddings that place the plan's first two order positions on the
+    /// anchored data edge.
+    pub(crate) fn run_anchored(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        anchor: &AnchorCtx<'_>,
+        warm: Option<&WarmSlot>,
+    ) -> Result<MatchOutcome, LaunchError> {
+        self.run_inner(graph, plan, 0, 1, None, warm, None, None, Some(anchor))
     }
 
     /// Compiles the plan for `pattern` under this engine's options.
@@ -267,7 +295,8 @@ impl Engine {
         plan: &MatchPlan,
     ) -> Result<Enumeration, LaunchError> {
         let collector = Mutex::new(Vec::new());
-        let outcome = self.run_inner(graph, plan, 0, 1, Some(&collector), None, None, None)?;
+        let outcome =
+            self.run_inner(graph, plan, 0, 1, Some(&collector), None, None, None, None)?;
         // Warps emit flat k-strided records; chunk them into per-embedding
         // vectors here, off the hot path.
         let k = plan.num_levels();
@@ -302,7 +331,7 @@ impl Engine {
         plan: &MatchPlan,
         warm: &WarmSlot,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, Some(warm), None, None)
+        self.run_inner(graph, plan, 0, 1, None, Some(warm), None, None, None)
     }
 
     /// [`Engine::run_plan`] against a caller-held [`CompiledPlan`] whose
@@ -316,7 +345,7 @@ impl Engine {
         plan: &MatchPlan,
         compiled: &CompiledPlan,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, None, Some(compiled), None)
+        self.run_inner(graph, plan, 0, 1, None, None, Some(compiled), None, None)
     }
 
     /// [`Engine::run_plan_warm`] with a caller-held [`CompiledPlan`] (see
@@ -328,7 +357,7 @@ impl Engine {
         warm: &WarmSlot,
         compiled: Option<&CompiledPlan>,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, 0, 1, None, Some(warm), compiled, None)
+        self.run_inner(graph, plan, 0, 1, None, Some(warm), compiled, None, None)
     }
 
     /// Matches only the level-0 vertices `v` with `v % devices == device` —
@@ -342,7 +371,7 @@ impl Engine {
         device: usize,
         devices: usize,
     ) -> Result<MatchOutcome, LaunchError> {
-        self.run_inner(graph, plan, device, devices, None, None, None, None)
+        self.run_inner(graph, plan, device, devices, None, None, None, None, None)
     }
 
     /// Degradation-ladder driver: attempts the launch at the configured
@@ -360,8 +389,13 @@ impl Engine {
         warm: Option<&WarmSlot>,
         ext: Option<&CompiledPlan>,
         shard: Option<&ShardCtx<'_>>,
+        anchor: Option<&AnchorCtx<'_>>,
     ) -> Result<MatchOutcome, LaunchError> {
         assert!(devices >= 1 && device < devices);
+        debug_assert!(
+            anchor.is_none() || shard.is_none(),
+            "anchored launches own a two-vertex domain; sharding it is meaningless"
+        );
         self.cfg.validate();
         let mut cfg = self.cfg;
         // Resolve the hub-bitmap index once, outside the degradation loop:
@@ -415,7 +449,7 @@ impl Engine {
             // Planning failures happen before any warp runs, so retrying
             // here can never double-count (and never touches `collector`).
             match self.attempt(
-                &cfg, graph, plan, hubs, compiled, device, devices, collector, warm, shard,
+                &cfg, graph, plan, hubs, compiled, device, devices, collector, warm, shard, anchor,
             ) {
                 Ok(mut outcome) => {
                     outcome.downgrades = downgrades;
@@ -474,6 +508,7 @@ impl Engine {
         collector: Option<&Mutex<Vec<VertexId>>>,
         warm: Option<&WarmSlot>,
         shard: Option<&ShardCtx<'_>>,
+        anchor: Option<&AnchorCtx<'_>>,
     ) -> Result<MatchOutcome, LaunchError> {
         let grid = Grid::new(cfg.grid)?;
         // A warm slot only serves launches at its exact geometry; after a
@@ -501,6 +536,7 @@ impl Engine {
         self.memory.try_alloc(stack_bytes)?;
         let stats = self.launch(
             cfg, graph, plan, hubs, compiled, &grid, stop, device, devices, collector, warm, shard,
+            anchor,
         );
         self.memory.free(stack_bytes);
         Ok(MatchOutcome {
@@ -541,6 +577,7 @@ impl Engine {
         collector: Option<&Mutex<Vec<VertexId>>>,
         warm: Option<&WarmSlot>,
         shard: Option<&ShardCtx<'_>>,
+        anchor: Option<&AnchorCtx<'_>>,
     ) -> LaunchStats {
         let n = graph.num_vertices();
         // Device partitioning is *strided*: device d owns the vertices
@@ -551,7 +588,11 @@ impl Engine {
         // dispenses virtual indices; the kernel maps them to vertex ids.
         // Sharded grids own no local range at all: every level-0 index
         // comes off the cross-shard rail.
-        let device_count = if shard.is_some() {
+        let device_count = if let Some(a) = anchor {
+            // Anchored launches enumerate from the updated edge's two
+            // endpoints only — the whole point of O(batch) delta cost.
+            a.map.len()
+        } else if shard.is_some() {
             0
         } else if n > device {
             (n - device).div_ceil(devices)
@@ -609,7 +650,8 @@ impl Engine {
                     faults,
                     device,
                     devices,
-                    shard.map(|sc| sc.map),
+                    anchor.map(|a| a.map).or_else(|| shard.map(|sc| sc.map)),
+                    anchor.map(|a| a.pins),
                     collector,
                     &deaths,
                     arenas,
@@ -697,6 +739,7 @@ impl Engine {
         device: usize,
         devices: usize,
         l0_map: Option<&[VertexId]>,
+        anchor_pins: Option<&[(VertexId, VertexId)]>,
         collector: Option<&Mutex<Vec<VertexId>>>,
         deaths: &Mutex<Vec<WarpDeath>>,
         arenas: Option<&ArenaPool>,
@@ -718,6 +761,9 @@ impl Engine {
             k.set_device_partition(device, devices);
             if let Some(map) = l0_map {
                 k.set_level0_map(map);
+            }
+            if let Some(pins) = anchor_pins {
+                k.set_anchor_pins(pins);
             }
             if collector.is_some() {
                 k.enable_enumeration();

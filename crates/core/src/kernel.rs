@@ -115,6 +115,12 @@ pub struct WarpKernel<'a> {
     /// base/stride mapping) denotes data vertex `l0_map[i]`. `None` keeps
     /// the identity, bit-identical to pre-sharding revisions.
     l0_map: Option<&'a [VertexId]>,
+    /// Anchor pins for incremental (delta) runs: `(a, b)` entries meaning
+    /// "when `matched[0] == a`, the only valid level-1 candidate is `b`".
+    /// Keyed by the matched vertex, not the claim index, so the pin
+    /// survives work stealing (stolen payloads copy the matched prefix).
+    /// `None` keeps every path bit-identical to pre-delta revisions.
+    anchor: Option<&'a [(VertexId, VertexId)]>,
     /// Ping/pong scratch for multi-op set chains; the final chain op
     /// writes straight into the arena, so these only hold intermediates.
     ping: Vec<Vec<VertexId>>,
@@ -262,6 +268,7 @@ impl<'a> WarpKernel<'a> {
             l0_base: 0,
             l0_stride: 1,
             l0_map: None,
+            anchor: None,
             emit: None,
             pending_matches: 0,
             emit_mark: 0,
@@ -316,6 +323,27 @@ impl<'a> WarpKernel<'a> {
     /// sharing the same map.
     pub fn set_level0_map(&mut self, map: &'a [VertexId]) {
         self.l0_map = Some(map);
+    }
+
+    /// Installs the anchor pins for an incremental (delta) run: with a
+    /// two-endpoint level-0 map `[a, b]` and pins `[(a, b), (b, a)]`, the
+    /// kernel enumerates exactly the embeddings whose first two matched
+    /// positions are the anchored data edge, in both orientations (the
+    /// anchored plan's order places a pattern edge at positions 0/1).
+    pub fn set_anchor_pins(&mut self, pins: &'a [(VertexId, VertexId)]) {
+        self.anchor = Some(pins);
+    }
+
+    /// Per-level validity context, including the level-1 anchor pin when
+    /// this is an anchored run. Pins exist only at level 1, so every other
+    /// level resolves exactly as before.
+    #[inline]
+    fn validity(&self, l: usize) -> Validity<'a> {
+        let mut vy = Validity::for_kernel(self.plan, self.compiled, l);
+        if l == 1 {
+            vy.anchor = self.anchor;
+        }
+        vy
     }
 
     /// Periodic cooperative cancellation check on the claim paths: cheap
@@ -600,7 +628,7 @@ impl<'a> WarpKernel<'a> {
     /// validity-filtered into `batch[l + 1]` (slots never mix: all unroll
     /// candidates share one matched path).
     fn claim_deep(&mut self, warp: &mut Warp, l: usize) -> bool {
-        let vy = Validity::for_kernel(self.plan, self.compiled, l);
+        let vy = self.validity(l);
         loop {
             if self.cancelled() {
                 return false;
@@ -1287,7 +1315,7 @@ impl<'a> WarpKernel<'a> {
     fn count_last_level(&mut self, warp: &mut Warp) {
         let l = self.k - 1;
         let slots = self.batch[l].len();
-        let vy = Validity::for_kernel(self.plan, self.compiled, l);
+        let vy = self.validity(l);
         let mut total = 0u64;
         for u in 0..slots {
             self.matched[l - 1] = self.batch[l][u];
@@ -1309,8 +1337,10 @@ impl<'a> WarpKernel<'a> {
                     self.emit_match(v);
                 }
                 self.emit_tail = tail;
-            } else if vy.resid.is_some() {
-                // Residual label checks need a per-element probe.
+            } else if vy.resid.is_some() || vy.anchor.is_some() {
+                // Residual label checks — and the level-1 anchor pin of a
+                // 2-vertex anchored run, which the closed form below does
+                // not model — need a per-element probe.
                 total += setops::count_with(warp, cl, |v| vy.check(g, matched, l, v));
             } else {
                 warp.simt_for(cl.len(), |_| {});
@@ -1341,7 +1371,7 @@ impl<'a> WarpKernel<'a> {
                 }
             }
         }
-        Validity::for_kernel(self.plan, self.compiled, l).check(self.g, &self.matched, l, v)
+        self.validity(l).check(self.g, &self.matched, l, v)
     }
 }
 
@@ -1352,6 +1382,9 @@ impl<'a> WarpKernel<'a> {
 struct Validity<'p> {
     resid: Option<stmatch_graph::Label>,
     bounds: &'p [(usize, Bound)],
+    /// Level-1 anchor pins of a delta run (see
+    /// [`WarpKernel::set_anchor_pins`]); `None` everywhere else.
+    anchor: Option<&'p [(VertexId, VertexId)]>,
 }
 
 impl<'p> Validity<'p> {
@@ -1360,6 +1393,7 @@ impl<'p> Validity<'p> {
         Validity {
             resid: plan.residual_label_check(l),
             bounds: plan.bounds(l),
+            anchor: None,
         }
     }
 
@@ -1374,6 +1408,7 @@ impl<'p> Validity<'p> {
             Some(c) => Validity {
                 resid: c.bytecode().level_meta(l).resid,
                 bounds: c.bytecode().bounds(l),
+                anchor: None,
             },
             None => Validity::new(plan, l),
         }
@@ -1401,6 +1436,14 @@ impl<'p> Validity<'p> {
             if !ok {
                 return false;
             }
+        }
+        if let Some(pins) = self.anchor {
+            // Anchored delta run: level 1 is pinned to the paired endpoint
+            // of whatever anchor vertex level 0 matched. The pin table has
+            // two entries (one per orientation), so a linear scan wins
+            // over any lookup structure.
+            debug_assert_eq!(l, 1, "anchor pins exist only at level 1");
+            return pins.iter().any(|&(a, b)| matched[0] == a && v == b);
         }
         true
     }

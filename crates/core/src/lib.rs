@@ -42,6 +42,7 @@
 pub mod arena;
 pub mod compile;
 pub mod config;
+pub mod delta;
 pub mod engine;
 pub mod fault;
 pub mod kernel;
@@ -54,7 +55,10 @@ pub mod shard;
 pub mod steal;
 
 pub use compile::{CompiledPlan, Tier};
-pub use config::{CompileTuning, EngineConfig, HubBitmapTuning, ShardTuning, VerifyTuning};
+pub use config::{
+    CompileTuning, DeltaTuning, EngineConfig, HubBitmapTuning, ShardTuning, VerifyTuning,
+};
+pub use delta::{DeltaPlans, MatchDelta};
 pub use engine::{Engine, Enumeration, MatchOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultReport, WarpDeath};
 pub use multi::{run_multi_device, MultiDeviceOutcome, UncoveredRange};
@@ -62,6 +66,7 @@ pub use pool::{ArenaPool, WarmSlot};
 pub use recover::{DowngradeStep, RecoveryPolicy, ShardStep};
 pub use service::{
     CacheStats, MatchService, Priority, QueryOptions, ServiceConfig, ServiceError, Ticket,
+    WatchEvent, WatchId,
 };
 pub use shard::{ShardPlan, ShardedOutcome};
 pub use steal::RailStats;

@@ -38,6 +38,7 @@
 
 use crate::compile::CompiledPlan;
 use crate::config::EngineConfig;
+use crate::delta::{DeltaPlans, MatchDelta};
 use crate::engine::{Engine, MatchOutcome};
 use crate::fault::FaultPlan;
 use crate::pool::WarmSlot;
@@ -49,7 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 use stmatch_gpusim::LaunchError;
-use stmatch_graph::Graph;
+use stmatch_graph::{AppliedBatch, DeltaOverlay, EdgeOp, Graph};
 use stmatch_pattern::{iso, MatchPlan, Pattern, PlanOptions};
 use stmatch_plan_verify::{GraphProfile, Verification};
 
@@ -200,6 +201,55 @@ pub struct CacheStats {
     pub diagnostics: u64,
 }
 
+/// Identifier of a watcher registered with
+/// [`MatchService::submit_watch`]; pass to
+/// [`MatchService::cancel_watch`] to stop deliveries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WatchId(u64);
+
+/// One per-batch notification delivered to a watcher: the net batch that
+/// was applied plus the pattern's [`MatchDelta`] under it. A failed delta
+/// computation (launch error or contained panic) is delivered as `Err`
+/// without unregistering the watcher or affecting other watchers — the
+/// same per-query fault isolation the one-shot lanes get.
+#[derive(Clone, Debug)]
+pub struct WatchEvent {
+    /// The watcher this event belongs to.
+    pub watch: WatchId,
+    /// Graph version after the batch (see [`DeltaOverlay::version`]).
+    pub version: u64,
+    /// The net effect of the applied batch.
+    pub batch: AppliedBatch,
+    /// The pattern's match-count delta under the batch.
+    pub delta: Result<MatchDelta, String>,
+}
+
+type WatchCallback = Arc<dyn Fn(WatchEvent) + Send + Sync>;
+
+/// One registered watcher: anchored plans compiled once at registration,
+/// reused for every batch.
+#[derive(Clone)]
+struct WatchEntry {
+    id: WatchId,
+    plans: Arc<DeltaPlans>,
+    cb: WatchCallback,
+}
+
+/// The mutable topology of a delta-enabled service, guarded by the
+/// rank-1 `ServiceGraph` lock: held only to fold a batch and clone out
+/// snapshots/watchers — never across a launch, a compile, or a watcher
+/// callback, so batch application structurally cannot starve the
+/// admission or query lanes.
+struct GraphState {
+    overlay: DeltaOverlay,
+    /// Snapshot of the current topology; queries resolve this `Arc` at
+    /// execute time and run against it unlocked.
+    current: Arc<Graph>,
+    watchers: Vec<WatchEntry>,
+    next_watch: u64,
+    batches_since_compact: u32,
+}
+
 /// A pending reply: hold it and [`wait`](Ticket::wait) when the result is
 /// needed, so a client can overlap submissions.
 pub struct Ticket {
@@ -325,6 +375,10 @@ struct Inner {
     /// Degree profile of the shared graph, computed at most once for the
     /// service's lifetime (the graph is immutable).
     profile: OnceLock<GraphProfile>,
+    /// The mutable topology — `Some` iff `EngineConfig::delta` is
+    /// enabled. Without it the service is the classic immutable-graph
+    /// resident service, bit for bit.
+    dynamic: Option<Mutex<GraphState>>,
 }
 
 impl Inner {
@@ -342,6 +396,31 @@ impl Inner {
             simt_check::LockClass::ServicePlanCache,
             self.check_id as usize,
         )
+    }
+
+    /// The graph-state lock, rank 1 — acquired before (never while
+    /// holding) any other tracked lock. `None` when delta mode is off.
+    fn lock_graph(&self) -> Option<simt_check::Tracked<'_, GraphState>> {
+        self.dynamic.as_ref().map(|m| {
+            simt_check::tracked_lock(
+                m,
+                simt_check::LockClass::ServiceGraph,
+                self.check_id as usize,
+            )
+        })
+    }
+
+    /// The graph a query should run against right now (and, when the
+    /// overlay tracks them, the level-0 weights for the sharded split):
+    /// the current delta snapshot, or the immutable shared graph.
+    fn resolve_graph(&self) -> (Arc<Graph>, Option<Vec<u64>>) {
+        match self.lock_graph() {
+            Some(state) => (
+                Arc::clone(&state.current),
+                state.overlay.weights().map(<[u64]>::to_vec),
+            ),
+            None => (Arc::clone(&self.graph), None),
+        }
     }
 
     /// The shared graph's degree profile (for the static verifier),
@@ -392,7 +471,10 @@ impl Inner {
         // Clean certificates publish their capacity hint on the resident
         // compiled plan, so warm hits launch with shaped arenas whenever
         // `VerifyTuning::apply_hints` is on.
-        let verification = self.cfg.engine.verify.enabled.then(|| {
+        // Delta mode never caches certificates: they are computed against
+        // one topology and the graph changes under apply_batch, so a
+        // cached verdict would silently go stale.
+        let verification = (self.cfg.engine.verify.enabled && self.dynamic.is_none()).then(|| {
             let slab_cap = self
                 .cfg
                 .engine
@@ -456,6 +538,10 @@ impl Inner {
         let entry = self.plan_for(pattern, induced);
         let plan = &entry.plan;
         let compiled = entry.compiled.as_deref();
+        // Resolve the topology once, up front (rank-1 lock, released
+        // immediately): the query runs against this snapshot even if a
+        // batch lands mid-flight.
+        let (graph, weights) = self.resolve_graph();
         let mut cfg = self.cfg.engine;
         cfg.induced = induced;
         if cfg.verify.enabled && !cfg.shard.enabled {
@@ -473,7 +559,10 @@ impl Inner {
         if cfg.hub_bitmap.enabled {
             // Shared-index handoff: built at most once for the service's
             // lifetime, then every engine below sees graph.hub_bitmap().
-            self.graph.ensure_hub_bitmap(cfg.hub_bitmap.hub_threshold);
+            // Delta snapshots already carry a word-patched copy of the
+            // base index (stamped with their version), so this is a no-op
+            // for them.
+            graph.ensure_hub_bitmap(cfg.hub_bitmap.hub_threshold);
         }
         let mut engine = Engine::new(cfg);
         if let Some(r) = remaining {
@@ -487,14 +576,17 @@ impl Inner {
                 // Sharded route: the driver builds one grid per shard, so
                 // the worker's single-grid warm slot cannot serve it; the
                 // merged outcome keeps the service's count/metrics shape.
+                // A delta overlay that tracks weights hands the split its
+                // incrementally adjusted vector, skipping the O(graph)
+                // recompute per query.
                 engine
-                    .run_plan_sharded(&self.graph, plan)
+                    .run_plan_sharded_weighted(&graph, plan, weights.as_deref())
                     .map(|s| s.outcome)
             } else {
                 match (warm, compiled) {
-                    (Some(w), _) => engine.run_plan_warm_compiled(&self.graph, plan, w, compiled),
-                    (None, Some(c)) => engine.run_plan_compiled(&self.graph, plan, c),
-                    (None, None) => engine.run_plan(&self.graph, plan),
+                    (Some(w), _) => engine.run_plan_warm_compiled(&graph, plan, w, compiled),
+                    (None, Some(c)) => engine.run_plan_compiled(&graph, plan, c),
+                    (None, None) => engine.run_plan(&graph, plan),
                 }
             }
         }));
@@ -567,8 +659,33 @@ impl MatchService {
     /// Starts the worker threads; each builds its own warm slot at the
     /// configured grid geometry (falling back to cold per-query grids if
     /// that fails, e.g. on a degenerate geometry).
+    /// # Panics
+    /// With [`EngineConfig::delta`] enabled, `graph` must be a plain CSR
+    /// (not a patched view): the delta overlay folds batches against it.
     pub fn new(graph: Arc<Graph>, cfg: ServiceConfig) -> MatchService {
         cfg.engine.validate();
+        let dynamic = cfg.engine.delta.enabled.then(|| {
+            if cfg.engine.hub_bitmap.enabled {
+                // Build the shared index on the base *before* the first
+                // snapshot, so every snapshot carries a version-stamped
+                // patched copy instead of rebuilding from scratch.
+                graph.ensure_hub_bitmap(cfg.engine.hub_bitmap.hub_threshold);
+            }
+            let mut overlay = DeltaOverlay::new((*graph).clone());
+            if cfg.engine.shard.enabled && cfg.engine.shard.work_aware {
+                // Sharded queries split by level-0 weights; track them on
+                // the overlay so each batch adjusts the touched vertices
+                // instead of recomputing O(graph) per query.
+                overlay.track_weights();
+            }
+            Mutex::new(GraphState {
+                current: Arc::clone(&graph),
+                overlay,
+                watchers: Vec::new(),
+                next_watch: 0,
+                batches_since_compact: 0,
+            })
+        });
         let inner = Arc::new(Inner {
             graph,
             cfg,
@@ -583,6 +700,7 @@ impl MatchService {
             verified: AtomicU64::new(0),
             diags: AtomicU64::new(0),
             profile: OnceLock::new(),
+            dynamic,
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -667,7 +785,113 @@ impl MatchService {
             .verification
     }
 
-    /// The shared graph.
+    /// Applies one batch of edge updates to the service graph
+    /// (delta-enabled services only) and returns its net effect. Cost is
+    /// O(batch × affected neighborhoods): the overlay folds the ops,
+    /// O(touched) snapshots replace the current view, and per
+    /// [`EngineConfig::delta`]`.compact_every` batches the overlay folds
+    /// into a fresh CSR. Queries admitted before the call finish against
+    /// the old snapshot; queries admitted after see the new one.
+    ///
+    /// Watcher deltas are computed and delivered *on the caller's
+    /// thread*, after the graph lock is released — a slow or panicking
+    /// watcher delays only its own `apply_batch` caller, never the
+    /// admission or query lanes.
+    ///
+    /// # Panics
+    /// Panics if the service was not built with
+    /// [`EngineConfig::with_delta`]`(true)`, or on malformed ops
+    /// (self-loops, out-of-range endpoints).
+    pub fn apply_batch(&self, ops: &[EdgeOp]) -> AppliedBatch {
+        let inner = &self.inner;
+        let (pre, post, batch, watchers) = {
+            let mut state = inner
+                .lock_graph()
+                .expect("apply_batch requires EngineConfig::with_delta(true)");
+            let pre = Arc::clone(&state.current);
+            let batch = state.overlay.apply(ops);
+            state.batches_since_compact += 1;
+            if state.batches_since_compact >= inner.cfg.engine.delta.compact_every {
+                state.overlay.compact();
+                state.batches_since_compact = 0;
+            }
+            let post = Arc::new(state.overlay.snapshot());
+            state.current = Arc::clone(&post);
+            (pre, post, batch, state.watchers.clone())
+        };
+        for w in &watchers {
+            let engine = Engine::new(inner.cfg.engine);
+            let ran = catch_unwind(AssertUnwindSafe(|| {
+                engine.run_delta_plans(&pre, &post, &batch, &w.plans)
+            }));
+            let delta = match ran {
+                Ok(Ok(d)) => Ok(d),
+                Ok(Err(e)) => Err(format!("launch failed: {e}")),
+                Err(payload) => Err(crate::fault::describe_payload(payload.as_ref())),
+            };
+            (w.cb)(WatchEvent {
+                watch: w.id,
+                version: batch.version,
+                batch: batch.clone(),
+                delta,
+            });
+        }
+        batch
+    }
+
+    /// Registers a pattern watcher: `cb` receives one [`WatchEvent`] per
+    /// subsequent [`MatchService::apply_batch`], carrying the pattern's
+    /// exact match-count delta under that batch. Anchored plans compile
+    /// here, once, outside the graph lock.
+    ///
+    /// # Panics
+    /// Panics unless the service is delta-enabled and edge-induced.
+    pub fn submit_watch(
+        &self,
+        pattern: &Pattern,
+        cb: impl Fn(WatchEvent) + Send + Sync + 'static,
+    ) -> WatchId {
+        let inner = &self.inner;
+        assert!(
+            inner.dynamic.is_some(),
+            "submit_watch requires EngineConfig::with_delta(true)"
+        );
+        assert!(
+            !inner.cfg.engine.induced,
+            "incremental watching is edge-induced only (see stmatch_core::delta)"
+        );
+        let plans = Arc::new(Engine::new(inner.cfg.engine).compile_delta(pattern));
+        let mut state = inner.lock_graph().expect("delta mode checked above");
+        let id = WatchId(state.next_watch);
+        state.next_watch += 1;
+        state.watchers.push(WatchEntry {
+            id,
+            plans,
+            cb: Arc::new(cb),
+        });
+        id
+    }
+
+    /// Unregisters a watcher; returns whether it was still registered.
+    pub fn cancel_watch(&self, id: WatchId) -> bool {
+        let mut state = self
+            .inner
+            .lock_graph()
+            .expect("cancel_watch requires EngineConfig::with_delta(true)");
+        let before = state.watchers.len();
+        state.watchers.retain(|w| w.id != id);
+        state.watchers.len() != before
+    }
+
+    /// The graph queries currently run against: the latest delta snapshot
+    /// for delta-enabled services, the shared immutable graph otherwise.
+    pub fn current_graph(&self) -> Arc<Graph> {
+        self.inner.resolve_graph().0
+    }
+
+    /// The shared graph the service was built with (for delta-enabled
+    /// services this stays the *initial* topology; see
+    /// [`MatchService::current_graph`]).
     pub fn graph(&self) -> &Arc<Graph> {
         &self.inner.graph
     }
@@ -987,6 +1211,142 @@ mod tests {
             svc.submit(&q, QueryOptions::default()).unwrap().count,
             expected
         );
+    }
+
+    fn delta_cfg() -> ServiceConfig {
+        let mut cfg = small_cfg();
+        cfg.engine = cfg.engine.with_delta(true);
+        cfg
+    }
+
+    #[test]
+    fn apply_batch_moves_queries_to_the_new_topology() {
+        let graph = Arc::new(gen::preferential_attachment(40, 3, 5).degree_ordered());
+        let svc = MatchService::new(Arc::clone(&graph), delta_cfg());
+        let q = catalog::triangle();
+        let before = svc.submit(&q, QueryOptions::default()).unwrap().count;
+        assert_eq!(
+            Engine::new(small_cfg().engine)
+                .run(&graph, &q)
+                .unwrap()
+                .count,
+            before
+        );
+        // Delete one edge, insert one absent edge.
+        let present = (graph.neighbors(0)[0], 0);
+        let absent = (0..40u32)
+            .flat_map(|u| (u + 1..40).map(move |v| (u, v)))
+            .find(|&(u, v)| !graph.has_edge(u, v))
+            .unwrap();
+        let batch = svc.apply_batch(&[
+            EdgeOp::delete(present.0, present.1),
+            EdgeOp::insert(absent.0, absent.1),
+        ]);
+        assert_eq!((batch.inserts.len(), batch.deletes.len()), (1, 1));
+        assert_eq!(svc.current_graph().version(), 1);
+        let after = svc.submit(&q, QueryOptions::default()).unwrap().count;
+        let expected = Engine::new(small_cfg().engine)
+            .run(&svc.current_graph(), &q)
+            .unwrap()
+            .count;
+        assert_eq!(after, expected, "queries see the post-batch snapshot");
+        assert_ne!(svc.graph().version(), 1, "the seed graph is untouched");
+    }
+
+    #[test]
+    fn watchers_receive_exact_deltas_per_batch() {
+        let graph = Arc::new(gen::preferential_attachment(40, 3, 5).degree_ordered());
+        let mut cfg = delta_cfg();
+        // Compact every batch: the fold must be invisible to watchers.
+        cfg.engine.delta.compact_every = 1;
+        let svc = MatchService::new(Arc::clone(&graph), cfg);
+        let q = catalog::triangle();
+        let events: Arc<Mutex<Vec<WatchEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let id = svc.submit_watch(&q, move |e| sink.lock().unwrap().push(e));
+        let mut running = svc.submit(&q, QueryOptions::default()).unwrap().count as i64;
+        let absent: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|u| (u + 1..40).map(move |v| (u, v)))
+            .filter(|&(u, v)| !graph.has_edge(u, v))
+            .take(4)
+            .collect();
+        for (i, &(u, v)) in absent.iter().enumerate() {
+            svc.apply_batch(&[EdgeOp::insert(u, v)]);
+            let ev = events.lock().unwrap().last().cloned().unwrap();
+            assert_eq!(ev.watch, id);
+            assert_eq!(ev.version, i as u64 + 1);
+            let delta = ev.delta.expect("delta computed");
+            assert_eq!(delta.removed, 0, "insert-only batch");
+            running += delta.net();
+            let full = svc.submit(&q, QueryOptions::default()).unwrap().count;
+            assert_eq!(running, full as i64, "cumulative deltas track recompute");
+        }
+        assert!(svc.cancel_watch(id));
+        assert!(!svc.cancel_watch(id), "second cancel is a no-op");
+        svc.apply_batch(&[EdgeOp::delete(absent[0].0, absent[0].1)]);
+        assert_eq!(
+            events.lock().unwrap().len(),
+            4,
+            "cancelled watcher is quiet"
+        );
+    }
+
+    /// Satellite starvation guarantee: a stream of `apply_batch` calls
+    /// with registered watchers never blocks the one-shot admission lane —
+    /// watcher deltas run on the applier's thread, outside every service
+    /// lock, so concurrently submitted queries keep completing.
+    #[test]
+    fn watch_deltas_never_starve_the_one_shot_lane() {
+        let graph = Arc::new(gen::preferential_attachment(40, 3, 5).degree_ordered());
+        let cfg = delta_cfg().with_workers(1).with_batch_max(2);
+        let svc = Arc::new(MatchService::new(Arc::clone(&graph), cfg));
+        let expected = Engine::new(delta_cfg().engine)
+            .run(&graph, &catalog::triangle())
+            .unwrap()
+            .count;
+        let hits = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&hits);
+        svc.submit_watch(&catalog::triangle(), move |e| {
+            assert_eq!(e.delta.expect("delta computed"), MatchDelta::default());
+            // Relaxed: a plain event counter — the join below is the
+            // happens-before edge the final read relies on.
+            sink.fetch_add(1, Ordering::Relaxed);
+        });
+        // Net-zero batches: the topology never changes, so one-shot counts
+        // stay deterministic while watch deltas are being computed.
+        let absent = (0..40u32)
+            .flat_map(|u| (u + 1..40).map(move |v| (u, v)))
+            .find(|&(u, v)| !graph.has_edge(u, v))
+            .unwrap();
+        let applier = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                for _ in 0..6 {
+                    let batch = svc.apply_batch(&[
+                        EdgeOp::insert(absent.0, absent.1),
+                        EdgeOp::delete(absent.0, absent.1),
+                    ]);
+                    assert!(batch.is_empty());
+                }
+            })
+        };
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| svc.enqueue(&catalog::triangle(), QueryOptions::default()))
+            .collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().count, expected, "one-shot lane ran");
+        }
+        applier.join().unwrap();
+        // Relaxed: the applier join() above already ordered every
+        // watcher delivery before this read.
+        assert_eq!(hits.load(Ordering::Relaxed), 6, "every batch was delivered");
+    }
+
+    #[test]
+    #[should_panic(expected = "with_delta")]
+    fn apply_batch_requires_delta_mode() {
+        let svc = MatchService::new(Arc::new(gen::complete(6)), small_cfg());
+        let _ = svc.apply_batch(&[EdgeOp::insert(0, 2)]);
     }
 
     #[test]

@@ -81,8 +81,18 @@ impl ShardPlan {
     /// bounded intersection work, the dominant cost of expanding that
     /// root. Deterministic: ties break on vertex id, then lowest shard.
     pub fn work_aware(graph: &Graph, shards: usize) -> ShardPlan {
+        ShardPlan::work_aware_with_weights(graph, shards, &stats::level0_weights(graph))
+    }
+
+    /// [`ShardPlan::work_aware`] with caller-supplied per-root weights —
+    /// the incremental-service path: a tracked
+    /// [`stmatch_graph::DeltaOverlay`] keeps the weight vector adjusted
+    /// per batch ([`stats::adjust_level0_weights`], touched vertices
+    /// only), so sharded queries between batches skip the O(graph)
+    /// recompute. `weights[v]` must cover every vertex of `graph`.
+    pub fn work_aware_with_weights(graph: &Graph, shards: usize, weights: &[u64]) -> ShardPlan {
         assert!(shards >= 1);
-        let weights = stats::level0_weights(graph);
+        assert_eq!(weights.len(), graph.num_vertices(), "one weight per vertex");
         let mut verts: Vec<VertexId> = graph.vertices().collect();
         verts.sort_by(|&a, &b| {
             weights[b as usize]
@@ -225,12 +235,28 @@ impl Engine {
         graph: &Graph,
         plan: &MatchPlan,
     ) -> Result<ShardedOutcome, LaunchError> {
+        self.run_plan_sharded_weighted(graph, plan, None)
+    }
+
+    /// [`Engine::run_plan_sharded`] with caller-maintained level-0
+    /// weights for the work-aware split (see
+    /// [`ShardPlan::work_aware_with_weights`]); `None` recomputes them
+    /// from the graph.
+    pub fn run_plan_sharded_weighted(
+        &self,
+        graph: &Graph,
+        plan: &MatchPlan,
+        weights: Option<&[u64]>,
+    ) -> Result<ShardedOutcome, LaunchError> {
         let cfg = *self.config();
         cfg.validate();
         let tuning = cfg.shard;
         let shards = tuning.shards;
         let splan = if tuning.work_aware {
-            ShardPlan::work_aware(graph, shards)
+            match weights {
+                Some(w) => ShardPlan::work_aware_with_weights(graph, shards, w),
+                None => ShardPlan::work_aware(graph, shards),
+            }
         } else {
             ShardPlan::contiguous(graph, shards)
         };

@@ -28,6 +28,7 @@
 //!
 //! | rank | class        | lock                                       | nests inside        |
 //! |------|--------------|--------------------------------------------|---------------------|
+//! | 1    | `ServiceGraph` | `service::Inner::dynamic` (delta graph state, PR 10) | — (outermost; held only to fold a batch or clone out the current snapshot/watcher list, never across a launch, a compile, or another lock) |
 //! | 2    | `ServiceAdmission` | `service::Inner::queue` (admission queue) | — (outermost) |
 //! | 3    | `PlanTierUp` | `compile::CompiledPlan` tier transitions (PR 7) | — (leaf: taken from claim loops and stat sweeps holding nothing) |
 //! | 4    | `ServicePlanCache` | `service::Inner::cache` (canonical plan cache) | — (never held across engine locks) |
@@ -39,7 +40,7 @@
 //! | 40   | `DeathLog`   | engine death records (recovery path)       | — (leaf)            |
 //! | 50   | `Collector`  | engine enumeration collector               | — (leaf)            |
 //!
-//! The rank-2/4/6 service locks (PR 6) belong to the resident
+//! The rank-1/2/4/6 service locks (PRs 6 and 10) belong to the resident
 //! `MatchService` layered *above* the engine: they rank below every
 //! engine lock because a service thread may hold one while work that
 //! eventually launches a grid is being admitted, but no engine code path

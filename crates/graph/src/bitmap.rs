@@ -19,8 +19,19 @@
 //! is a short dense prefix in practice. The index is derived data: it never
 //! affects match results, only which set-operation algorithm the host picks
 //! (see `stmatch-core`'s `setops` and DESIGN.md §4f).
+//!
+//! Since the batch-dynamic work (DESIGN.md §4k) the flat storage is
+//! `Arc`-shared and an index carries a **version stamp** plus an optional
+//! copy-on-write patch table: [`HubBitmapIndex::patched`] applies an edge
+//! batch word-wise to only the touched hub rows, so a delta view's index
+//! costs O(touched hubs × stride), not a rebuild. Vertices that *become*
+//! hubs under inserts stay unindexed until `DeltaOverlay::compact` rebuilds
+//! (the CSR binary-search fallback keeps probes correct); hubs that sink
+//! below the threshold under deletes keep their (accurate) row.
 
 use crate::csr::{Graph, VertexId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// `hub_of` marker for vertices below the degree threshold.
 const NOT_HUB: u32 = u32::MAX;
@@ -39,15 +50,22 @@ pub struct HubBitmapIndex {
     threshold: usize,
     /// Words per row: `ceil(num_vertices / 64)`.
     stride: usize,
-    /// Vertex id → dense hub id, [`NOT_HUB`] for non-hubs.
-    hub_of: Vec<u32>,
-    /// Flat row storage: `num_hubs × stride` words.
-    rows: Vec<u64>,
+    /// Graph topology version this index answers for; checked by every
+    /// probe that goes through [`Graph::has_edge`] / [`Graph::hub_bits`].
+    version: u64,
+    /// Vertex id → dense hub id, [`NOT_HUB`] for non-hubs. Shared.
+    hub_of: Arc<Vec<u32>>,
+    /// Flat base row storage: `num_hubs × stride` words. Shared.
+    rows: Arc<Vec<u64>>,
+    /// Copy-on-write replacement rows (hub id → full row) for hubs an edge
+    /// batch touched; empty on freshly built indexes. `BTreeMap` keeps
+    /// iteration (and so `Debug`/equality behavior) deterministic.
+    patched: BTreeMap<u32, Box<[u64]>>,
 }
 
 impl HubBitmapIndex {
     /// Builds the index for `g`, promoting every vertex with
-    /// `degree > threshold` to a hub.
+    /// `degree > threshold` to a hub, stamped with `g`'s version.
     pub fn build(g: &Graph, threshold: usize) -> HubBitmapIndex {
         let n = g.num_vertices();
         let stride = n.div_ceil(64);
@@ -73,8 +91,52 @@ impl HubBitmapIndex {
         HubBitmapIndex {
             threshold,
             stride,
-            hub_of,
-            rows,
+            version: g.version(),
+            hub_of: Arc::new(hub_of),
+            rows: Arc::new(rows),
+            patched: BTreeMap::new(),
+        }
+    }
+
+    /// A word-patched copy of this index answering for `version`: every
+    /// `(u, v)` in `inserts` sets — and in `deletes` clears — bit `v` of
+    /// hub `u`'s row and bit `u` of hub `v`'s row, copying a base row into
+    /// the patch table on first touch. Non-hub endpoints are skipped (the
+    /// CSR fallback covers them). O(touched hubs × stride) + O(batch).
+    pub(crate) fn patched(
+        &self,
+        version: u64,
+        inserts: &[(VertexId, VertexId)],
+        deletes: &[(VertexId, VertexId)],
+    ) -> HubBitmapIndex {
+        let mut out = self.clone();
+        out.version = version;
+        for (set, edges) in [(true, inserts), (false, deletes)] {
+            for &(u, v) in edges {
+                out.patch_bit(u, v, set);
+                out.patch_bit(v, u, set);
+            }
+        }
+        out
+    }
+
+    /// Sets/clears bit `target` in hub `owner`'s row, CoW-copying the base
+    /// row on first touch. No-op when `owner` is not an indexed hub.
+    fn patch_bit(&mut self, owner: VertexId, target: VertexId, set: bool) {
+        let h = self.hub_of[owner as usize];
+        if h == NOT_HUB {
+            return;
+        }
+        let row = self
+            .patched
+            .entry(h)
+            .or_insert_with(|| self.rows[h as usize * self.stride..][..self.stride].into());
+        let word = &mut row[(target >> 6) as usize];
+        let bit = 1u64 << (target & 63);
+        if set {
+            *word |= bit;
+        } else {
+            *word &= !bit;
         }
     }
 
@@ -90,6 +152,12 @@ impl HubBitmapIndex {
         self.stride
     }
 
+    /// The graph topology version this index answers for.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Number of hub vertices indexed.
     #[inline]
     pub fn num_hubs(&self) -> usize {
@@ -103,11 +171,15 @@ impl HubBitmapIndex {
     }
 
     /// The bitmap row of `v` (`stride` words), or `None` for non-hubs.
+    /// Patched rows shadow base rows.
     #[inline]
     pub fn row(&self, v: VertexId) -> Option<&[u64]> {
         match self.hub_of[v as usize] {
             NOT_HUB => None,
-            h => Some(&self.rows[h as usize * self.stride..][..self.stride]),
+            h => Some(match self.patched.get(&h) {
+                Some(row) => row,
+                None => &self.rows[h as usize * self.stride..][..self.stride],
+            }),
         }
     }
 
@@ -117,10 +189,11 @@ impl HubBitmapIndex {
         self.row(v).map(|bits| word_probe(bits, u))
     }
 
-    /// In-memory footprint in bytes (remap + rows).
+    /// In-memory footprint in bytes (remap + rows + patched rows).
     pub fn memory_bytes(&self) -> usize {
         self.hub_of.len() * std::mem::size_of::<u32>()
             + self.rows.len() * std::mem::size_of::<u64>()
+            + self.patched.len() * self.stride * std::mem::size_of::<u64>()
     }
 }
 
@@ -135,6 +208,7 @@ mod tests {
         let idx = HubBitmapIndex::build(&g, 8);
         assert!(idx.num_hubs() > 0, "threshold 8 must yield hubs");
         assert_eq!(idx.stride(), 150usize.div_ceil(64));
+        assert_eq!(idx.version(), 0);
         for v in g.vertices() {
             match idx.row(v) {
                 Some(bits) => {
@@ -161,6 +235,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn patched_rows_flip_only_the_touched_bits() {
+        let g = gen::preferential_attachment(120, 5, 21).degree_ordered();
+        let idx = HubBitmapIndex::build(&g, 7);
+        let hub = g
+            .vertices()
+            .find(|&v| idx.is_hub(v))
+            .expect("fixture has hubs");
+        let old = *g.neighbors(hub).first().unwrap();
+        // A vertex not adjacent to the hub, to insert.
+        let new = g
+            .vertices()
+            .find(|&v| v != hub && !g.has_edge(hub, v))
+            .expect("hub is not universal");
+        let patched = idx.patched(3, &[(hub, new)], &[(old, hub)]);
+        assert_eq!(patched.version(), 3);
+        assert_eq!(patched.contains(hub, new), Some(true));
+        assert_eq!(patched.contains(hub, old), Some(false));
+        // The base index is untouched (CoW) and everything else agrees.
+        assert_eq!(idx.contains(hub, new), Some(false));
+        assert_eq!(idx.contains(hub, old), Some(true));
+        for v in g.vertices() {
+            if v == new || v == old {
+                continue;
+            }
+            assert_eq!(patched.contains(hub, v), idx.contains(hub, v));
+        }
+        assert!(patched.memory_bytes() > idx.memory_bytes());
+    }
+
+    #[test]
+    fn patching_through_a_non_hub_endpoint_is_a_no_op() {
+        let g = gen::star(6); // hub 0, leaves 1..=6
+        let idx = HubBitmapIndex::build(&g, 3);
+        assert!(idx.is_hub(0) && !idx.is_hub(1));
+        // Leaf-leaf insert touches no hub row at all.
+        let p = idx.patched(1, &[(1, 2)], &[]);
+        assert_eq!(p.contains(1, 2), None, "leaves stay unindexed");
+        assert_eq!(p.row(0), idx.row(0));
+        // Hub-leaf delete patches only the hub side.
+        let p = idx.patched(1, &[], &[(3, 0)]);
+        assert_eq!(p.contains(0, 3), Some(false));
+        assert_eq!(p.contains(3, 0), None);
     }
 
     #[test]

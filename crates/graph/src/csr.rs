@@ -1,12 +1,37 @@
 //! Immutable CSR graph with sorted adjacency lists and vertex labels.
+//!
+//! Since the batch-dynamic work (DESIGN.md §4k) the CSR arrays are
+//! `Arc`-shared and a [`Graph`] value can additionally carry a *patch*: a
+//! small table of materialized replacement rows for the vertices an edge
+//! batch touched. A patched graph ("view") answers every query through the
+//! same API — `neighbors` consults the patch first — so the whole engine
+//! stack runs on views unchanged, while constructing one costs O(touched),
+//! not O(graph). Views are produced by [`crate::delta::DeltaOverlay`];
+//! graphs built normally never carry a patch.
 
 use crate::bitmap::HubBitmapIndex;
 use crate::Label;
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Vertex identifier. `u32` keeps the warp stacks compact (the paper stores
 /// candidate sets as 32-bit node ids in GPU global memory).
 pub type VertexId = u32;
+
+/// Materialized replacement rows for the vertices an edge batch touched,
+/// plus the patched global aggregates. Shared by every clone of a view.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct GraphPatch {
+    /// Fully merged, sorted neighbor list per touched vertex.
+    pub(crate) rows: HashMap<VertexId, Arc<[VertexId]>>,
+    /// Undirected edge count of the patched graph.
+    pub(crate) num_edges: usize,
+    /// Upper bound on the patched graph's maximum degree (exact unless a
+    /// deletion shrank the unique maximum-degree vertex; see
+    /// [`Graph::max_degree`]). Only sizes host-side slabs, so an upper
+    /// bound is always safe.
+    pub(crate) max_degree: usize,
+}
 
 /// An undirected, vertex-labeled graph in CSR form.
 ///
@@ -15,19 +40,28 @@ pub type VertexId = u32;
 /// primitive of the STMatch `getCandidates` step.
 ///
 /// The graph is immutable after construction; build one with
-/// [`crate::GraphBuilder`] or a generator from [`crate::gen`].
+/// [`crate::GraphBuilder`] or a generator from [`crate::gen`], or derive a
+/// batch-updated *view* through [`crate::delta::DeltaOverlay`]. Cloning is
+/// cheap: the CSR arrays are `Arc`-shared.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     /// `row_ptr[v]..row_ptr[v+1]` indexes `col_idx` for vertex `v`.
-    row_ptr: Vec<usize>,
+    row_ptr: Arc<Vec<usize>>,
     /// Concatenated sorted neighbor lists.
-    col_idx: Vec<VertexId>,
+    col_idx: Arc<Vec<VertexId>>,
     /// One label per vertex; all zero for unlabeled graphs.
-    labels: Vec<Label>,
+    labels: Arc<Vec<Label>>,
     /// Number of distinct labels in use (at least 1).
     num_labels: u32,
     /// Human-readable name (dataset id), used by the bench harness.
     name: String,
+    /// Topology version: 0 for freshly built graphs, bumped by every
+    /// applied [`crate::delta::DeltaOverlay`] batch. A hub-bitmap index is
+    /// stamped with the version it was built (or patched) for, and every
+    /// probe checks the stamp — see [`Graph::has_edge`].
+    version: u64,
+    /// Replacement rows for batch-touched vertices (`None` = plain CSR).
+    patch: Option<Arc<GraphPatch>>,
     /// Optional hub-bitmap neighbor index (see [`crate::bitmap`]); derived
     /// data attached with [`Graph::with_hub_bitmap`] or built lazily (and
     /// exactly once, even under concurrent callers) by
@@ -45,13 +79,113 @@ impl Graph {
         debug_assert_eq!(row_ptr.len(), labels.len() + 1);
         let num_labels = labels.iter().copied().max().unwrap_or(0) + 1;
         Graph {
-            row_ptr,
-            col_idx,
-            labels,
+            row_ptr: Arc::new(row_ptr),
+            col_idx: Arc::new(col_idx),
+            labels: Arc::new(labels),
             num_labels,
             name,
+            version: 0,
+            patch: None,
             hub_bitmap: OnceLock::new(),
         }
+    }
+
+    /// A view sharing this graph's arrays, with `patch` rows overriding the
+    /// touched vertices, stamped `version`, and (when this graph carries a
+    /// hub index) `patched_index` attached in its place. O(1) beyond what
+    /// the caller already materialized.
+    pub(crate) fn with_patch(
+        &self,
+        patch: GraphPatch,
+        version: u64,
+        patched_index: Option<HubBitmapIndex>,
+    ) -> Graph {
+        Graph {
+            row_ptr: Arc::clone(&self.row_ptr),
+            col_idx: Arc::clone(&self.col_idx),
+            labels: Arc::clone(&self.labels),
+            num_labels: self.num_labels,
+            name: self.name.clone(),
+            version,
+            patch: Some(Arc::new(patch)),
+            hub_bitmap: match patched_index {
+                Some(idx) => OnceLock::from(idx),
+                None => OnceLock::new(),
+            },
+        }
+    }
+
+    /// A view of this graph with the given undirected edges removed — the
+    /// staged-view primitive behind exactly-once delta enumeration: stage
+    /// `i` of a batch enumerates its update edge against the graph minus
+    /// the batch's earlier (deletes) or later (inserts) edges. O(sum of
+    /// touched degrees), independent of graph size. Every listed edge must
+    /// be present; self-loops and duplicates are the caller's bug.
+    ///
+    /// The view keeps this graph's version (it is a *hypothetical* stage
+    /// graph, not a new topology) and carries no hub index — delta
+    /// launches run with hub routing off, so none is ever probed.
+    pub fn without_edges(&self, edges: &[(VertexId, VertexId)]) -> Graph {
+        if edges.is_empty() {
+            return self.clone();
+        }
+        let mut removed: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for &(u, v) in edges {
+            debug_assert_ne!(u, v, "self-loop in without_edges");
+            removed.entry(u).or_default().push(v);
+            removed.entry(v).or_default().push(u);
+        }
+        // Start from the existing patch (if any) so rows overridden by an
+        // earlier view survive; removal rows then overwrite the touched
+        // vertices.
+        let mut rows = self
+            .patch
+            .as_ref()
+            .map(|p| p.rows.clone())
+            .unwrap_or_default();
+        for (v, gone) in removed {
+            let row: Arc<[VertexId]> = self
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|u| !gone.contains(u))
+                .collect();
+            debug_assert_eq!(
+                row.len() + gone.len(),
+                self.degree(v),
+                "without_edges: an edge at vertex {v} is absent or duplicated"
+            );
+            rows.insert(v, row);
+        }
+        let patch = GraphPatch {
+            rows,
+            num_edges: self.num_edges() - edges.len(),
+            // Removal can only shrink degrees; the old bound stays safe
+            // for slab sizing.
+            max_degree: self.max_degree(),
+        };
+        self.with_patch(patch, self.version, None)
+    }
+
+    /// Topology version stamp: 0 for freshly built graphs; views produced
+    /// by a [`crate::delta::DeltaOverlay`] carry the overlay's batch count.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True when this graph is a patched view (carries replacement rows)
+    /// rather than a plain CSR.
+    #[inline]
+    pub fn is_view(&self) -> bool {
+        self.patch.is_some()
+    }
+
+    /// Re-stamps the version (used by `DeltaOverlay::compact`, whose folded
+    /// CSR represents the overlay's current version, not a fresh graph).
+    pub(crate) fn with_version(mut self, version: u64) -> Graph {
+        self.version = version;
+        self
     }
 
     /// Number of vertices.
@@ -63,7 +197,10 @@ impl Graph {
     /// Number of undirected edges (each edge counted once).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.col_idx.len() / 2
+        match &self.patch {
+            Some(p) => p.num_edges,
+            None => self.col_idx.len() / 2,
+        }
     }
 
     /// The graph's dataset name (empty for ad-hoc graphs).
@@ -81,6 +218,11 @@ impl Graph {
     /// The sorted neighbor list of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        if let Some(p) = &self.patch {
+            if let Some(row) = p.rows.get(&v) {
+                return row;
+            }
+        }
         let v = v as usize;
         &self.col_idx[self.row_ptr[v]..self.row_ptr[v + 1]]
     }
@@ -88,6 +230,11 @@ impl Graph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
+        if let Some(p) = &self.patch {
+            if let Some(row) = p.rows.get(&v) {
+                return row.len();
+            }
+        }
         let v = v as usize;
         self.row_ptr[v + 1] - self.row_ptr[v]
     }
@@ -110,12 +257,46 @@ impl Graph {
         self.num_labels > 1
     }
 
+    /// The attached index after the version-stamp check, or `None`.
+    ///
+    /// Probing an index built for a different topology version would
+    /// silently answer adjacency from a stale bitmap — the classic overlay
+    /// hazard — so any mismatch is a hard, named diagnostic rather than a
+    /// wrong count.
+    #[inline]
+    fn checked_index(&self) -> Option<&HubBitmapIndex> {
+        let idx = self.hub_bitmap.get()?;
+        if idx.version() != self.version {
+            panic!(
+                "stale hub-bitmap probe on graph '{}': index stamped for \
+                 version {} but the graph is at version {}. An overlay \
+                 advanced the topology without patching the index — derive \
+                 views via DeltaOverlay::snapshot (word-patched rows) or \
+                 rebuild through compact().\n  reproduce: attach a \
+                 version-{} index to a version-{} view, e.g. \
+                 stmatch_graph::mutation::attach_stale_index, then call \
+                 has_edge/hub_bits",
+                self.name,
+                idx.version(),
+                self.version,
+                idx.version(),
+                self.version,
+            );
+        }
+        Some(idx)
+    }
+
     /// Edge test. With a hub-bitmap index attached, an endpoint that is a
     /// hub answers with one O(1) word probe; otherwise (and always without
     /// an index) this binary-searches the (sorted) smaller adjacency list.
+    ///
+    /// # Panics
+    /// Panics with a named diagnostic if the attached index's version
+    /// stamp does not match the graph's (a stale index would answer
+    /// adjacency for a different topology).
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        if let Some(idx) = self.hub_bitmap.get() {
+        if let Some(idx) = self.checked_index() {
             if let Some(hit) = idx.contains(u, v).or_else(|| idx.contains(v, u)) {
                 return hit;
             }
@@ -155,9 +336,13 @@ impl Graph {
     }
 
     /// The bitmap row of `v` when an index is attached and `v` is a hub.
+    ///
+    /// # Panics
+    /// Panics with a named diagnostic on a stale index (see
+    /// [`Graph::has_edge`]).
     #[inline]
     pub fn hub_bits(&self, v: VertexId) -> Option<&[u64]> {
-        self.hub_bitmap.get()?.row(v)
+        self.checked_index()?.row(v)
     }
 
     /// Iterator over all vertices.
@@ -177,9 +362,15 @@ impl Graph {
         })
     }
 
-    /// Maximum degree over all vertices (0 for the empty graph).
+    /// Maximum degree over all vertices (0 for the empty graph). On a
+    /// patched view this is an upper bound (exact unless a deletion shrank
+    /// the unique maximum-degree vertex): it only sizes host-side slab
+    /// capacities, where an upper bound is always safe.
     pub fn max_degree(&self) -> usize {
-        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+        match &self.patch {
+            Some(p) => p.max_degree,
+            None => self.vertices().map(|v| self.degree(v)).max().unwrap_or(0),
+        }
     }
 
     /// Returns a copy of this graph with labels replaced by `labels`.
@@ -188,15 +379,18 @@ impl Graph {
     /// Panics if `labels.len() != num_vertices()`.
     pub fn relabeled(&self, labels: Vec<Label>) -> Graph {
         assert_eq!(labels.len(), self.num_vertices(), "label count mismatch");
-        let mut g = Graph::from_parts(
-            self.row_ptr.clone(),
-            self.col_idx.clone(),
-            labels,
-            self.name.clone(),
-        );
-        // The hub index depends only on topology, which is unchanged.
-        g.hub_bitmap = self.hub_bitmap.clone();
-        g
+        let num_labels = labels.iter().copied().max().unwrap_or(0) + 1;
+        Graph {
+            row_ptr: Arc::clone(&self.row_ptr),
+            col_idx: Arc::clone(&self.col_idx),
+            labels: Arc::new(labels),
+            num_labels,
+            name: self.name.clone(),
+            version: self.version,
+            patch: self.patch.clone(),
+            // The hub index depends only on topology, which is unchanged.
+            hub_bitmap: self.hub_bitmap.clone(),
+        }
     }
 
     /// Returns the same topology with all labels cleared to 0.
@@ -205,11 +399,17 @@ impl Graph {
     }
 
     /// Approximate in-memory footprint in bytes (CSR arrays + labels +
-    /// hub-bitmap index when attached).
+    /// patch rows + hub-bitmap index when attached).
     pub fn memory_bytes(&self) -> usize {
         self.row_ptr.len() * std::mem::size_of::<usize>()
             + self.col_idx.len() * std::mem::size_of::<VertexId>()
             + self.labels.len() * std::mem::size_of::<Label>()
+            + self.patch.as_ref().map_or(0, |p| {
+                p.rows
+                    .values()
+                    .map(|r| r.len() * std::mem::size_of::<VertexId>())
+                    .sum()
+            })
             + self.hub_bitmap.get().map_or(0, |b| b.memory_bytes())
     }
 
@@ -227,7 +427,7 @@ impl Graph {
         for (new_id, &old_id) in order.iter().enumerate() {
             rank[old_id as usize] = new_id as VertexId;
         }
-        let mut builder = crate::GraphBuilder::with_capacity(n, self.col_idx.len() / 2);
+        let mut builder = crate::GraphBuilder::with_capacity(n, self.num_edges());
         for old in 0..n as VertexId {
             builder.set_label(rank[old as usize], self.label(old));
         }
@@ -241,6 +441,33 @@ impl Graph {
             Some(idx) => g.with_hub_bitmap(idx.threshold()),
             None => g,
         }
+    }
+}
+
+/// Seeded misuse helpers for the version-stamp safety net. Never called
+/// from production paths — they exist so tests can prove the stale-probe
+/// diagnostic fires by name (mirrors `stmatch-core`'s `mutation` modules).
+pub mod mutation {
+    use super::*;
+
+    /// Attaches `donor`'s hub index to `view` *without* patching it — the
+    /// exact bug the version stamp exists to catch: a view whose topology
+    /// moved on while its index still answers for the old graph. Any
+    /// subsequent `has_edge`/`hub_bits` on the returned graph must panic
+    /// with the `stale hub-bitmap probe` diagnostic.
+    pub fn attach_stale_index(view: &Graph, donor: &Graph) -> Graph {
+        let idx = donor
+            .hub_bitmap()
+            .expect("donor must carry a hub index")
+            .clone();
+        assert_ne!(
+            idx.version(),
+            view.version(),
+            "mutation needs a genuine version mismatch"
+        );
+        let mut g = view.clone();
+        g.hub_bitmap = OnceLock::from(idx);
+        g
     }
 }
 
@@ -263,6 +490,7 @@ mod tests {
         let g = triangle_plus_tail();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.version(), 0, "fresh graphs sit at version 0");
     }
 
     #[test]
@@ -328,6 +556,18 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_storage() {
+        let g = crate::gen::preferential_attachment(200, 4, 1);
+        let c = g.clone();
+        // Arc-backed arrays: a clone is a pointer copy, not a CSR copy.
+        assert!(std::ptr::eq(
+            g.neighbors(0).as_ptr(),
+            c.neighbors(0).as_ptr()
+        ));
+        assert_eq!(g, c);
+    }
+
+    #[test]
     fn has_edge_agrees_with_csr_under_hub_bitmap() {
         // Satellite: the O(1) hub probe must answer exactly like the
         // binary-search path for every vertex pair of a PA graph.
@@ -388,6 +628,36 @@ mod tests {
         // An already-attached index wins over a later ensure at a
         // different threshold.
         assert_eq!(g.ensure_hub_bitmap(3).threshold(), 6);
+    }
+
+    #[test]
+    fn stale_index_probe_panics_with_named_diagnostic() {
+        // Satellite (version-stamp safety): a view whose topology advanced
+        // past its attached index must fail loudly, not answer stale bits.
+        let base = crate::gen::preferential_attachment(60, 4, 3)
+            .degree_ordered()
+            .with_hub_bitmap(5);
+        let mut overlay = crate::delta::DeltaOverlay::new(base.clone());
+        let (u, v) = base.edges().next().expect("fixture has edges");
+        overlay.apply(&[crate::delta::EdgeOp::delete(u, v)]);
+        let view = overlay.snapshot();
+        // The honest view probes fine (its index was word-patched).
+        assert!(!view.has_edge(u, v));
+        let broken = crate::csr::mutation::attach_stale_index(&view, &base);
+        let err =
+            std::panic::catch_unwind(|| broken.has_edge(u, v)).expect_err("stale probe must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("stale hub-bitmap probe"),
+            "diagnostic must be named: {msg}"
+        );
+        assert!(
+            msg.contains("reproduce:"),
+            "diagnostic must reproduce: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,650 @@
+//! Batch-dynamic edge updates: a delta overlay on the immutable CSR.
+//!
+//! The paper's engine — and every engine in this workspace — runs on a
+//! frozen [`Graph`]. Live workloads (continuous motif monitoring,
+//! fraud-ring alerting) instead stream edge inserts/deletes and want each
+//! batch applied for O(batch) work, not an O(graph) rebuild. Following the
+//! batch-dynamic literature (see PAPERS.md), [`DeltaOverlay`] keeps the
+//! base CSR untouched and maintains **sorted per-vertex side arrays** of
+//! inserted and deleted neighbors:
+//!
+//! * [`DeltaOverlay::apply`] normalizes a batch against the current state
+//!   (re-deleting an absent edge or re-inserting a present one nets to
+//!   nothing, insert-then-delete inside one batch cancels), folds the net
+//!   edges into the side arrays, bumps the version, and returns the net
+//!   [`AppliedBatch`] — the exact edge set incremental matching anchors on;
+//! * [`DeltaOverlay::neighbors`] merges `base ∪ inserts ∖ deletes` on the
+//!   fly in one sorted pass;
+//! * [`DeltaOverlay::snapshot`] materializes an O(touched) [`Graph`] *view*
+//!   (patched rows for touched vertices only, hub-bitmap rows word-patched
+//!   in place) that the whole engine stack consumes unchanged;
+//! * [`DeltaOverlay::compact`] folds everything into a fresh CSR once the
+//!   overlay grows past taste, re-indexing any vertices that became hubs.
+//!
+//! The vertex set is fixed at overlay creation; only edges change.
+
+use crate::csr::{Graph, GraphPatch, VertexId};
+use crate::stats;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Sorted `(u, v)` pairs with `u < v` — the normal form for a batch's
+/// net edge list.
+type EdgeList = Vec<(VertexId, VertexId)>;
+
+/// One edge insert or delete. Endpoints are unordered (the graph is
+/// undirected); self-loops are rejected at [`DeltaOverlay::apply`] time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeOp {
+    pub u: VertexId,
+    pub v: VertexId,
+    pub insert: bool,
+}
+
+impl EdgeOp {
+    /// An edge insertion.
+    pub fn insert(u: VertexId, v: VertexId) -> EdgeOp {
+        EdgeOp { u, v, insert: true }
+    }
+
+    /// An edge deletion.
+    pub fn delete(u: VertexId, v: VertexId) -> EdgeOp {
+        EdgeOp {
+            u,
+            v,
+            insert: false,
+        }
+    }
+}
+
+/// The *net* effect of one applied batch: edges present after but not
+/// before (`inserts`), edges present before but not after (`deletes`),
+/// both normalized `u < v` and sorted, plus the overlay version the batch
+/// produced. Ops that cancel inside the batch (insert-then-delete of the
+/// same edge) or restate current state appear in neither list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppliedBatch {
+    pub inserts: Vec<(VertexId, VertexId)>,
+    pub deletes: Vec<(VertexId, VertexId)>,
+    /// Overlay version after this batch (every `apply` bumps it by one,
+    /// even when the batch nets to nothing).
+    pub version: u64,
+}
+
+impl AppliedBatch {
+    /// True when the batch netted to no topology change.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Sorted, deduplicated endpoints of all net edges — the affected
+    /// vertex frontier that incremental enumeration seeds from.
+    pub fn touched(&self) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self
+            .inserts
+            .iter()
+            .chain(&self.deletes)
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Sorted per-vertex insert/delete side arrays over a base [`Graph`].
+///
+/// See the module docs for the lifecycle. Not `Sync`-shared: a service
+/// serializes `apply`/`snapshot` behind one lock and hands out snapshot
+/// views (cheap `Arc`-backed graphs) for concurrent readers.
+#[derive(Clone, Debug)]
+pub struct DeltaOverlay {
+    base: Graph,
+    /// `v → sorted neighbors added to v`. Disjoint from `base.neighbors(v)`
+    /// and from `deletes[v]` — `apply` maintains both invariants.
+    inserts: BTreeMap<VertexId, Vec<VertexId>>,
+    /// `v → sorted neighbors removed from v`; always ⊆ `base.neighbors(v)`.
+    deletes: BTreeMap<VertexId, Vec<VertexId>>,
+    /// Undirected edge count of the current (post-overlay) graph.
+    num_edges: usize,
+    /// Bumped once per `apply`; snapshots and patched hub indexes carry it.
+    version: u64,
+    /// Incrementally maintained `stats::level0_weights` of the current
+    /// graph, when [`DeltaOverlay::track_weights`] enabled it.
+    weights: Option<Vec<u64>>,
+}
+
+impl DeltaOverlay {
+    /// Wraps `base` (which must be a plain CSR, not itself a patched
+    /// view — compact a view before layering a new overlay on it).
+    pub fn new(base: Graph) -> DeltaOverlay {
+        assert!(
+            !base.is_view(),
+            "DeltaOverlay requires a plain CSR base; compact the view first"
+        );
+        DeltaOverlay {
+            version: base.version(),
+            num_edges: base.num_edges(),
+            base,
+            inserts: BTreeMap::new(),
+            deletes: BTreeMap::new(),
+            weights: None,
+        }
+    }
+
+    /// The base CSR (pre-overlay; use [`DeltaOverlay::snapshot`] for the
+    /// current graph).
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Current overlay version (bumped once per applied batch).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of vertices (fixed for the overlay's lifetime).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Undirected edge count of the current graph.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v` in the current graph.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.base.degree(v) + self.side_len(&self.inserts, v) - self.side_len(&self.deletes, v)
+    }
+
+    fn side_len(&self, side: &BTreeMap<VertexId, Vec<VertexId>>, v: VertexId) -> usize {
+        side.get(&v).map_or(0, Vec::len)
+    }
+
+    fn side(side: &BTreeMap<VertexId, Vec<VertexId>>, v: VertexId) -> &[VertexId] {
+        side.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edge test against the current graph: deletes shadow the base, then
+    /// inserts, then the base CSR answers.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if Self::side(&self.deletes, u).binary_search(&v).is_ok() {
+            return false;
+        }
+        if Self::side(&self.inserts, u).binary_search(&v).is_ok() {
+            return true;
+        }
+        self.base.has_edge(u, v)
+    }
+
+    /// The current sorted neighbor list of `v`, merged lazily: one sorted
+    /// pass over `base.neighbors(v) ∪ inserts[v] ∖ deletes[v]` with no
+    /// allocation.
+    pub fn neighbors(&self, v: VertexId) -> MergedNeighbors<'_> {
+        MergedNeighbors {
+            base: self.base.neighbors(v),
+            ins: Self::side(&self.inserts, v),
+            del: Self::side(&self.deletes, v),
+            bi: 0,
+            ii: 0,
+            di: 0,
+        }
+    }
+
+    /// Applies `ops` in order and returns the batch's net effect. Cost is
+    /// O(batch × log + Σ touched-row lengths) — independent of graph size.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints (the vertex set is
+    /// fixed at overlay creation).
+    pub fn apply(&mut self, ops: &[EdgeOp]) -> AppliedBatch {
+        let n = self.num_vertices() as u32;
+        // Pre/post membership per distinct edge the batch names.
+        let mut fate: BTreeMap<(VertexId, VertexId), (bool, bool)> = BTreeMap::new();
+        for op in ops {
+            assert!(op.u != op.v, "self-loop {}-{} in edge batch", op.u, op.v);
+            assert!(
+                op.u < n && op.v < n,
+                "edge {}-{} out of range (|V| = {n}, fixed at overlay creation)",
+                op.u,
+                op.v
+            );
+            let e = (op.u.min(op.v), op.u.max(op.v));
+            let entry = fate
+                .entry(e)
+                .or_insert_with(|| (self.has_edge(e.0, e.1), false));
+            entry.1 = op.insert;
+        }
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for (&(u, v), &(pre, post)) in &fate {
+            match (pre, post) {
+                (false, true) => inserts.push((u, v)),
+                (true, false) => deletes.push((u, v)),
+                _ => {}
+            }
+        }
+        // Weight maintenance needs the pre-batch view; capture it before
+        // mutating (O(touched) thanks to the patched snapshot).
+        let pre_view = self
+            .weights
+            .as_ref()
+            .filter(|_| !(inserts.is_empty() && deletes.is_empty()))
+            .map(|_| self.snapshot());
+        for &(u, v) in &inserts {
+            self.fold_insert(u, v);
+            self.fold_insert(v, u);
+            self.num_edges += 1;
+        }
+        for &(u, v) in &deletes {
+            self.fold_delete(u, v);
+            self.fold_delete(v, u);
+            self.num_edges -= 1;
+        }
+        self.version += 1;
+        let applied = AppliedBatch {
+            inserts,
+            deletes,
+            version: self.version,
+        };
+        if let Some(pre) = pre_view {
+            let post = self.snapshot();
+            let weights = self.weights.as_mut().expect("tracking enabled");
+            stats::adjust_level0_weights(weights, &pre, &post, &applied.touched());
+        }
+        applied
+    }
+
+    /// Folds a net insert of neighbor `t` into `o`'s side arrays: a
+    /// re-insert of a base edge cancels its pending delete, anything else
+    /// lands in the insert array.
+    fn fold_insert(&mut self, o: VertexId, t: VertexId) {
+        if let Some(del) = self.deletes.get_mut(&o) {
+            if let Ok(i) = del.binary_search(&t) {
+                del.remove(i);
+                if del.is_empty() {
+                    self.deletes.remove(&o);
+                }
+                return;
+            }
+        }
+        let ins = self.inserts.entry(o).or_default();
+        let i = ins.binary_search(&t).expect_err("edge absent by netting");
+        ins.insert(i, t);
+    }
+
+    /// Folds a net delete of neighbor `t` out of `o`'s side arrays: a
+    /// delete of a pending insert cancels it, a base edge lands in the
+    /// delete array.
+    fn fold_delete(&mut self, o: VertexId, t: VertexId) {
+        if let Some(ins) = self.inserts.get_mut(&o) {
+            if let Ok(i) = ins.binary_search(&t) {
+                ins.remove(i);
+                if ins.is_empty() {
+                    self.inserts.remove(&o);
+                }
+                return;
+            }
+        }
+        let del = self.deletes.entry(o).or_default();
+        let i = del.binary_search(&t).expect_err("edge present by netting");
+        del.insert(i, t);
+    }
+
+    /// Sorted, deduplicated vertices with non-empty side arrays.
+    fn touched_vertices(&self) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self
+            .inserts
+            .keys()
+            .chain(self.deletes.keys())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Net overlay edges (`u < v`, sorted) currently held in the side
+    /// arrays, split (inserts, deletes).
+    fn overlay_edges(&self) -> (EdgeList, EdgeList) {
+        let collect = |side: &BTreeMap<VertexId, Vec<VertexId>>| {
+            side.iter()
+                .flat_map(|(&u, ts)| ts.iter().map(move |&v| (u, v)))
+                .filter(|&(u, v)| u < v)
+                .collect::<Vec<_>>()
+        };
+        (collect(&self.inserts), collect(&self.deletes))
+    }
+
+    /// Materializes the current graph as an O(touched) patched *view* of
+    /// the base: replacement rows only for touched vertices, the base's
+    /// hub-bitmap index (when attached) word-patched in place, version
+    /// stamped. The whole engine stack runs on the view unchanged.
+    pub fn snapshot(&self) -> Graph {
+        if self.inserts.is_empty() && self.deletes.is_empty() {
+            return if self.version == self.base.version() {
+                self.base.clone()
+            } else {
+                // Batches all netted out: topology equals the base, but the
+                // stamp must advance so stale-index checks stay honest.
+                let (ins, del) = (Vec::new(), Vec::new());
+                let idx = self
+                    .base
+                    .hub_bitmap()
+                    .map(|i| i.patched(self.version, &ins, &del));
+                self.base.with_patch(
+                    GraphPatch {
+                        rows: Default::default(),
+                        num_edges: self.num_edges,
+                        max_degree: self.base.max_degree(),
+                    },
+                    self.version,
+                    idx,
+                )
+            };
+        }
+        let mut rows = std::collections::HashMap::new();
+        let mut max_touched = 0usize;
+        for v in self.touched_vertices() {
+            let row: Arc<[VertexId]> = self.neighbors(v).collect::<Vec<_>>().into();
+            max_touched = max_touched.max(row.len());
+            rows.insert(v, row);
+        }
+        let patch = GraphPatch {
+            rows,
+            num_edges: self.num_edges,
+            max_degree: self.base.max_degree().max(max_touched),
+        };
+        let (ins, del) = self.overlay_edges();
+        let idx = self
+            .base
+            .hub_bitmap()
+            .map(|i| i.patched(self.version, &ins, &del));
+        self.base.with_patch(patch, self.version, idx)
+    }
+
+    /// Folds the overlay into a fresh CSR: O(n + m). The new base carries
+    /// the current version, and — when the old base was hub-indexed — a
+    /// rebuilt index at the same threshold, which is where vertices that
+    /// *became* hubs under inserts finally get rows.
+    pub fn compact(&mut self) {
+        let n = self.num_vertices();
+        let mut b = crate::GraphBuilder::with_capacity(n, self.num_edges);
+        for v in 0..n as VertexId {
+            b.set_label(v, self.base.label(v));
+            for u in self.neighbors(v) {
+                if v < u {
+                    b.add_edge(v, u);
+                }
+            }
+        }
+        let g = b
+            .build()
+            .with_name(self.base.name().to_string())
+            .with_version(self.version);
+        self.base = match self.base.hub_bitmap() {
+            Some(idx) => g.with_hub_bitmap(idx.threshold()),
+            None => g,
+        };
+        self.inserts.clear();
+        self.deletes.clear();
+    }
+
+    /// Starts maintaining `stats::level0_weights` incrementally: the full
+    /// O(graph) computation runs once now, then every `apply` adjusts only
+    /// the touched vertices and their neighbors. Used by work-aware shard
+    /// partitioning under update streams.
+    pub fn track_weights(&mut self) {
+        if self.weights.is_none() {
+            self.weights = Some(stats::level0_weights(&self.snapshot()));
+        }
+    }
+
+    /// The maintained level-0 weights, when tracking is enabled.
+    pub fn weights(&self) -> Option<&[u64]> {
+        self.weights.as_deref()
+    }
+}
+
+/// Lazy sorted merge `base ∪ ins ∖ del` over three sorted slices.
+/// Invariants from the overlay: `ins` is disjoint from `base` and `del`;
+/// `del ⊆ base`.
+pub struct MergedNeighbors<'a> {
+    base: &'a [VertexId],
+    ins: &'a [VertexId],
+    del: &'a [VertexId],
+    bi: usize,
+    ii: usize,
+    di: usize,
+}
+
+impl Iterator for MergedNeighbors<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            let b = self.base.get(self.bi).copied();
+            let i = self.ins.get(self.ii).copied();
+            match (b, i) {
+                (None, None) => return None,
+                (Some(bv), iv) if iv.is_none() || bv < iv.unwrap() => {
+                    self.bi += 1;
+                    // Deleted base neighbors are skipped; `del` is sorted
+                    // in lockstep with `base`, so one cursor suffices.
+                    if self.del.get(self.di) == Some(&bv) {
+                        self.di += 1;
+                        continue;
+                    }
+                    return Some(bv);
+                }
+                (_, Some(iv)) => {
+                    self.ii += 1;
+                    return Some(iv);
+                }
+                _ => unreachable!("both cursors exhausted is handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn path4() -> Graph {
+        // 0-1-2-3
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn apply_nets_inserts_and_deletes() {
+        let mut o = DeltaOverlay::new(path4());
+        let batch = o.apply(&[
+            EdgeOp::insert(0, 3),
+            EdgeOp::delete(1, 2),
+            EdgeOp::insert(1, 0), // already present → no net
+            EdgeOp::delete(0, 2), // already absent → no net
+        ]);
+        assert_eq!(batch.inserts, vec![(0, 3)]);
+        assert_eq!(batch.deletes, vec![(1, 2)]);
+        assert_eq!(batch.version, 1);
+        assert_eq!(batch.touched(), vec![0, 1, 2, 3]);
+        assert_eq!(o.num_edges(), 3);
+        assert!(o.has_edge(0, 3) && o.has_edge(3, 0));
+        assert!(!o.has_edge(1, 2));
+        assert_eq!(o.neighbors(0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(o.neighbors(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(o.degree(2), 1);
+    }
+
+    #[test]
+    fn insert_then_delete_same_edge_cancels_in_batch() {
+        let mut o = DeltaOverlay::new(path4());
+        let batch = o.apply(&[EdgeOp::insert(0, 2), EdgeOp::delete(2, 0)]);
+        assert!(batch.is_empty(), "in-batch cancel must net to nothing");
+        assert_eq!(batch.version, 1, "version still advances");
+        assert!(!o.has_edge(0, 2));
+        assert_eq!(o.num_edges(), 3);
+        // And the mirror: delete a base edge then re-insert it.
+        let batch = o.apply(&[EdgeOp::delete(1, 2), EdgeOp::insert(1, 2)]);
+        assert!(batch.is_empty());
+        assert!(o.has_edge(1, 2));
+    }
+
+    #[test]
+    fn reinsert_across_batches_cancels_pending_delete() {
+        let mut o = DeltaOverlay::new(path4());
+        o.apply(&[EdgeOp::delete(1, 2)]);
+        let batch = o.apply(&[EdgeOp::insert(2, 1)]);
+        assert_eq!(batch.inserts, vec![(1, 2)]);
+        assert!(o.has_edge(1, 2));
+        // The side arrays are empty again: snapshot degenerates to a
+        // version-stamped view with no replacement rows.
+        let view = o.snapshot();
+        assert_eq!(view.num_edges(), 3);
+        assert_eq!(view.version(), 2);
+        assert_eq!(view.neighbors(1), path4().neighbors(1));
+    }
+
+    #[test]
+    fn snapshot_views_agree_with_scratch_rebuild() {
+        let g = gen::preferential_attachment(64, 4, 7).degree_ordered();
+        let mut o = DeltaOverlay::new(g.clone());
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move |m: u32| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng % m as u64) as u32
+        };
+        for _ in 0..6 {
+            let mut ops = Vec::new();
+            for _ in 0..10 {
+                let (u, v) = (next(64), next(64));
+                if u == v {
+                    continue;
+                }
+                ops.push(if next(2) == 0 {
+                    EdgeOp::insert(u, v)
+                } else {
+                    EdgeOp::delete(u, v)
+                });
+            }
+            o.apply(&ops);
+            let view = o.snapshot();
+            assert_eq!(view.num_edges(), o.num_edges());
+            for v in view.vertices() {
+                let merged: Vec<_> = o.neighbors(v).collect();
+                assert_eq!(view.neighbors(v), merged.as_slice(), "row {v}");
+                assert!(merged.windows(2).all(|w| w[0] < w[1]), "sorted row {v}");
+                assert_eq!(view.degree(v), o.degree(v));
+            }
+            assert!(view.max_degree() >= view.vertices().map(|v| view.degree(v)).max().unwrap());
+            for u in view.vertices() {
+                for v in view.vertices() {
+                    assert_eq!(view.has_edge(u, v), o.has_edge(u, v), "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_folds_and_rebuilds_hub_index() {
+        let g = gen::preferential_attachment(64, 4, 7)
+            .degree_ordered()
+            .with_hub_bitmap(6);
+        let mut o = DeltaOverlay::new(g.clone());
+        // Promote a low-degree vertex to hub by wiring it widely.
+        let leaf = 63u32;
+        let ops: Vec<EdgeOp> = (0..10)
+            .filter(|&t| t != leaf && !g.has_edge(leaf, t))
+            .map(|t| EdgeOp::insert(leaf, t))
+            .collect();
+        assert!(ops.len() > 6);
+        o.apply(&ops);
+        // Pre-compaction: the view's patched index has no row for the new
+        // hub (correct, just unindexed)…
+        let view = o.snapshot();
+        let idx = view.hub_bitmap().expect("view carries patched index");
+        assert!(!idx.is_hub(leaf));
+        assert!(view.has_edge(leaf, ops[0].v), "CSR fallback still answers");
+        o.compact();
+        // …post-compaction it is indexed, and the folded CSR matches.
+        let base = o.base().clone();
+        assert_eq!(base.version(), 1);
+        assert_eq!(base.num_edges(), view.num_edges());
+        let idx = base.hub_bitmap().expect("compaction rebuilds the index");
+        assert_eq!(idx.version(), 1);
+        assert!(idx.is_hub(leaf), "new hub indexed on compaction");
+        for v in base.vertices() {
+            assert_eq!(base.neighbors(v), view.neighbors(v), "row {v}");
+        }
+        // The overlay keeps working on the new base.
+        let b2 = o.apply(&[EdgeOp::delete(leaf, ops[0].v)]);
+        assert_eq!(b2.version, 2);
+        assert!(!o.has_edge(leaf, ops[0].v));
+    }
+
+    #[test]
+    fn tracked_weights_match_scratch_recompute() {
+        // Satellite: incremental weight adjustment over touched vertices
+        // only must equal the full O(graph) recompute after every batch.
+        let g = gen::preferential_attachment(72, 4, 13).degree_ordered();
+        let mut o = DeltaOverlay::new(g);
+        o.track_weights();
+        let mut rng = 0xdeadbeefcafef00du64;
+        let mut next = move |m: u32| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng % m as u64) as u32
+        };
+        for round in 0..8 {
+            let ops: Vec<EdgeOp> = (0..12)
+                .filter_map(|_| {
+                    let (u, v) = (next(72), next(72));
+                    (u != v).then(|| {
+                        if next(3) == 0 {
+                            EdgeOp::delete(u, v)
+                        } else {
+                            EdgeOp::insert(u, v)
+                        }
+                    })
+                })
+                .collect();
+            o.apply(&ops);
+            let scratch = stats::level0_weights(&o.snapshot());
+            assert_eq!(
+                o.weights().expect("tracking on"),
+                scratch.as_slice(),
+                "incremental weights diverged at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_are_rejected() {
+        DeltaOverlay::new(path4()).apply(&[EdgeOp::insert(2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoints_are_rejected() {
+        DeltaOverlay::new(path4()).apply(&[EdgeOp::insert(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plain CSR base")]
+    fn overlay_on_a_view_is_rejected() {
+        let mut o = DeltaOverlay::new(path4());
+        o.apply(&[EdgeOp::insert(0, 2)]);
+        DeltaOverlay::new(o.snapshot());
+    }
+}

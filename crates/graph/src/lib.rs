@@ -20,18 +20,24 @@
 //! * [`datasets`] — the registry of scaled-down stand-ins for the paper's
 //!   SNAP graphs (WikiVote, Enron, MiCo, Youtube, LiveJournal, Orkut,
 //!   Friendster).
+//! * [`delta`] — batch-dynamic edge updates: a [`delta::DeltaOverlay`] of
+//!   sorted per-vertex insert/delete side arrays over the immutable CSR,
+//!   with O(touched) snapshot views and hub-bitmap rows patched word-wise
+//!   (DESIGN.md §4k).
 
 pub mod bitmap;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod stats;
 
 pub use bitmap::HubBitmapIndex;
 pub use builder::GraphBuilder;
-pub use csr::{Graph, VertexId};
+pub use csr::{mutation, Graph, VertexId};
+pub use delta::{AppliedBatch, DeltaOverlay, EdgeOp};
 pub use stats::GraphStats;
 
 /// A vertex label. Label `0` is the default for unlabeled graphs.

@@ -89,6 +89,41 @@ impl MatchOrder {
         MatchOrder::from_order(p, order)
     }
 
+    /// Edge-anchored order for incremental (delta) matching: matches
+    /// pattern edge `(p, q)` at levels 0/1 and extends greedily with the
+    /// same tie-breaking as [`MatchOrder::greedy`]. The incremental engine
+    /// pins levels 0/1 to the two endpoints of an updated data edge, so
+    /// every embedding counted through this order uses that edge — the
+    /// anchor discipline of delta decomposition (DESIGN.md §4k).
+    ///
+    /// # Panics
+    /// Panics if `(p, q)` is not an edge of the pattern.
+    pub fn anchored(p: &Pattern, edge: (usize, usize)) -> MatchOrder {
+        let n = p.size();
+        assert!(
+            p.has_edge(edge.0, edge.1),
+            "anchor ({}, {}) is not a pattern edge",
+            edge.0,
+            edge.1
+        );
+        let mut order = vec![edge.0, edge.1];
+        let mut in_order = [false; crate::MAX_PATTERN_SIZE];
+        in_order[edge.0] = true;
+        in_order[edge.1] = true;
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&u| !in_order[u])
+                .max_by_key(|&u| {
+                    let back = order.iter().filter(|&&v| p.has_edge(u, v)).count();
+                    (back, p.degree(u), std::cmp::Reverse(u))
+                })
+                .expect("some vertex remains");
+            order.push(next);
+            in_order[next] = true;
+        }
+        MatchOrder::from_order(p, order)
+    }
+
     /// Wraps an explicit order, validating the connectivity invariant.
     ///
     /// # Panics
@@ -242,6 +277,31 @@ mod tests {
         let p = catalog::paper_query(5);
         let o = MatchOrder::degeneracy(&p);
         assert_eq!(o.vertex_at(o.len() - 1), 4, "pendant vertex matched last");
+    }
+
+    #[test]
+    fn anchored_order_pins_the_edge_and_stays_connected() {
+        for q in catalog::all_paper_queries() {
+            for u in 0..q.size() {
+                for v in 0..q.size() {
+                    if !q.has_edge(u, v) {
+                        continue;
+                    }
+                    let o = MatchOrder::anchored(&q, (u, v));
+                    assert_eq!(o.vertex_at(0), u);
+                    assert_eq!(o.vertex_at(1), v);
+                    for l in 1..o.len() {
+                        assert_ne!(o.backward_mask(l), 0, "{} level {l}", q.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pattern edge")]
+    fn anchored_rejects_non_edges() {
+        let _ = MatchOrder::anchored(&catalog::path(4), (0, 3));
     }
 
     #[test]

@@ -165,6 +165,23 @@ impl MatchPlan {
         Self::compile_with_order(pattern, order, options)
     }
 
+    /// Compiles an edge-anchored plan for incremental (delta) matching:
+    /// the matching order is [`MatchOrder::anchored`] on `edge`, and
+    /// symmetry breaking is forced **off** — anchored runs count
+    /// *embeddings* through a pinned data edge, and the delta engine
+    /// divides by `symmetry::automorphism_count` afterwards (the
+    /// symmetry bounds assume the free greedy order and would miscount
+    /// under pinned levels).
+    pub fn compile_anchored(
+        pattern: &Pattern,
+        edge: (usize, usize),
+        mut options: PlanOptions,
+    ) -> MatchPlan {
+        options.symmetry_breaking = false;
+        let order = MatchOrder::anchored(pattern, edge);
+        Self::compile_with_order(pattern, order, options)
+    }
+
     /// Compiles `pattern` with an explicit matching order.
     pub fn compile_with_order(
         pattern: &Pattern,

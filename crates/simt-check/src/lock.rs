@@ -32,6 +32,12 @@ use std::sync::{LazyLock, Mutex, MutexGuard, PoisonError};
 /// code-adjacent copy) and DESIGN.md §4e.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockClass {
+    /// The match service's mutable graph state (`service::Inner::delta`):
+    /// the delta overlay, current snapshot, and watcher registry. Ranked
+    /// below everything: `apply_batch` holds it only to fold a batch and
+    /// clone out snapshots/watchers (never across a launch), and workers
+    /// take it alone to fetch the current snapshot before admission work.
+    ServiceGraph,
     /// The match service's admission queue (`service::Inner::queue`).
     /// Service locks rank *below* every engine lock: they are never held
     /// across a kernel launch, while engine locks are taken deep inside
@@ -69,6 +75,7 @@ impl LockClass {
     /// Declared rank: acquisitions must be in strictly increasing rank.
     pub fn rank(self) -> u32 {
         match self {
+            LockClass::ServiceGraph => 1,
             LockClass::ServiceAdmission => 2,
             LockClass::PlanTierUp => 3,
             LockClass::ServicePlanCache => 4,
@@ -85,6 +92,7 @@ impl LockClass {
     /// Human-readable class name for diagnostics.
     pub fn name(self) -> &'static str {
         match self {
+            LockClass::ServiceGraph => "ServiceGraph",
             LockClass::ServiceAdmission => "ServiceAdmission",
             LockClass::PlanTierUp => "PlanTierUp",
             LockClass::ServicePlanCache => "ServicePlanCache",
@@ -98,8 +106,9 @@ impl LockClass {
         }
     }
 
-    fn all() -> [LockClass; 10] {
+    fn all() -> [LockClass; 11] {
         [
+            LockClass::ServiceGraph,
             LockClass::ServiceAdmission,
             LockClass::PlanTierUp,
             LockClass::ServicePlanCache,
@@ -116,7 +125,7 @@ impl LockClass {
 
 /// The declared hierarchy, lowest rank first — rendered into diagnostics so
 /// a violation message carries the rule it broke.
-pub const DECLARED_HIERARCHY: &str = "ServiceAdmission(2) < PlanTierUp(3) < \
+pub const DECLARED_HIERARCHY: &str = "ServiceGraph(1) < ServiceAdmission(2) < PlanTierUp(3) < \
      ServicePlanCache(4) < ServiceArenaPool(6) < ShardRail(8) < GlobalSlot(10) < \
      Requeue(20) < Mirror(30) < DeathLog(40) < Collector(50)";
 
